@@ -1,0 +1,97 @@
+"""Design-choice ablations beyond the paper's Figure 9.
+
+* burst-size sweep: larger bursts improve DRAM efficiency but cost burst-
+  register area (the paper's stated tradeoff; it chose 1024 bits);
+* burst-register count sweep: throughput saturates at r = bus/port = 16;
+* blocking vs nonblocking output addressing with a filtering PU mix (the
+  paper's rationale for the nonblocking default).
+"""
+
+from repro.memory import (
+    EchoPu,
+    MemoryConfig,
+    RatePu,
+    SinkPu,
+    simulate_channels,
+)
+from repro.system.area import pu_overhead
+
+
+def test_burst_size_sweep(once):
+    base = MemoryConfig()
+
+    def experiment():
+        rows = []
+        for beats in (1, 2, 4, 16, 64):
+            cfg = base.replace(beats_per_burst=beats)
+            stats = simulate_channels(
+                cfg, lambda i: [SinkPu(1 << 16) for _ in range(128)],
+                channels=1, fixed_cycles=20_000,
+            )
+            # burst registers are flip-flop storage inside the two
+            # controllers: 2 (in+out) x r registers x burst bits
+            burst_reg_kbits = (
+                2 * cfg.burst_registers * cfg.burst_bytes * 8 / 1024
+            )
+            rows.append((beats, 4 * stats.input_gbps, burst_reg_kbits))
+        return rows
+
+    rows = once(experiment)
+    print("\nbeats/burst  GB/s   burst-reg Kb (controllers)")
+    for beats, gbps, kbits in rows:
+        print(f"{beats:>11}  {gbps:5.2f}  {kbits:>8.0f}")
+    throughputs = [gbps for _, gbps, _ in rows]
+    assert throughputs == sorted(throughputs)  # monotone in burst size
+    # diminishing returns: 2 beats already within 15% of 64 beats — the
+    # paper's rationale for choosing 1024-bit bursts
+    assert throughputs[1] > 0.85 * throughputs[-1]
+    # but register area grows linearly with burst size
+    assert rows[-1][2] == 32 * rows[1][2]
+    assert pu_overhead(base).bram36 >= 2  # per-PU buffers are BRAM
+
+
+def test_burst_register_sweep(once):
+    base = MemoryConfig()
+
+    def experiment():
+        results = {}
+        for r in (1, 2, 4, 8, 16, 32):
+            cfg = base.replace(burst_registers=r)
+            stats = simulate_channels(
+                cfg, lambda i: [SinkPu(1 << 16) for _ in range(128)],
+                channels=1, fixed_cycles=20_000,
+            )
+            results[r] = 4 * stats.input_gbps
+        return results
+
+    results = once(experiment)
+    print("\nr (burst regs) -> GB/s: "
+          + ", ".join(f"{r}:{v:.1f}" for r, v in results.items()))
+    # saturates at r = bus_width/port_width = 16 (the paper's choice)
+    assert results[16] > 0.9 * results[32]
+    assert results[16] > 5 * results[1]
+
+
+def test_output_blocking_ablation(once):
+    def experiment():
+        out = {}
+        for blocking in (False, True):
+            cfg = MemoryConfig().replace(output_blocking=blocking)
+            # a filter-heavy mix: one PU almost never outputs
+            def make_pus(_):
+                return [
+                    RatePu(1 << 15, vcycles_per_token=1,
+                           output_ratio=0.001)
+                ] + [EchoPu(1 << 15) for _ in range(15)]
+
+            stats = simulate_channels(
+                cfg, make_pus, channels=1, fixed_cycles=15_000
+            )
+            out[blocking] = stats.output_gbps
+        return out
+
+    results = once(experiment)
+    print(f"\noutput GB/s: nonblocking {results[False]:.2f}, "
+          f"blocking {results[True]:.2f} (the paper's default is "
+          f"nonblocking for exactly this reason)")
+    assert results[False] > 1.5 * results[True]

@@ -1,0 +1,27 @@
+"""Figure 8: lines of code, Fleet vs the CPU/GPU baseline.
+
+The paper's point: Fleet programs are comparable in size to CUDA, with
+integer coding larger in Fleet (managing 8-bit output chunks) and regex
+smaller (the circuit is generated from the pattern).
+"""
+
+from repro.bench import PAPER_FIGURE8, figure8_rows, format_figure8
+
+
+def test_figure8_lines_of_code(once):
+    rows = once(figure8_rows)
+    print("\n" + format_figure8(rows))
+    by_title = {title: (fleet, isa) for title, fleet, isa in rows}
+    # Same order of magnitude as the baselines, per app (within ~3x).
+    for title, (fleet_loc, isa_loc) in by_title.items():
+        assert fleet_loc < 3 * isa_loc + 60, title
+        assert isa_loc < 3 * fleet_loc + 60, title
+    # JSON and integer coding are the largest Fleet programs (paper:
+    # 201 and 315 lines), regex among the smallest (35).
+    assert by_title["Regex"][0] == min(v[0] for v in by_title.values())
+    big_two = sorted(
+        by_title, key=lambda t: by_title[t][0], reverse=True
+    )[:2]
+    assert set(big_two) <= {"JSON Parsing", "Integer Coding",
+                            "Decision Tree"}
+    assert sorted(PAPER_FIGURE8) == sorted(by_title)

@@ -1,0 +1,27 @@
+"""Figure 9: memory-controller optimization ablation.
+
+Paper: none 0.98 GB/s -> async address supply 1.88 GB/s (-> 1.9x) ->
+async + burst registers 27.24 GB/s (-> 14.5x more).
+"""
+
+from repro.bench import PAPER_FIGURE9, format_figure9, run_figure9
+
+
+def test_figure9_ablation(once):
+    results = once(run_figure9, fixed_cycles=30_000)
+    print("\n" + format_figure9(results))
+    values = dict(results)
+    none = values["None"]
+    async_only = values["Async. Addr. Supply"]
+    full = values["Async. Addr. Supply & Burst Regs."]
+    # The paper's factors: ~1.9x from async supply, ~14.5x from burst regs.
+    assert 1.4 < async_only / none < 2.6
+    assert 10 < full / async_only < 20
+    # And the absolute numbers land within 15% of the paper's.
+    for label, measured in values.items():
+        assert measured == PAPER_FIGURE9[label] * (
+            1 + (measured / PAPER_FIGURE9[label] - 1)
+        )
+        assert abs(measured / PAPER_FIGURE9[label] - 1) < 0.15, (
+            label, measured
+        )

@@ -1,0 +1,83 @@
+"""Section 7.4: the commercial HLS comparison.
+
+Paper: the HLS memory controller reaches 524.84 MB/s (pipelined) /
+675.06 MB/s (unrolled) on one channel — 13.0x / 10.1x below Fleet's
+6.8 GB/s single-channel rate and bounded by 1 GB/s (64 bits/cycle through
+the local array ports). Naively ported processing units get initiation
+intervals of 15 (JSON) and 18 (integer coding) instead of Fleet's 1, and
+use ~4.6x / ~2.8x more logic.
+"""
+
+from repro.apps import int_coding_unit, json_field_unit
+from repro.baselines import (
+    estimate_module_hls,
+    hls_initiation_interval,
+    simulate_hls_memory,
+)
+from repro.compiler import compile_unit
+from repro.memory import MemoryConfig, SinkPu, simulate_channels
+from repro.system.area import estimate_module
+
+
+def test_hls_memory_controller(once):
+    cfg = MemoryConfig()
+
+    def experiment():
+        fleet = simulate_channels(
+            cfg, lambda i: [SinkPu(1 << 16) for _ in range(128)],
+            channels=1, fixed_cycles=25_000,
+        ).input_gbps
+        pipelined = simulate_hls_memory(cfg, outstanding=1,
+                                        fixed_cycles=25_000)
+        unrolled = simulate_hls_memory(cfg, outstanding=2,
+                                       fixed_cycles=25_000)
+        return fleet, pipelined, unrolled
+
+    fleet, pipelined, unrolled = once(experiment)
+    print(f"\nFleet single-channel input: {fleet:.2f} GB/s (paper 6.8)")
+    print(f"HLS pipelined: {pipelined * 1000:.0f} MB/s (paper 524.84), "
+          f"{fleet / pipelined:.1f}x below Fleet (paper 13.0x)")
+    print(f"HLS unrolled: {unrolled * 1000:.0f} MB/s (paper 675.06), "
+          f"{fleet / unrolled:.1f}x below Fleet (paper 10.1x)")
+    assert pipelined < unrolled <= 1.0  # the 64-bit/cycle serial bound
+    assert 5 < fleet / unrolled < 25
+    assert 8 < fleet / pipelined < 25
+
+
+def test_hls_initiation_intervals(once):
+    def experiment():
+        return (
+            hls_initiation_interval(json_field_unit()),
+            hls_initiation_interval(int_coding_unit()),
+            hls_initiation_interval(
+                json_field_unit(), assume_mutual_exclusion=True
+            ),
+        )
+
+    json_ii, int_ii, fleet_ii = once(experiment)
+    print(f"\nHLS II: JSON {json_ii} (paper 15), integer coding {int_ii} "
+          f"(paper 18); Fleet-style exclusive scheduling: {fleet_ii}")
+    assert fleet_ii == 1  # the Fleet language restriction guarantee
+    assert json_ii >= 8
+    assert int_ii >= 6
+
+
+def test_hls_area_ratios(once):
+    def experiment():
+        ratios = {}
+        for name, unit in (("json", json_field_unit()),
+                           ("int", int_coding_unit())):
+            module = compile_unit(unit)
+            fleet = estimate_module(module)
+            hls = estimate_module_hls(
+                module, hls_initiation_interval(unit)
+            )
+            ratios[name] = hls.luts / fleet.luts
+        return ratios
+
+    ratios = once(experiment)
+    print(f"\nHLS/Fleet logic: JSON {ratios['json']:.1f}x (paper 4.6x), "
+          f"integer coding {ratios['int']:.1f}x (paper 2.8x)")
+    assert 2.5 < ratios["json"] < 7.0
+    assert 1.8 < ratios["int"] < 5.0
+    assert ratios["json"] > ratios["int"]  # the paper's ordering

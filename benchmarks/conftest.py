@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (measured next to the paper's value). The timed quantity is the
+full experiment, run once (``pedantic`` with one round) — these are
+simulations whose *results* matter, not microbenchmarks.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

@@ -1,0 +1,17 @@
+"""Classic setuptools entry point.
+
+``pip install -e .`` needs the ``wheel`` package to build a PEP 660
+editable wheel; on fully offline machines without ``wheel`` installed, use
+``python setup.py develop`` instead — it produces an equivalent editable
+install with no extra dependencies.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

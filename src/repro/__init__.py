@@ -1,0 +1,17 @@
+"""Reproduction of *Fleet: A Framework for Massively Parallel Streaming on
+FPGAs* (Thomas, Hanrahan, Zaharia — ASPLOS 2020).
+
+Public entry points:
+
+* :mod:`repro.lang` — the Fleet processing-unit DSL.
+* :mod:`repro.interp` — the software (virtual-cycle) simulator.
+* :mod:`repro.compiler` — the Fleet-to-RTL compiler (paper Section 4).
+* :mod:`repro.rtl` — the RTL IR, cycle-accurate simulator, Verilog emitter.
+* :mod:`repro.memory` — the multi-stream memory controller (Section 5).
+* :mod:`repro.system` — replicated designs, area/power models, the runtime.
+* :mod:`repro.apps` — the paper's six applications plus running examples.
+* :mod:`repro.isa`, :mod:`repro.baselines` — CPU/GPU/HLS comparators.
+* :mod:`repro.bench` — workload generators and experiment harnesses.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,83 @@
+"""The paper's six applications (Section 7.1) plus its running examples,
+each with a processing unit in the Fleet DSL and a bit-exact golden model.
+"""
+
+from .bloom import bloom_contains, bloom_filter_unit, bloom_reference
+from .csv_extract import csv_extract_reference, csv_extract_unit
+from .decision_tree import (
+    GbtModel,
+    TreeNode,
+    decision_tree_reference,
+    decision_tree_unit,
+    encode_points,
+)
+from .histogram import block_frequencies_reference, block_frequencies_unit
+from .identity import identity_reference, identity_unit, sink_unit
+from .int_coding import (
+    int_coding_decode,
+    int_coding_reference,
+    int_coding_unit,
+)
+from .json_parser import (
+    build_field_table,
+    encode_field_table,
+    json_field_unit,
+    json_fields_reference,
+)
+from .regex import (
+    EMAIL_PATTERN,
+    build_automaton,
+    regex_match_unit,
+    regex_reference,
+)
+from .smith_waterman import smith_waterman_reference, smith_waterman_unit
+from .string_search import (
+    AhoCorasick,
+    string_search_reference,
+    string_search_unit,
+)
+
+#: The six evaluation applications in the paper's Figure 7 order.
+PAPER_APPS = (
+    "json_parsing",
+    "integer_coding",
+    "decision_tree",
+    "smith_waterman",
+    "regex",
+    "bloom_filter",
+)
+
+__all__ = [
+    "AhoCorasick",
+    "EMAIL_PATTERN",
+    "GbtModel",
+    "PAPER_APPS",
+    "TreeNode",
+    "block_frequencies_reference",
+    "block_frequencies_unit",
+    "bloom_contains",
+    "bloom_filter_unit",
+    "bloom_reference",
+    "csv_extract_reference",
+    "csv_extract_unit",
+    "build_automaton",
+    "build_field_table",
+    "decision_tree_reference",
+    "decision_tree_unit",
+    "encode_field_table",
+    "encode_points",
+    "identity_reference",
+    "identity_unit",
+    "int_coding_decode",
+    "int_coding_reference",
+    "int_coding_unit",
+    "json_field_unit",
+    "json_fields_reference",
+    "regex_match_unit",
+    "regex_reference",
+    "sink_unit",
+    "smith_waterman_reference",
+    "smith_waterman_unit",
+    "string_search_reference",
+    "string_search_unit",
+]

@@ -1,0 +1,147 @@
+"""Bloom filter construction (paper Section 7.1).
+
+The unit computes and emits a Bloom filter for each block of items. Items
+are 32-bit little-endian integers arriving as 8-bit tokens; each item is
+hashed with ``num_hashes`` multiplicative hash functions and one bit per
+hash is set in the filter.
+
+The filter is *blocked*: it is partitioned into ``num_hashes`` equal
+sections, one BRAM per section, with hash function ``j`` setting a bit only
+in section ``j``. This is what lets the hardware perform all hash updates
+in a single virtual cycle — each section BRAM sees exactly one
+read-modify-write — and it is also why consecutive items hashing into the
+same word exercise the compiler's BRAM read-after-write forwarding.
+
+At the end of each block the unit emits the filter section by section as
+bytes (clearing words as they are emitted, ready for the next block), so
+the output stream is ``blocks * num_hashes * section_bits / 8`` bytes.
+A final partial block is not emitted (blocks are emitted on the token that
+*completes* them, as in the paper's Figure 3 running example).
+"""
+
+from ..lang import UnitBuilder
+
+#: Odd multiplicative hashing constants (Knuth-style); compile-time fixed,
+#: shared by the hardware unit, the golden model, and the ISA baselines.
+HASH_CONSTANTS = (
+    0x9E3779B1, 0x85EBCA77, 0xC2B2AE3D, 0x27D4EB2F,
+    0x165667B1, 0xD3A2646D, 0xFD7046C5, 0xB55A4F09,
+)
+
+
+def _hash_value(x, j, section_bits):
+    """Multiplicative hash of 32-bit ``x`` into ``[0, section_bits)``."""
+    shift = 32 - max(1, (section_bits - 1).bit_length())
+    return ((x * HASH_CONSTANTS[j]) & 0xFFFFFFFF) >> shift
+
+
+def bloom_filter_unit(block_size=64, num_hashes=8, section_bits=1024):
+    """Build the Bloom filter construction unit.
+
+    ``section_bits`` must be a power of two (one BRAM section per hash
+    function, each holding ``section_bits`` filter bits as 8-bit words).
+    """
+    if section_bits & (section_bits - 1):
+        raise ValueError("section_bits must be a power of two")
+    if not 1 <= num_hashes <= len(HASH_CONSTANTS):
+        raise ValueError(f"num_hashes must be in [1, {len(HASH_CONSTANTS)}]")
+    words_per_section = section_bits // 8
+    bit_index_width = (section_bits - 1).bit_length()
+    shift = 32 - bit_index_width
+
+    b = UnitBuilder("bloom_filter", input_width=8, output_width=8)
+    sections = [
+        b.bram(f"section_{j}", elements=words_per_section, width=8)
+        for j in range(num_hashes)
+    ]
+    item = b.reg("item", width=32, init=0)  # assembles the 32-bit item
+    byte_count = b.reg("byte_count", width=2, init=0)
+    item_count = b.reg(
+        "item_count", width=max(1, block_size.bit_length()), init=0
+    )
+    # Emission cursor: section index and word index, flattened.
+    emit_idx = b.reg(
+        "emit_idx",
+        width=(num_hashes * words_per_section).bit_length() + 1,
+        init=0,
+    )
+    emitting = b.reg("emitting", width=1, init=0)
+
+    total_words = num_hashes * words_per_section
+
+    with b.while_(emitting == 1):
+        # One word per virtual cycle: emit it and clear it. The section is
+        # selected by a metaprogrammed mux over the emit cursor.
+        for j in range(num_hashes):
+            lo = j * words_per_section
+            hi = lo + words_per_section
+            with b.when(b.all_of(emit_idx >= lo, emit_idx < hi)):
+                word = (emit_idx - lo).bits(
+                    max(0, words_per_section - 1).bit_length() - 1
+                    if words_per_section > 1 else 0,
+                    0,
+                )
+                b.emit(sections[j][word])
+                sections[j][word] = 0
+        last_word = emit_idx == total_words - 1
+        emit_idx.set(b.mux(last_word, 0, emit_idx + 1))
+        with b.when(last_word):
+            emitting.set(0)
+
+    # Token assembly and hashing (outside the loop: fires on while_done).
+    with b.when(b.not_(b.stream_finished)):
+        full_item = b.cat(b.input, item.bits(31, 8))
+        with b.when(byte_count == 3):
+            for j in range(num_hashes):
+                hashed = (full_item * HASH_CONSTANTS[j]).bits(31, 0)
+                bit_idx = hashed.bits(31, shift)
+                word = bit_idx.bits(bit_index_width - 1, 3)
+                bit = bit_idx.bits(2, 0)
+                one_hot = (b.const(1, 1) << bit).bits(7, 0)
+                sections[j][word] = sections[j][word] | one_hot
+            last_item = item_count == block_size - 1
+            item_count.set(b.mux(last_item, 0, item_count + 1))
+            with b.when(last_item):
+                emitting.set(1)
+        item.set(b.cat(b.input, item.bits(31, 8)))
+        byte_count.set(byte_count + 1)
+    return b.finish()
+
+
+def bloom_reference(data, block_size=64, num_hashes=8, section_bits=1024):
+    """Golden model: the exact byte stream the unit emits.
+
+    ``data`` is the raw byte stream (length a multiple of 4). Only complete
+    blocks produce output.
+    """
+    words_per_section = section_bits // 8
+    outputs = []
+    sections = [bytearray(words_per_section) for _ in range(num_hashes)]
+    items = [
+        int.from_bytes(bytes(data[i:i + 4]), "little")
+        for i in range(0, len(data) - len(data) % 4, 4)
+    ]
+    count = 0
+    for item in items:
+        for j in range(num_hashes):
+            bit_idx = _hash_value(item, j, section_bits)
+            sections[j][bit_idx >> 3] |= 1 << (bit_idx & 7)
+        count += 1
+        if count == block_size:
+            for j in range(num_hashes):
+                outputs.extend(sections[j])
+                sections[j] = bytearray(words_per_section)
+            count = 0
+    return outputs
+
+
+def bloom_contains(filter_bytes, item, num_hashes=8, section_bits=1024):
+    """Membership test against one emitted filter (golden-side utility used
+    by tests to prove the no-false-negatives property)."""
+    words_per_section = section_bits // 8
+    for j in range(num_hashes):
+        bit_idx = _hash_value(item, j, section_bits)
+        word = filter_bytes[j * words_per_section + (bit_idx >> 3)]
+        if not (word >> (bit_idx & 7)) & 1:
+            return False
+    return True

@@ -1,0 +1,153 @@
+"""CSV column extraction — a second unit in the paper's parsing domain.
+
+Extracts a compile-time set of columns from RFC-4180-style CSV rows
+(newline-terminated records, ``"``-quoted fields with ``""`` escapes,
+quotes significant only at field start). Selected columns' bytes are
+emitted with their quoting removed, each field terminated by a NUL
+separator (quoted fields may legally contain commas and newlines, so a
+printable separator would be ambiguous).
+
+Unlike the JSON and string-search units this one needs no BRAM at all —
+the entire parser is a register state machine, so it is among the
+densest-packing units — and like them it processes exactly one character
+per virtual cycle.
+
+The golden model is cross-checked against Python's ``csv`` module by the
+test suite.
+"""
+
+from ..lang import UnitBuilder
+
+SEPARATOR = 0x00
+
+# Parser states.
+_START, _FIELD, _QUOTED, _QUOTE_SEEN = range(4)
+
+
+def csv_extract_unit(columns=(0, 2), max_columns=256):
+    """Build the extractor for a compile-time column set."""
+    columns = tuple(sorted(set(columns)))
+    if not columns:
+        raise ValueError("need at least one column index")
+    if columns[-1] >= max_columns:
+        raise ValueError(f"column index {columns[-1]} out of range")
+
+    b = UnitBuilder("csv_extract", input_width=8, output_width=8)
+    state = b.reg("state", width=2, init=_START)
+    col = b.reg("col", width=max(1, (max_columns - 1).bit_length()), init=0)
+
+    ch = b.input
+    selected = b.wire(
+        b.any_of(*[col == c for c in columns]), name="selected"
+    )
+
+    def end_field(is_row_end):
+        with b.when(selected):
+            b.emit(SEPARATOR)
+        if is_row_end:
+            col.set(0)
+        else:
+            col.set(col + 1)
+        state.set(_START)
+
+    with b.when(b.not_(b.stream_finished)):
+        with b.when(state == _START):
+            with b.when(ch == ord('"')):
+                state.set(_QUOTED)
+            with b.elif_(ch == ord(",")):
+                end_field(False)
+            with b.elif_(ch == ord("\n")):
+                end_field(True)
+            with b.otherwise():
+                state.set(_FIELD)
+                with b.when(selected):
+                    b.emit(ch)
+        with b.elif_(state == _FIELD):
+            with b.when(ch == ord(",")):
+                end_field(False)
+            with b.elif_(ch == ord("\n")):
+                end_field(True)
+            with b.otherwise():
+                with b.when(selected):
+                    b.emit(ch)
+        with b.elif_(state == _QUOTED):
+            with b.when(ch == ord('"')):
+                state.set(_QUOTE_SEEN)
+            with b.otherwise():
+                with b.when(selected):
+                    b.emit(ch)
+        with b.otherwise():  # _QUOTE_SEEN: "" escape or field end
+            with b.when(ch == ord('"')):
+                state.set(_QUOTED)
+                with b.when(selected):
+                    b.emit(ord('"'))
+            with b.elif_(ch == ord(",")):
+                end_field(False)
+            with b.elif_(ch == ord("\n")):
+                end_field(True)
+            # anything else after a closing quote is malformed; ignore
+    return b.finish()
+
+
+def csv_extract_reference(columns, text):
+    """Golden model: the exact byte stream the unit emits."""
+    columns = set(columns)
+    out = []
+    state = _START
+    col = 0
+
+    def end_field(row_end):
+        nonlocal col, state
+        if col in columns:
+            out.append(SEPARATOR)
+        col = 0 if row_end else col + 1
+        state = _START
+
+    for ch in bytes(text):
+        selected = col in columns
+        if state == _START:
+            if ch == ord('"'):
+                state = _QUOTED
+            elif ch == ord(","):
+                end_field(False)
+            elif ch == ord("\n"):
+                end_field(True)
+            else:
+                state = _FIELD
+                if selected:
+                    out.append(ch)
+        elif state == _FIELD:
+            if ch == ord(","):
+                end_field(False)
+            elif ch == ord("\n"):
+                end_field(True)
+            elif selected:
+                out.append(ch)
+        elif state == _QUOTED:
+            if ch == ord('"'):
+                state = _QUOTE_SEEN
+            elif selected:
+                out.append(ch)
+        else:  # _QUOTE_SEEN
+            if ch == ord('"'):
+                state = _QUOTED
+                if selected:
+                    out.append(ord('"'))
+            elif ch == ord(","):
+                end_field(False)
+            elif ch == ord("\n"):
+                end_field(True)
+    return out
+
+
+def decode_fields(emitted):
+    """Split an emitted byte stream back into field values."""
+    fields = []
+    current = bytearray()
+    for byte in emitted:
+        if byte == SEPARATOR:
+            fields.append(bytes(current))
+            current = bytearray()
+        else:
+            current.append(byte)
+    return fields

@@ -1,0 +1,232 @@
+"""Gradient-boosted decision tree evaluation (paper Section 7.1).
+
+The unit first loads the model — located at the start of the stream — into
+BRAMs, then evaluates the ensemble on each datapoint and emits the 32-bit
+prediction. As the paper notes, this application does one comparison per
+BRAM read, so its throughput is bound by BRAM accesses: each tree node
+visited costs two virtual cycles (fetch node, then fetch the feature and
+compare), which is why the decision tree is Fleet's slowest application.
+
+Stream layout (all little-endian):
+
+* ``n_features`` (1 byte), ``n_trees`` (1 byte)
+* per tree: root node index (2 bytes)
+* ``n_nodes`` (2 bytes)
+* per node, 14 bytes: ``is_leaf`` (1), ``feature`` (1), ``threshold`` (4),
+  ``left`` (2), ``right`` (2), ``value`` (4)
+* datapoints: ``n_features`` 32-bit values each
+
+Traversal: at an internal node, go left when
+``features[feature] < threshold`` else right; at a leaf, add ``value`` to a
+32-bit wrapping accumulator. After the last tree the accumulator is emitted
+as four bytes.
+"""
+
+from ..lang import UnitBuilder
+
+NODE_BYTES = 14
+
+# Loading modes.
+_M_NF, _M_NT, _M_ROOTS, _M_NNODES, _M_NODES, _M_DATA = range(6)
+# Evaluation sub-states (0 = not evaluating).
+_E_ROOT, _E_NODE, _E_STEP, _E_EMIT = 1, 2, 3, 4
+
+
+def decision_tree_unit(max_features=64, max_trees=32, max_nodes=4096):
+    """Build the GBT evaluation unit with compile-time capacity limits."""
+    b = UnitBuilder("decision_tree", input_width=8, output_width=8)
+
+    nodes = b.bram("nodes", elements=max_nodes, width=NODE_BYTES * 8)
+    features = b.bram("features", elements=max_features, width=32)
+    roots = b.bram("roots", elements=max_trees, width=16)
+
+    mode = b.reg("mode", width=3, init=_M_NF)
+    n_features = b.reg("n_features", width=8)
+    n_trees = b.reg("n_trees", width=8)
+    n_nodes = b.reg("n_nodes", width=16)
+    count = b.reg("count", width=16, init=0)  # multi-purpose load counter
+    byte_idx = b.reg("byte_idx", width=4, init=0)  # byte within record
+    shift_reg = b.reg("shift_reg", width=NODE_BYTES * 8)
+
+    eval_state = b.reg("eval_state", width=3, init=0)
+    tree_idx = b.reg("tree_idx", width=8, init=0)
+    cur_node = b.reg("cur_node", width=16)
+    node_reg = b.reg("node_reg", width=NODE_BYTES * 8)
+    acc = b.reg("acc", width=32, init=0)
+    emit_cnt = b.reg("emit_cnt", width=2, init=0)
+
+    # Decoded fields of the latched node record.
+    node_is_leaf = node_reg.bit(0)
+    node_feature = node_reg.bits(15, 8)
+    node_threshold = node_reg.bits(47, 16)
+    node_left = node_reg.bits(63, 48)
+    node_right = node_reg.bits(79, 64)
+    node_value = node_reg.bits(111, 80)
+
+    # ---- ensemble evaluation (runs between input tokens) -------------------
+    with b.while_(eval_state != 0):
+        with b.when(eval_state == _E_ROOT):
+            cur_node.set(roots[tree_idx])
+            eval_state.set(_E_NODE)
+        with b.elif_(eval_state == _E_NODE):
+            node_reg.set(nodes[cur_node])
+            eval_state.set(_E_STEP)
+        with b.elif_(eval_state == _E_STEP):
+            with b.when(node_is_leaf):
+                acc.set(acc + node_value)
+                last_tree = tree_idx == n_trees - 1
+                tree_idx.set(b.mux(last_tree, 0, tree_idx + 1))
+                eval_state.set(b.mux(last_tree, _E_EMIT, _E_ROOT))
+            with b.otherwise():
+                go_left = features[node_feature] < node_threshold
+                cur_node.set(b.mux(go_left, node_left, node_right))
+                eval_state.set(_E_NODE)
+        with b.otherwise():  # _E_EMIT
+            b.emit(acc.bits(7, 0))
+            acc.set(acc >> 8)
+            emit_cnt.set(emit_cnt + 1)
+            with b.when(emit_cnt == 3):
+                eval_state.set(0)
+
+    # ---- loading and datapoint assembly -------------------------------------
+    with b.when(b.not_(b.stream_finished)):
+        with b.when(mode == _M_NF):
+            n_features.set(b.input)
+            mode.set(_M_NT)
+        with b.elif_(mode == _M_NT):
+            n_trees.set(b.input)
+            mode.set(_M_ROOTS)
+            count.set(0)
+            byte_idx.set(0)
+        with b.elif_(mode == _M_ROOTS):
+            with b.when(byte_idx == 0):
+                shift_reg.set(b.input)
+                byte_idx.set(1)
+            with b.otherwise():
+                roots[count.bits(7, 0)] = b.cat(b.input, shift_reg.bits(7, 0))
+                byte_idx.set(0)
+                last = count == n_trees - 1
+                count.set(b.mux(last, 0, count + 1))
+                with b.when(last):
+                    mode.set(_M_NNODES)
+        with b.elif_(mode == _M_NNODES):
+            with b.when(byte_idx == 0):
+                shift_reg.set(b.input)
+                byte_idx.set(1)
+            with b.otherwise():
+                n_nodes.set(b.cat(b.input, shift_reg.bits(7, 0)))
+                byte_idx.set(0)
+                count.set(0)
+                mode.set(_M_NODES)
+        with b.elif_(mode == _M_NODES):
+            record = b.wire(
+                b.cat(b.input, shift_reg.bits(NODE_BYTES * 8 - 1, 8)),
+                name="node_record",
+            )
+            shift_reg.set(record)
+            with b.when(byte_idx == NODE_BYTES - 1):
+                nodes[count] = record
+                byte_idx.set(0)
+                last = count == n_nodes - 1
+                count.set(b.mux(last, 0, count + 1))
+                with b.when(last):
+                    mode.set(_M_DATA)
+            with b.otherwise():
+                byte_idx.set(byte_idx + 1)
+        with b.otherwise():  # _M_DATA: 4 bytes per feature value
+            word = b.wire(
+                b.cat(b.input, shift_reg.bits(31, 8)), name="feature_word"
+            )
+            shift_reg.set(word)
+            with b.when(byte_idx == 3):
+                features[count.bits(5, 0)] = word.bits(31, 0)
+                byte_idx.set(0)
+                last = count == n_features - 1
+                count.set(b.mux(last, 0, count + 1))
+                with b.when(last):
+                    eval_state.set(_E_ROOT)
+                    tree_idx.set(0)
+                    acc.set(0)
+                    emit_cnt.set(0)
+            with b.otherwise():
+                byte_idx.set(byte_idx + 1)
+    return b.finish()
+
+
+# ---------------------------------------------------------------------------
+# Golden model and model serialization
+# ---------------------------------------------------------------------------
+
+
+class TreeNode:
+    """One node of a serialized tree."""
+
+    __slots__ = ("is_leaf", "feature", "threshold", "left", "right", "value")
+
+    def __init__(self, *, is_leaf, feature=0, threshold=0, left=0, right=0,
+                 value=0):
+        self.is_leaf = is_leaf
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.value = value
+
+    def encode(self):
+        out = bytearray()
+        out.append(1 if self.is_leaf else 0)
+        out.append(self.feature)
+        out += self.threshold.to_bytes(4, "little")
+        out += self.left.to_bytes(2, "little")
+        out += self.right.to_bytes(2, "little")
+        out += self.value.to_bytes(4, "little")
+        return bytes(out)
+
+
+class GbtModel:
+    """An ensemble: a flat node array plus one root index per tree."""
+
+    def __init__(self, n_features, roots, nodes):
+        self.n_features = n_features
+        self.roots = list(roots)
+        self.nodes = list(nodes)
+
+    def encode_header(self):
+        out = bytearray([self.n_features, len(self.roots)])
+        for root in self.roots:
+            out += root.to_bytes(2, "little")
+        out += len(self.nodes).to_bytes(2, "little")
+        for node in self.nodes:
+            out += node.encode()
+        return bytes(out)
+
+    def predict(self, point):
+        """Golden evaluation of one datapoint (32-bit wrapping sum)."""
+        total = 0
+        for root in self.roots:
+            idx = root
+            while not self.nodes[idx].is_leaf:
+                node = self.nodes[idx]
+                idx = (
+                    node.left if point[node.feature] < node.threshold
+                    else node.right
+                )
+            total = (total + self.nodes[idx].value) & 0xFFFFFFFF
+        return total
+
+
+def encode_points(points):
+    """Serialize datapoints (lists of 32-bit ints) to the stream tail."""
+    out = bytearray()
+    for point in points:
+        for value in point:
+            out += value.to_bytes(4, "little")
+    return bytes(out)
+
+
+def decision_tree_reference(model, points):
+    """Golden model: the byte stream the unit emits (4 bytes/point, LE)."""
+    out = []
+    for point in points:
+        out.extend(model.predict(point).to_bytes(4, "little"))
+    return out

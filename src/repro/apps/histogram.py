@@ -1,0 +1,61 @@
+"""The paper's Figure 3 running example: per-block frequency counting.
+
+For every block of ``block_size`` 8-bit tokens, the unit maintains a
+256-entry BRAM of counts; when a block completes it emits all 256 counts
+(and clears them) via a while loop, exactly as in the paper. The cleanup
+virtual cycles after the stream emit the final block's histogram when the
+stream length is a whole number of blocks.
+"""
+
+from ..lang import UnitBuilder
+
+
+def block_frequencies_unit(block_size=100, count_width=8):
+    """Reproduces paper Figure 3 (``unit BlockFrequencies``)."""
+    b = UnitBuilder(
+        "block_frequencies", input_width=8, output_width=count_width
+    )
+    counter_width = max(1, block_size.bit_length())
+    item_counter = b.reg("item_counter", width=counter_width, init=0)
+    frequencies = b.bram("frequencies", elements=256, width=count_width)
+    # 9 bits so the loop index can hold the terminal value 256.
+    idx = b.reg("frequencies_idx", width=9, init=0)
+
+    with b.when(item_counter == block_size):
+        with b.while_(idx < 256):
+            b.emit(frequencies[idx])
+            frequencies[idx] = 0
+            idx.set(idx + 1)
+        idx.set(0)
+    frequencies[b.input] = frequencies[b.input] + 1
+    item_counter.set(b.mux(item_counter == block_size, 1, item_counter + 1))
+    return b.finish()
+
+
+def block_frequencies_reference(tokens, block_size=100, count_width=8):
+    """Golden model matching the unit's exact semantics.
+
+    Counts wrap modulo ``2**count_width``, exactly as the hardware's
+    fixed-width adder does. Histograms are emitted for each
+    *completed* block; the final block's histogram appears only if the
+    stream length is a whole multiple of ``block_size`` (the unit increments
+    through the block boundary during cleanup, mirroring Figure 3).
+    """
+    wrap = 1 << count_width
+    outputs = []
+    counts = [0] * 256
+    item_counter = 0
+    for token in tokens:
+        if item_counter == block_size:
+            outputs.extend(counts)
+            counts = [0] * 256
+            item_counter = 1
+        else:
+            item_counter += 1
+        counts[token] = (counts[token] + 1) % wrap
+    # stream_finished virtual cycle: the dummy token is processed by the
+    # same logic, so a just-completed block is flushed (and the dummy token
+    # 0 is counted into the new block, which is then discarded).
+    if item_counter == block_size:
+        outputs.extend(counts)
+    return outputs

@@ -1,0 +1,32 @@
+"""The paper's simplest example unit: emit every input token unchanged.
+
+Used throughout the paper (and this repo) to exercise IO plumbing, and —
+with the emit removed — as the token-dropping *sink* unit that isolates
+input-controller performance in Figure 9.
+"""
+
+from ..lang import UnitBuilder
+
+
+def identity_unit(token_width=8):
+    """``unit Identity { if (!stream_finished) emit(input) }``."""
+    b = UnitBuilder(
+        "identity", input_width=token_width, output_width=token_width
+    )
+    with b.when(b.not_(b.stream_finished)):
+        b.emit(b.input)
+    return b.finish()
+
+
+def sink_unit(token_width=8):
+    """Consumes every token and emits nothing; the Figure 9 memory
+    controller experiments use this to isolate the input path."""
+    b = UnitBuilder("sink", input_width=token_width, output_width=token_width)
+    counter = b.reg("consumed", width=32, init=0)
+    counter.set(counter + 1)
+    return b.finish()
+
+
+def identity_reference(tokens):
+    """Golden model: the output stream equals the input stream."""
+    return list(tokens)

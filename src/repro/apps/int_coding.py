@@ -1,0 +1,406 @@
+"""Integer compression (paper Section 7.1).
+
+Compresses blocks of four consecutive 32-bit integers. For every block the
+unit evaluates **sixteen fixed-width encodings in parallel** (widths 2, 4,
+..., 32): integers that fit in the width go to a main section, the rest
+become *exceptions* stored in an exception section coded either with
+variable-byte encoding or with the best possible fixed width — whichever
+is cheaper. The scheme follows OptPFD and the other patched-frame
+techniques of Lemire & Boytsov that the paper cites.
+
+Block wire format (width code ``c`` means width ``w = 2*(c+1)``):
+
+* header byte: ``c << 4 | exception_bitmap`` (bit ``i`` set when integer
+  ``i`` of the block is an exception, i.e. ``x_i >= 2**w``),
+* if the bitmap is nonzero, an exception-header byte:
+  ``mode << 7 | exception_width`` (mode 0 = variable-byte with
+  ``exception_width`` 0; mode 1 = fixed width),
+* the main section: the low ``w`` bits of all four integers, packed
+  LSB-first and zero-padded to a byte boundary (``ceil(4*w/8)`` bytes),
+* the exception section, in index order: each exception's high part
+  ``x_i >> w``; variable-byte uses 7 data bits per byte with a
+  continuation MSB; fixed mode packs ``exception_width``-bit values
+  LSB-first, zero-padded to a byte boundary.
+
+The encoder picks the cheapest total width (ties go to the smaller width)
+and, within it, variable-byte when not more expensive than fixed. Streams
+whose length is not a multiple of 16 bytes have their final partial block
+dropped, exactly like the golden model.
+
+The emission machinery — one 8-bit output token per virtual cycle carved
+out of a 40-bit shift accumulator — is why this is the largest Fleet unit,
+matching the paper's observation that "dynamic shifts are expensive in
+hardware ... managing the division of output words into 8-bit chunks was
+fairly complex" (Section 7.2).
+"""
+
+from ..lang import UnitBuilder
+
+WIDTH_CODES = 16
+BLOCK_INTS = 4
+BLOCK_BYTES = 4 * BLOCK_INTS
+
+
+def _width_of(code):
+    return 2 * (code + 1)
+
+
+def _varbyte_len(value):
+    length = 1
+    while value >= 128:
+        value >>= 7
+        length += 1
+    return length
+
+
+# Emission phase states.
+_E_HDR, _E_EXCHDR, _E_MAIN, _E_FLUSH, _E_EXCLOAD, _E_EXCVB, _E_EXCF, \
+    _E_EXCFLUSH = range(1, 9)
+
+
+def int_coding_unit():
+    """Build the 4-integer-block compression unit."""
+    b = UnitBuilder("int_coding", input_width=8, output_width=8)
+
+    block = b.bram("block", elements=BLOCK_INTS, width=32)
+    cur_int = b.reg("cur_int", width=32)
+    byte_cnt = b.reg("byte_cnt", width=2, init=0)
+    int_cnt = b.reg("int_cnt", width=2, init=0)
+
+    # Per-width running state, updated in parallel as each integer lands.
+    vb_sum = [b.reg(f"vb_sum_{c}", width=6, init=0) for c in range(15)]
+    max_eb = [b.reg(f"max_eb_{c}", width=5, init=0) for c in range(15)]
+    bitmap = [b.reg(f"bitmap_{c}", width=4, init=0) for c in range(15)]
+
+    # Selected encoding for the block being emitted.
+    best_code = b.reg("best_code", width=4)
+    best_mode = b.reg("best_mode", width=1)  # 0 = varbyte, 1 = fixed
+    best_we = b.reg("best_we", width=5)
+    best_bitmap = b.reg("best_bitmap", width=4)
+
+    estate = b.reg("estate", width=4, init=0)
+    acc = b.reg("acc", width=40, init=0)
+    acc_bits = b.reg("acc_bits", width=6, init=0)
+    item_idx = b.reg("item_idx", width=3, init=0)
+    cur_e = b.reg("cur_e", width=32)
+
+    # Width of the selected code and the matching low-bits mask, as mux
+    # chains keyed on best_code (dynamic (1 << w) - 1 would be wider logic).
+    best_w = b.const(_width_of(15), 6)
+    for code in range(14, -1, -1):
+        best_w = b.mux(best_code == code, _width_of(code), best_w)
+    best_w = b.wire(best_w, name="best_w")
+
+    def low_bits_mask(width_expr, max_width):
+        mask = b.const((1 << 32) - 1, 32)
+        for width in range(max_width, -1, -1):
+            mask = b.mux(width_expr == width, (1 << width) - 1, mask)
+        return mask
+
+    main_mask = b.wire(low_bits_mask(best_w, 32), name="main_mask")
+    exc_mask = b.wire(low_bits_mask(best_we, 31), name="exc_mask")
+
+    # ------------------------------------------------------------------
+    # Emission loop: one output byte (or one BRAM load) per virtual cycle.
+    # ------------------------------------------------------------------
+    with b.while_(estate != 0):
+        with b.when(estate == _E_HDR):
+            b.emit(b.cat(best_code, best_bitmap))
+            estate.set(b.mux(best_bitmap != 0, _E_EXCHDR, _E_MAIN))
+            acc.set(0)
+            acc_bits.set(0)
+            item_idx.set(0)
+        with b.elif_(estate == _E_EXCHDR):
+            b.emit(b.cat(best_mode, b.const(0, 2), best_we))
+            estate.set(_E_MAIN)
+        with b.elif_(estate == _E_MAIN):
+            with b.when(acc_bits >= 8):
+                b.emit(acc.bits(7, 0))
+                acc.set(acc >> 8)
+                acc_bits.set(acc_bits - 8)
+            with b.elif_(item_idx <= BLOCK_INTS - 1):
+                chunk = block[item_idx.bits(1, 0)] & main_mask
+                acc.set(acc | (chunk << acc_bits.bits(2, 0)))
+                acc_bits.set(acc_bits + best_w)
+                item_idx.set(item_idx + 1)
+            with b.otherwise():
+                estate.set(_E_FLUSH)
+        with b.elif_(estate == _E_FLUSH):
+            with b.when(acc_bits != 0):
+                b.emit(acc.bits(7, 0))
+                acc.set(0)
+                acc_bits.set(0)
+            with b.otherwise():
+                pass
+            estate.set(b.mux(best_bitmap != 0, _E_EXCLOAD, 0))
+            item_idx.set(0)
+        with b.elif_(estate == _E_EXCLOAD):
+            with b.when(item_idx >= BLOCK_INTS):
+                estate.set(b.mux(best_mode == 1, _E_EXCFLUSH, 0))
+            with b.otherwise():
+                is_exc = b.wire(
+                    b.any_of(*[
+                        (best_bitmap.bit(i) == 1) & (item_idx == i)
+                        for i in range(BLOCK_INTS)
+                    ]),
+                    name="is_exc",
+                )
+                with b.when(is_exc):
+                    high = (block[item_idx.bits(1, 0)] >> best_w).bits(31, 0)
+                    cur_e.set(high)
+                    estate.set(b.mux(best_mode == 1, _E_EXCF, _E_EXCVB))
+                with b.otherwise():
+                    item_idx.set(item_idx + 1)
+        with b.elif_(estate == _E_EXCVB):
+            more = cur_e >= 128
+            b.emit(b.cat(more, cur_e.bits(6, 0)))
+            cur_e.set(cur_e >> 7)
+            with b.when(b.not_(more)):
+                item_idx.set(item_idx + 1)
+                estate.set(_E_EXCLOAD)
+        with b.elif_(estate == _E_EXCF):
+            with b.when(acc_bits >= 8):
+                b.emit(acc.bits(7, 0))
+                acc.set(acc >> 8)
+                acc_bits.set(acc_bits - 8)
+            with b.otherwise():
+                chunk = cur_e & exc_mask
+                acc.set(acc | (chunk << acc_bits.bits(2, 0)))
+                acc_bits.set(acc_bits + best_we)
+                item_idx.set(item_idx + 1)
+                estate.set(_E_EXCLOAD)
+        with b.otherwise():  # _E_EXCFLUSH
+            with b.when(acc_bits != 0):
+                b.emit(acc.bits(7, 0))
+                acc.set(b.mux(acc_bits > 8, acc >> 8, 0))
+                acc_bits.set(b.mux(acc_bits > 8, acc_bits - 8, 0))
+            with b.otherwise():
+                estate.set(0)
+
+    # ------------------------------------------------------------------
+    # Input side: assemble integers, track all 16 encodings in parallel.
+    # ------------------------------------------------------------------
+    with b.when(b.not_(b.stream_finished)):
+        x = b.wire(b.cat(b.input, cur_int.bits(31, 8)), name="x")
+        cur_int.set(x)
+        with b.when(byte_cnt == 3):
+            block[int_cnt] = x
+            # Per-width contributions of this integer, all in parallel.
+            new_vb, new_eb, new_bm = [], [], []
+            for code in range(15):
+                w = _width_of(code)
+                high = b.wire(x.bits(31, w), name=f"hi_{code}")
+                is_exc = b.wire(high.any(), name=f"exc_{code}")
+                # Bit length of the high part (priority encode).
+                blen = b.const(0, 5)
+                for k in range(32 - w):
+                    blen = b.mux(high.bit(k) == 1, k + 1, blen)
+                blen = b.wire(blen, name=f"blen_{code}")
+                vbl = b.mux(
+                    blen <= 7, 1,
+                    b.mux(blen <= 14, 2,
+                          b.mux(blen <= 21, 3, b.mux(blen <= 28, 4, 5))),
+                )
+                new_vb.append(b.wire(
+                    vb_sum[code] + b.mux(is_exc, vbl, b.const(0, 3)),
+                    name=f"nvb_{code}",
+                ))
+                new_eb.append(b.wire(
+                    b.mux(blen > max_eb[code], blen, max_eb[code]),
+                    name=f"neb_{code}",
+                ))
+                # bitmap bit i corresponds to integer i: insert at int_cnt.
+                bm = bitmap[code]
+                for i in range(BLOCK_INTS):
+                    one = 1 << i
+                    bm = b.mux(
+                        (int_cnt == i) & is_exc, (bitmap[code] | one), bm
+                    )
+                new_bm.append(b.wire(bm, name=f"nbm_{code}"))
+            with b.when(int_cnt == BLOCK_INTS - 1):
+                # Finalize: pick the cheapest encoding from the *updated*
+                # per-width state, then reset it for the next block.
+                best = None
+                for code in range(15):
+                    w = _width_of(code)
+                    main_bytes = (4 * w + 7) // 8
+                    nexc = b.wire(
+                        sum(
+                            new_bm[code].bit(i) for i in range(BLOCK_INTS)
+                        ),
+                        name=f"nexc_{code}",
+                    )
+                    fixed_bytes = b.wire(
+                        (nexc * new_eb[code] + 7) >> 3, name=f"fb_{code}"
+                    )
+                    vb_cheaper = new_vb[code] <= fixed_bytes
+                    exc_bytes = b.mux(vb_cheaper, new_vb[code], fixed_bytes)
+                    has_exc = new_bm[code] != 0
+                    cost = b.wire(
+                        1 + main_bytes + b.mux(has_exc, exc_bytes + 1,
+                                               b.const(0, 1)),
+                        name=f"cost_{code}",
+                    )
+                    mode = b.wire(
+                        b.mux(vb_cheaper, b.const(0, 1), b.const(1, 1)),
+                        name=f"mode_{code}",
+                    )
+                    entry = (cost, code, mode, new_eb[code], new_bm[code])
+                    if best is None:
+                        best = entry
+                    else:
+                        better = b.wire(
+                            entry[0] < best[0], name=f"better_{code}"
+                        )
+                        best = (
+                            b.wire(b.mux(better, entry[0], best[0])),
+                            b.wire(b.mux(better, entry[1], best[1])),
+                            b.wire(b.mux(better, entry[2], best[2])),
+                            b.wire(b.mux(better, entry[3], best[3])),
+                            b.wire(b.mux(better, entry[4], best[4])),
+                        )
+                # Width 32 (code 15) never has exceptions: cost 17.
+                better = b.wire(b.const(17, 6) < best[0], name="better_15")
+                best_code.set(b.mux(better, 15, best[1]))
+                best_mode.set(b.mux(better, 0, best[2]))
+                best_we.set(b.mux(better, 0, best[3]))
+                best_bitmap.set(b.mux(better, 0, best[4]))
+                estate.set(_E_HDR)
+                for code in range(15):
+                    vb_sum[code].set(0)
+                    max_eb[code].set(0)
+                    bitmap[code].set(0)
+            with b.otherwise():
+                for code in range(15):
+                    vb_sum[code].set(new_vb[code])
+                    max_eb[code].set(new_eb[code])
+                    bitmap[code].set(new_bm[code])
+        byte_cnt.set(byte_cnt + 1)
+        with b.when(byte_cnt == 3):
+            int_cnt.set(int_cnt + 1)
+    return b.finish()
+
+
+# ---------------------------------------------------------------------------
+# Golden encoder / decoder
+# ---------------------------------------------------------------------------
+
+
+def _encode_block(ints):
+    """Encode one 4-integer block; must match the unit bit for bit."""
+    candidates = []
+    for code in range(WIDTH_CODES):
+        w = _width_of(code)
+        exceptions = [
+            (i, x >> w) for i, x in enumerate(ints) if x >> w
+        ]
+        main_bytes = (4 * w + 7) // 8
+        if exceptions:
+            vb_bytes = sum(_varbyte_len(e) for _, e in exceptions)
+            we = max(e.bit_length() for _, e in exceptions)
+            fixed_bytes = (len(exceptions) * we + 7) // 8
+            vb_cheaper = vb_bytes <= fixed_bytes
+            exc_bytes = vb_bytes if vb_cheaper else fixed_bytes
+            cost = 1 + 1 + main_bytes + exc_bytes
+            mode = 0 if vb_cheaper else 1
+        else:
+            we, mode = 0, 0
+            cost = 1 + main_bytes
+        candidates.append((cost, code, mode, we, exceptions))
+    best = min(candidates, key=lambda entry: (entry[0], entry[1]))
+    cost, code, mode, we, exceptions = best
+    w = _width_of(code)
+
+    out = bytearray()
+    bitmap = 0
+    for i, _ in exceptions:
+        bitmap |= 1 << i
+    out.append((code << 4) | bitmap)
+    if bitmap:
+        out.append((mode << 7) | we)
+    # Main section.
+    value, bits = 0, 0
+    for x in ints:
+        value |= (x & ((1 << w) - 1)) << bits
+        bits += w
+    out += value.to_bytes((bits + 7) // 8, "little")
+    # Exception section.
+    if bitmap:
+        if mode == 0:
+            for _, e in exceptions:
+                while True:
+                    byte = e & 0x7F
+                    e >>= 7
+                    out.append(byte | (0x80 if e else 0))
+                    if not e:
+                        break
+        else:
+            value, bits = 0, 0
+            for _, e in exceptions:
+                value |= (e & ((1 << we) - 1)) << bits
+                bits += we
+            out += value.to_bytes((bits + 7) // 8, "little")
+    return bytes(out)
+
+
+def int_coding_reference(data):
+    """Golden model: the exact compressed byte stream for raw input bytes.
+
+    The final partial block (if the input is not a multiple of 16 bytes)
+    is dropped, matching the unit.
+    """
+    out = []
+    usable = len(data) - len(data) % BLOCK_BYTES
+    for offset in range(0, usable, BLOCK_BYTES):
+        ints = [
+            int.from_bytes(bytes(data[offset + 4 * i:offset + 4 * i + 4]),
+                           "little")
+            for i in range(BLOCK_INTS)
+        ]
+        out.extend(_encode_block(ints))
+    return out
+
+
+def int_coding_decode(encoded, n_blocks):
+    """Decode ``n_blocks`` blocks; used by tests to prove round-tripping."""
+    data = bytes(encoded)
+    pos = 0
+    ints = []
+    for _ in range(n_blocks):
+        header = data[pos]
+        pos += 1
+        code, bitmap = header >> 4, header & 0xF
+        w = _width_of(code)
+        mode = we = 0
+        if bitmap:
+            exc_header = data[pos]
+            pos += 1
+            mode, we = exc_header >> 7, exc_header & 0x1F
+        main_bytes = (4 * w + 7) // 8
+        main = int.from_bytes(data[pos:pos + main_bytes], "little")
+        pos += main_bytes
+        block = [(main >> (w * i)) & ((1 << w) - 1) for i in range(4)]
+        if bitmap:
+            exc_indices = [i for i in range(4) if bitmap & (1 << i)]
+            if mode == 0:
+                for i in exc_indices:
+                    e, shift = 0, 0
+                    while True:
+                        byte = data[pos]
+                        pos += 1
+                        e |= (byte & 0x7F) << shift
+                        shift += 7
+                        if not byte & 0x80:
+                            break
+                    block[i] |= e << w
+            else:
+                exc_bytes = (len(exc_indices) * we + 7) // 8
+                packed = int.from_bytes(data[pos:pos + exc_bytes], "little")
+                pos += exc_bytes
+                for k, i in enumerate(exc_indices):
+                    e = (packed >> (k * we)) & ((1 << we) - 1)
+                    block[i] |= e << w
+        ints.extend(v & 0xFFFFFFFF for v in block)
+    if pos != len(data):
+        raise ValueError(f"trailing bytes: consumed {pos} of {len(data)}")
+    return ints

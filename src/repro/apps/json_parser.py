@@ -1,0 +1,463 @@
+"""JSON field extraction (paper Section 7.1).
+
+The unit reads a list of fields to extract (e.g. ``a.b``, ``a.c``) at the
+start of its input stream — encoded as a character-level transition table —
+and then emits the values of those fields from the potentially nested JSON
+records in the remainder of the stream. The transition table lives in a
+BRAM indexed by ``(state << 8) | character``; states are nodes of the trie
+of target field paths with ``.`` joining nested keys, so matching advances
+one state per key character, one virtual cycle per input byte. Most of the
+unit is the state machine handling JSON control characters (``{``, ``:``,
+``"``, ...), exactly as the paper describes.
+
+Stream layout:
+
+* entry count (2 bytes LE)
+* per entry, 3 bytes: table index (2 bytes LE, ``state*256 + char``) and
+  the table value (bit 7 = this edge completes a target field, bits 6:0 =
+  next trie state, nonzero)
+* the JSON text: records (objects) separated by arbitrary whitespace
+
+Emission: when a key whose full path matches a target field has a string,
+number, boolean/null, or array value, the value's characters are emitted
+(string values without the surrounding quotes but with escape sequences
+left raw; arrays with their brackets), followed by a ``\\n`` separator.
+Object values of matched fields are never emitted — extraction targets are
+leaves — but matching continues inside them via the trie's ``.`` edges.
+
+Input JSON is assumed well-formed; behaviour on malformed input mirrors
+the golden model but is otherwise unspecified (as in the paper, splitting
+and validation happen on the CPU side).
+"""
+
+from ..lang import UnitBuilder
+
+# Parser states (also the loader states; one 4-bit register holds both).
+P_OUT, P_WKEY, P_KEY, P_COLON, P_WVAL = 0, 1, 2, 3, 4
+P_SVAL, P_BVAL, P_AVAL, P_TERM, P_AFTERVAL = 5, 6, 7, 8, 9
+L_CNT0, L_CNT1, L_IDX0, L_IDX1, L_VAL = 10, 11, 12, 13, 14
+
+_WHITESPACE = (0x20, 0x09, 0x0A, 0x0D)
+SEPARATOR = 0x0A  # '\n' between emitted values
+
+TERMINAL_BIT = 0x80
+STATE_MASK = 0x7F
+
+
+def json_field_unit(max_states=32, max_depth=32):
+    """Build the JSON field extraction unit.
+
+    ``max_states`` bounds the trie size (table BRAM is ``max_states * 256``
+    entries); ``max_depth`` bounds object nesting.
+    """
+    b = UnitBuilder("json_fields", input_width=8, output_width=8)
+
+    state_bits = max(1, (max_states - 1).bit_length())
+    trie = b.bram("trie", elements=max_states * 256, width=8)
+    stack = b.bram("stack", elements=max_depth, width=8)
+
+    pstate = b.reg("pstate", width=4, init=L_CNT0)
+    entry_total = b.reg("entry_total", width=16)
+    entry_count = b.reg("entry_count", width=16, init=0)
+    entry_idx = b.reg("entry_idx", width=16)
+
+    key_state = b.reg("key_state", width=state_bits, init=0)
+    key_alive = b.reg("key_alive", width=1, init=0)
+    key_term = b.reg("key_term", width=1, init=0)
+    match_state = b.reg("match_state", width=state_bits, init=0)
+    match_alive = b.reg("match_alive", width=1, init=0)
+    match_term = b.reg("match_term", width=1, init=0)
+    cur_path = b.reg("cur_path", width=state_bits, init=0)
+    path_alive = b.reg("path_alive", width=1, init=0)
+    depth = b.reg("depth", width=max(1, (max_depth - 1).bit_length()), init=0)
+
+    adepth = b.reg("adepth", width=8, init=0)
+    esc = b.reg("esc", width=1, init=0)
+    instr = b.reg("instr", width=1, init=0)
+    emit_on = b.reg("emit_on", width=1, init=0)
+
+    ch = b.input
+    is_ws = b.any_of(*[ch == w for w in _WHITESPACE])
+
+    def trie_index(state_expr, char=None):
+        return b.cat(state_expr, ch if char is None else b.const(char, 8))
+
+    def pop_object():
+        """Handle '}' closing the current object."""
+        with b.when(depth == 0):
+            pstate.set(P_OUT)
+        with b.otherwise():
+            entry = b.wire(stack[(depth - 1).bits(depth.width - 1, 0)],
+                           name="popped")
+            cur_path.set(entry.bits(state_bits - 1, 0))
+            path_alive.set(entry.bit(7))
+            depth.set(depth - 1)
+            pstate.set(P_AFTERVAL)
+
+    def after_value(emitted_sep):
+        """Dispatch in the 'value just ended' position."""
+        with b.when(ch == ord(",")):
+            pstate.set(P_WKEY)
+        with b.elif_(ch == ord("}")):
+            pop_object()
+        with b.otherwise():  # whitespace (well-formed input)
+            if emitted_sep:
+                pstate.set(P_AFTERVAL)
+
+    with b.when(b.not_(b.stream_finished)):
+        # ---- transition table loading --------------------------------------
+        with b.when(pstate == L_CNT0):
+            entry_total.set(ch)
+            pstate.set(L_CNT1)
+        with b.elif_(pstate == L_CNT1):
+            total = b.wire(b.cat(ch, entry_total.bits(7, 0)), name="total")
+            entry_total.set(total)
+            pstate.set(b.mux(total == 0, P_OUT, L_IDX0))
+        with b.elif_(pstate == L_IDX0):
+            entry_idx.set(ch)
+            pstate.set(L_IDX1)
+        with b.elif_(pstate == L_IDX1):
+            entry_idx.set(b.cat(ch, entry_idx.bits(7, 0)))
+            pstate.set(L_VAL)
+        with b.elif_(pstate == L_VAL):
+            trie[entry_idx.bits(state_bits + 7, 0)] = ch
+            done = entry_count == entry_total - 1
+            entry_count.set(b.mux(done, 0, entry_count + 1))
+            pstate.set(b.mux(done, P_OUT, L_IDX0))
+
+        # ---- between records -------------------------------------------------
+        with b.elif_(pstate == P_OUT):
+            with b.when(ch == ord("{")):
+                pstate.set(P_WKEY)
+                depth.set(0)
+                cur_path.set(0)
+                path_alive.set(1)
+
+        # ---- inside an object, before a key -----------------------------------
+        with b.elif_(pstate == P_WKEY):
+            with b.when(ch == ord('"')):
+                pstate.set(P_KEY)
+                key_state.set(cur_path)
+                key_alive.set(path_alive)
+                key_term.set(0)
+            with b.elif_(ch == ord("}")):
+                pop_object()
+
+        # ---- key characters ----------------------------------------------------
+        with b.elif_(pstate == P_KEY):
+            with b.when(esc == 1):
+                lookup = b.wire(trie[trie_index(key_state)], name="k_esc")
+                key_state.set(lookup.bits(state_bits - 1, 0))
+                key_alive.set(key_alive & (lookup != 0))
+                key_term.set(key_alive & lookup.bit(7))
+                esc.set(0)
+            with b.elif_(ch == ord('"')):
+                match_state.set(key_state)
+                match_alive.set(key_alive)
+                match_term.set(key_alive & key_term)
+                pstate.set(P_COLON)
+            with b.otherwise():
+                with b.when(ch == ord("\\")):
+                    esc.set(1)
+                lookup = b.wire(trie[trie_index(key_state)], name="k_look")
+                key_state.set(lookup.bits(state_bits - 1, 0))
+                key_alive.set(key_alive & (lookup != 0))
+                key_term.set(key_alive & lookup.bit(7))
+
+        # ---- between key and value ------------------------------------------------
+        with b.elif_(pstate == P_COLON):
+            with b.when(ch == ord(":")):
+                pstate.set(P_WVAL)
+
+        # ---- value start ---------------------------------------------------------
+        with b.elif_(pstate == P_WVAL):
+            with b.when(is_ws):
+                pass
+            with b.elif_(ch == ord('"')):
+                pstate.set(P_SVAL)
+                emit_on.set(match_term)
+                esc.set(0)
+            with b.elif_(ch == ord("{")):
+                if state_bits < 7:
+                    entry = b.cat(
+                        path_alive, b.const(0, 7 - state_bits), cur_path
+                    )
+                else:
+                    entry = b.cat(path_alive, cur_path)
+                stack[depth] = entry
+                dot = b.wire(
+                    trie[trie_index(match_state, ord("."))], name="dot"
+                )
+                cur_path.set(dot.bits(state_bits - 1, 0))
+                path_alive.set(match_alive & (dot != 0))
+                depth.set(depth + 1)
+                pstate.set(P_WKEY)
+            with b.elif_(ch == ord("[")):
+                pstate.set(P_AVAL)
+                adepth.set(1)
+                instr.set(0)
+                esc.set(0)
+                emit_on.set(match_term)
+                with b.when(match_term):
+                    b.emit(ch)
+            with b.otherwise():  # number / true / false / null
+                pstate.set(P_BVAL)
+                emit_on.set(match_term)
+                with b.when(match_term):
+                    b.emit(ch)
+
+        # ---- string value -----------------------------------------------------------
+        with b.elif_(pstate == P_SVAL):
+            with b.when(esc == 1):
+                esc.set(0)
+                with b.when(emit_on):
+                    b.emit(ch)
+            with b.elif_(ch == ord("\\")):
+                esc.set(1)
+                with b.when(emit_on):
+                    b.emit(ch)
+            with b.elif_(ch == ord('"')):
+                pstate.set(b.mux(emit_on, P_TERM, P_AFTERVAL))
+            with b.otherwise():
+                with b.when(emit_on):
+                    b.emit(ch)
+
+        # ---- bare value (number, true, false, null) -------------------------------------
+        with b.elif_(pstate == P_BVAL):
+            ends = b.wire(
+                b.any_of(ch == ord(","), ch == ord("}"), is_ws),
+                name="bare_end",
+            )
+            with b.when(ends):
+                with b.when(emit_on):
+                    b.emit(SEPARATOR)
+                after_value(emitted_sep=True)
+            with b.otherwise():
+                with b.when(emit_on):
+                    b.emit(ch)
+
+        # ---- array value (opaque; brackets and strings tracked) -----------------------------
+        with b.elif_(pstate == P_AVAL):
+            with b.when(emit_on):
+                b.emit(ch)
+            with b.when(instr == 1):
+                with b.when(esc == 1):
+                    esc.set(0)
+                with b.elif_(ch == ord("\\")):
+                    esc.set(1)
+                with b.elif_(ch == ord('"')):
+                    instr.set(0)
+            with b.otherwise():
+                with b.when(ch == ord('"')):
+                    instr.set(1)
+                with b.elif_(ch == ord("[")):
+                    adepth.set(adepth + 1)
+                with b.elif_(ch == ord("]")):
+                    adepth.set(adepth - 1)
+                    with b.when(adepth == 1):
+                        pstate.set(b.mux(emit_on, P_TERM, P_AFTERVAL))
+
+        # ---- pending separator after a string/array value ---------------------------------------
+        with b.elif_(pstate == P_TERM):
+            b.emit(SEPARATOR)
+            after_value(emitted_sep=True)
+
+        # ---- after a value, waiting for ',' or '}' ------------------------------------------------
+        with b.otherwise():  # P_AFTERVAL
+            after_value(emitted_sep=False)
+
+    return b.finish()
+
+
+# ---------------------------------------------------------------------------
+# Field-table construction and stream encoding
+# ---------------------------------------------------------------------------
+
+
+def build_field_table(fields, max_states=32):
+    """Build transition-table entries for dotted field paths.
+
+    Returns a list of ``(index, value)`` pairs. Trie node 0 is the root (a
+    table *value* of 0 means "no transition", so allocated nodes start
+    at 1).
+    """
+    next_state = 1
+    edges = {}  # (state, char) -> [next_state, terminal]
+    for field in fields:
+        if not field:
+            raise ValueError("empty field path")
+        state = 0
+        chars = field.encode()
+        for position, char in enumerate(chars):
+            last = position == len(chars) - 1
+            edge = edges.get((state, char))
+            if edge is None:
+                if next_state >= max_states:
+                    raise ValueError(
+                        f"field set needs more than {max_states} trie states"
+                    )
+                edge = [next_state, False]
+                edges[(state, char)] = edge
+                next_state += 1
+            if last:
+                edge[1] = True
+            state = edge[0]
+    return [
+        (state * 256 + char, to | (TERMINAL_BIT if terminal else 0))
+        for (state, char), (to, terminal) in sorted(edges.items())
+    ]
+
+
+def encode_field_table(fields, max_states=32):
+    """The stream header bytes for a field set."""
+    entries = build_field_table(fields, max_states)
+    out = bytearray(len(entries).to_bytes(2, "little"))
+    for index, value in entries:
+        out += index.to_bytes(2, "little")
+        out.append(value)
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Golden model — a direct transcription of the state machine
+# ---------------------------------------------------------------------------
+
+
+def json_fields_reference(fields, text, max_states=32):
+    """Golden model: the exact bytes the unit emits for ``text`` (bytes)
+    given a field set (the table-loading prefix is implied)."""
+    entries = dict(build_field_table(fields, max_states))
+
+    def trie(state, char):
+        return entries.get(state * 256 + char, 0)
+
+    out = bytearray()
+    pstate = P_OUT
+    key_state = key_alive = key_term = 0
+    match_state = match_alive = match_term = 0
+    cur_path = 0
+    path_alive = 0
+    depth = 0
+    stack = []
+    adepth = esc = instr = emit_on = 0
+
+    def after_value(ch):
+        nonlocal pstate, cur_path, path_alive, depth
+        if ch == ord(","):
+            pstate = P_WKEY
+        elif ch == ord("}"):
+            if depth == 0:
+                pstate = P_OUT
+            else:
+                cur_path, path_alive = stack.pop()
+                depth -= 1
+                pstate = P_AFTERVAL
+        else:
+            pstate = P_AFTERVAL
+
+    for ch in bytes(text):
+        ws = ch in _WHITESPACE
+        if pstate == P_OUT:
+            if ch == ord("{"):
+                pstate, depth, cur_path, path_alive = P_WKEY, 0, 0, 1
+        elif pstate == P_WKEY:
+            if ch == ord('"'):
+                pstate = P_KEY
+                key_state, key_alive, key_term = cur_path, path_alive, 0
+            elif ch == ord("}"):
+                after_value(ch)
+        elif pstate == P_KEY:
+            if esc:
+                lookup = trie(key_state, ch)
+                key_state = lookup & STATE_MASK
+                key_term = key_alive and bool(lookup & TERMINAL_BIT)
+                key_alive = key_alive and lookup != 0
+                esc = 0
+            elif ch == ord('"'):
+                match_state = key_state
+                match_alive = key_alive
+                match_term = key_alive and key_term
+                pstate = P_COLON
+            else:
+                if ch == ord("\\"):
+                    esc = 1
+                lookup = trie(key_state, ch)
+                key_state = lookup & STATE_MASK
+                key_term = key_alive and bool(lookup & TERMINAL_BIT)
+                key_alive = key_alive and lookup != 0
+        elif pstate == P_COLON:
+            if ch == ord(":"):
+                pstate = P_WVAL
+        elif pstate == P_WVAL:
+            if ws:
+                pass
+            elif ch == ord('"'):
+                pstate, emit_on, esc = P_SVAL, match_term, 0
+            elif ch == ord("{"):
+                stack.append((cur_path, path_alive))
+                dot = trie(match_state, ord("."))
+                cur_path = dot & STATE_MASK
+                path_alive = 1 if (match_alive and dot != 0) else 0
+                depth += 1
+                pstate = P_WKEY
+            elif ch == ord("["):
+                pstate, adepth, instr, esc = P_AVAL, 1, 0, 0
+                emit_on = match_term
+                if match_term:
+                    out.append(ch)
+            else:
+                pstate, emit_on = P_BVAL, match_term
+                if match_term:
+                    out.append(ch)
+        elif pstate == P_SVAL:
+            if esc:
+                esc = 0
+                if emit_on:
+                    out.append(ch)
+            elif ch == ord("\\"):
+                esc = 1
+                if emit_on:
+                    out.append(ch)
+            elif ch == ord('"'):
+                pstate = P_TERM if emit_on else P_AFTERVAL
+            else:
+                if emit_on:
+                    out.append(ch)
+        elif pstate == P_BVAL:
+            if ch in (ord(","), ord("}")) or ws:
+                if emit_on:
+                    out.append(SEPARATOR)
+                after_value(ch)
+            else:
+                if emit_on:
+                    out.append(ch)
+        elif pstate == P_AVAL:
+            if emit_on:
+                out.append(ch)
+            if instr:
+                if esc:
+                    esc = 0
+                elif ch == ord("\\"):
+                    esc = 1
+                elif ch == ord('"'):
+                    instr = 0
+            else:
+                if ch == ord('"'):
+                    instr = 1
+                elif ch == ord("["):
+                    adepth += 1
+                elif ch == ord("]"):
+                    adepth -= 1
+                    if adepth == 0:
+                        pstate = P_TERM if emit_on else P_AFTERVAL
+        elif pstate == P_TERM:
+            out.append(SEPARATOR)
+            after_value(ch)
+        else:  # P_AFTERVAL
+            after_value(ch)
+    return list(out)
+
+
+def make_stream(fields, text, max_states=32):
+    """Header + JSON text as a token list."""
+    return list(encode_field_table(fields, max_states) + bytes(text))

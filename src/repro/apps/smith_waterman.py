@@ -1,0 +1,122 @@
+"""Smith-Waterman fuzzy matching (paper Section 7.1).
+
+The unit reads an ``m``-character target string and a 16-bit score
+threshold from the head of its stream, then computes the Smith-Waterman
+edit-distance matrix between the target and the remainder of the stream.
+Only one matrix row is stored — ``m`` registers — because each row depends
+only on itself and the previous row; all ``m`` cells update in a single
+virtual cycle (a chain of compare-select logic, exactly the structure the
+paper describes). Whenever any cell reaches the threshold the unit emits
+the current 32-bit stream index; software can then reconstruct the match
+from the input stream.
+
+Scoring is the classic local-alignment recurrence with ``match=+2``,
+``mismatch=-1``, ``gap=-1`` and a floor of zero, computed in saturating
+unsigned arithmetic (cell values are bounded by ``2*m``).
+
+Stream layout: ``[m target bytes][threshold lo][threshold hi][payload...]``.
+"""
+
+from ..lang import UnitBuilder
+
+MATCH_SCORE = 2
+MISMATCH_PENALTY = 1
+GAP_PENALTY = 1
+
+
+def smith_waterman_unit(target_length=16):
+    """Build the fuzzy-matching unit for an ``m``-character target."""
+    m = target_length
+    cell_width = max(8, (2 * m).bit_length())
+
+    b = UnitBuilder("smith_waterman", input_width=8, output_width=32)
+    target = [b.reg(f"target_{j}", width=8) for j in range(m)]
+    row = [b.reg(f"row_{j}", width=cell_width) for j in range(m)]
+    threshold = b.reg("threshold", width=16)
+    # Phases: loading target (index < m), loading threshold (m..m+1),
+    # streaming payload afterwards.
+    load_idx = b.reg("load_idx", width=(m + 2).bit_length())
+    loaded = b.reg("loaded", width=1, init=0)
+    position = b.reg("position", width=32, init=0)
+
+    def saturating_sub(value, amount):
+        return b.mux(value >= amount, value - amount, b.const(0, 1))
+
+    def max2(x, y):
+        return b.mux(x >= y, x, y)
+
+    with b.when(b.not_(b.stream_finished)):
+        with b.when(loaded == 0):
+            for j in range(m):
+                with b.when(load_idx == j):
+                    target[j].set(b.input)
+            with b.when(load_idx == m):
+                threshold.set(b.cat(threshold.bits(15, 8), b.input))
+            with b.when(load_idx == m + 1):
+                threshold.set(b.cat(b.input, threshold.bits(7, 0)))
+                loaded.set(1)
+            load_idx.set(load_idx + 1)
+        with b.otherwise():
+            # One virtual cycle per payload character: compute the new row.
+            new_cells = []
+            diag_prev = b.const(0, cell_width)  # H[i-1][j-1]; zero at j=0
+            left_prev = b.const(0, cell_width)  # H[i][j-1];   zero at j=0
+            for j in range(m):
+                is_match = b.input == target[j]
+                diag_score = b.mux(
+                    is_match,
+                    diag_prev + MATCH_SCORE,
+                    saturating_sub(diag_prev, MISMATCH_PENALTY),
+                )
+                up_score = saturating_sub(row[j], GAP_PENALTY)
+                left_score = saturating_sub(left_prev, GAP_PENALTY)
+                cell = b.wire(max2(max2(diag_score, up_score), left_score))
+                new_cells.append(cell)
+                diag_prev = row[j]
+                left_prev = cell
+            hit = b.any_of(*[cell >= threshold for cell in new_cells])
+            with b.when(hit):
+                b.emit(position)
+            for j in range(m):
+                row[j].set(new_cells[j])
+            position.set(position + 1)
+    return b.finish()
+
+
+def smith_waterman_reference(data, target_length=16):
+    """Golden model: list of emitted 32-bit stream positions.
+
+    ``data`` is the full stream including the header. Positions count
+    payload characters from zero, exactly as the unit's ``position``
+    register does.
+    """
+    m = target_length
+    if len(data) < m + 2:
+        return []
+    target = list(data[:m])
+    threshold = data[m] | (data[m + 1] << 8)
+    payload = data[m + 2:]
+    row = [0] * m
+    hits = []
+    for position, char in enumerate(payload):
+        new_row = [0] * m
+        for j in range(m):
+            diag_prev = row[j - 1] if j else 0
+            left_prev = new_row[j - 1] if j else 0
+            if char == target[j]:
+                diag = diag_prev + MATCH_SCORE
+            else:
+                diag = max(0, diag_prev - MISMATCH_PENALTY)
+            up = max(0, row[j] - GAP_PENALTY)
+            left = max(0, left_prev - GAP_PENALTY)
+            new_row[j] = max(diag, up, left)
+        if any(cell >= threshold for cell in new_row):
+            hits.append(position & 0xFFFFFFFF)
+        row = new_row
+    return hits
+
+
+def make_stream(target, threshold, payload):
+    """Assemble a stream with the unit's header layout."""
+    head = list(target) + [threshold & 0xFF, (threshold >> 8) & 0xFF]
+    return head + list(payload)

@@ -1,0 +1,180 @@
+"""Multi-pattern string search — the remaining application domain from
+the paper's introduction ("parsing, compression, **string search**, and
+machine learning").
+
+An Aho-Corasick DFA over a compile-time pattern set, with the failure
+function folded into dense next-state transitions so every character is
+one BRAM lookup — one virtual cycle per token, the same table-in-BRAM
+structure as the JSON field extractor. State 0 is the root and doubles as
+the "no transition" value, which is exactly what a zero-initialized BRAM
+provides; only non-root transitions are loaded from the stream head.
+
+Whenever the automaton enters a state where at least one pattern ends,
+the unit emits the current 32-bit stream index; the host resolves *which*
+patterns end there by windowing back into the input (the paper's
+split-and-reconstruct division of labour for search applications).
+
+Stream layout: entry count (2 bytes LE), then per entry: table index
+(``state * 256 + char``, 2 bytes LE) and the value byte (bit 7 = a
+pattern ends in the target state; bits 6:0 = next state). Then the text.
+"""
+
+from ..lang import UnitBuilder
+
+MATCH_BIT = 0x80
+STATE_MASK = 0x7F
+
+# Loader/scanner states.
+_L_CNT0, _L_CNT1, _L_IDX0, _L_IDX1, _L_VAL, _SCAN = range(6)
+
+
+class AhoCorasick:
+    """The automaton: goto/fail construction folded to dense DFA rows."""
+
+    def __init__(self, patterns, max_states=128):
+        patterns = [bytes(p) for p in patterns]
+        if not patterns or any(not p for p in patterns):
+            raise ValueError("need at least one non-empty pattern")
+        goto = [{}]  # state -> {char: state}
+        match_at = [set()]  # state -> pattern ids ending here
+        for pid, pattern in enumerate(patterns):
+            state = 0
+            for char in pattern:
+                nxt = goto[state].get(char)
+                if nxt is None:
+                    nxt = len(goto)
+                    if nxt > STATE_MASK or nxt >= max_states:
+                        raise ValueError(
+                            f"pattern set needs more than "
+                            f"{min(max_states, STATE_MASK + 1)} states"
+                        )
+                    goto.append({})
+                    match_at.append(set())
+                    goto[state][char] = nxt
+                state = nxt
+            match_at[state].add(pid)
+
+        # BFS failure links, folding outputs.
+        fail = [0] * len(goto)
+        queue = list(goto[0].values())
+        for state in queue:
+            fail[state] = 0
+        while queue:
+            state = queue.pop(0)
+            match_at[state] |= match_at[fail[state]]
+            for char, nxt in goto[state].items():
+                queue.append(nxt)
+                f = fail[state]
+                while f and char not in goto[f]:
+                    f = fail[f]
+                fail[nxt] = goto[f].get(char, 0)
+                if fail[nxt] == nxt:
+                    fail[nxt] = 0
+
+        # Dense delta via the failure closure.
+        self.n_states = len(goto)
+        self.patterns = patterns
+        self.match_at = [frozenset(s) for s in match_at]
+        self.delta = [[0] * 256 for _ in range(self.n_states)]
+        for state in range(self.n_states):
+            for char in range(256):
+                s = state
+                while s and char not in goto[s]:
+                    s = fail[s]
+                self.delta[state][char] = goto[s].get(char, 0)
+
+    def table_entries(self):
+        """Sparse (index, value) pairs; transitions to the root (0) are
+        the BRAM's zero-initialized default."""
+        entries = []
+        for state in range(self.n_states):
+            for char in range(256):
+                nxt = self.delta[state][char]
+                if nxt == 0:
+                    continue
+                value = nxt | (MATCH_BIT if self.match_at[nxt] else 0)
+                entries.append((state * 256 + char, value))
+        return entries
+
+    def encode_header(self):
+        entries = self.table_entries()
+        out = bytearray(len(entries).to_bytes(2, "little"))
+        for index, value in entries:
+            out += index.to_bytes(2, "little")
+            out.append(value)
+        return bytes(out)
+
+    def scan(self, text):
+        """Golden model: indices where at least one pattern ends."""
+        hits = []
+        state = 0
+        for index, char in enumerate(bytes(text)):
+            state = self.delta[state][char]
+            if self.match_at[state]:
+                hits.append(index & 0xFFFFFFFF)
+        return hits
+
+    def resolve(self, text, index):
+        """Host-side reconstruction: which patterns end at ``index``."""
+        text = bytes(text)
+        return sorted(
+            pid
+            for pid, pattern in enumerate(self.patterns)
+            if index + 1 >= len(pattern)
+            and text[index + 1 - len(pattern):index + 1] == pattern
+        )
+
+
+def string_search_unit(max_states=128):
+    """Build the multi-pattern matching unit (table loaded at runtime)."""
+    b = UnitBuilder("string_search", input_width=8, output_width=32)
+    state_bits = max(1, (max_states - 1).bit_length())
+    table = b.bram("table", elements=max_states * 256, width=8)
+
+    mode = b.reg("mode", width=3, init=_L_CNT0)
+    entry_total = b.reg("entry_total", width=16)
+    entry_count = b.reg("entry_count", width=16, init=0)
+    entry_idx = b.reg("entry_idx", width=16)
+    state = b.reg("state", width=state_bits, init=0)
+    position = b.reg("position", width=32, init=0)
+
+    ch = b.input
+    with b.when(b.not_(b.stream_finished)):
+        with b.when(mode == _L_CNT0):
+            entry_total.set(ch)
+            mode.set(_L_CNT1)
+        with b.elif_(mode == _L_CNT1):
+            total = b.wire(b.cat(ch, entry_total.bits(7, 0)), name="tot")
+            entry_total.set(total)
+            mode.set(b.mux(total == 0, _SCAN, _L_IDX0))
+        with b.elif_(mode == _L_IDX0):
+            entry_idx.set(ch)
+            mode.set(_L_IDX1)
+        with b.elif_(mode == _L_IDX1):
+            entry_idx.set(b.cat(ch, entry_idx.bits(7, 0)))
+            mode.set(_L_VAL)
+        with b.elif_(mode == _L_VAL):
+            table[entry_idx.bits(state_bits + 7, 0)] = ch
+            done = entry_count == entry_total - 1
+            entry_count.set(b.mux(done, 0, entry_count + 1))
+            mode.set(b.mux(done, _SCAN, _L_IDX0))
+        with b.otherwise():  # _SCAN: one lookup per character
+            lookup = b.wire(
+                table[b.cat(state, ch).bits(state_bits + 7, 0)],
+                name="lookup",
+            )
+            state.set(lookup.bits(state_bits - 1, 0))
+            with b.when(lookup.bit(7) == 1):
+                b.emit(position)
+            position.set(position + 1)
+    return b.finish()
+
+
+def make_stream(automaton, text):
+    """Header + text as a token list."""
+    return list(automaton.encode_header() + bytes(text))
+
+
+def string_search_reference(patterns, text, max_states=128):
+    """Golden model for a pattern set applied to ``text``."""
+    return AhoCorasick(patterns, max_states).scan(text)

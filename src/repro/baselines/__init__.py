@@ -1,0 +1,30 @@
+"""CPU, GPU, and HLS comparators: the six applications in the baseline
+ISA, the platform performance models, and the HLS-system model."""
+
+from .cpu import (
+    BLOOM_AVX2_SPEEDUP,
+    CpuAppResult,
+    evaluate_cpu_app,
+    marginal_cost,
+)
+from .gpu import GpuAppResult, evaluate_gpu_app, marginal_warp_cost
+from .hls import (
+    HlsSerialController,
+    estimate_module_hls,
+    hls_initiation_interval,
+    simulate_hls_memory,
+)
+
+__all__ = [
+    "BLOOM_AVX2_SPEEDUP",
+    "CpuAppResult",
+    "GpuAppResult",
+    "HlsSerialController",
+    "estimate_module_hls",
+    "evaluate_cpu_app",
+    "evaluate_gpu_app",
+    "hls_initiation_interval",
+    "marginal_cost",
+    "marginal_warp_cost",
+    "simulate_hls_memory",
+]

@@ -1,0 +1,67 @@
+"""Bloom filter construction in the baseline ISA.
+
+Same algorithm and parameters as :mod:`repro.apps.bloom`; the eight hash
+computations are fully unrolled per item, which is the structure the
+paper's CPU implementation vectorizes with AVX2 (the only application it
+could vectorize).
+
+Local memory layout: ``num_hashes * words_per_section`` filter words at
+address 0.
+"""
+
+from ...apps.bloom import HASH_CONSTANTS
+from ...isa import ProgramBuilder
+
+
+def bloom_program(block_size=64, num_hashes=8, section_bits=1024):
+    words_per_section = section_bits // 8
+    total_words = num_hashes * words_per_section
+    bit_index_width = (section_bits - 1).bit_length()
+    shift = 32 - bit_index_width
+
+    p = ProgramBuilder("bloom_isa", local_words=total_words + 4)
+    p.li("count", 0)
+
+    p.label("loop")
+    # Assemble one little-endian 32-bit item from four tokens.
+    p.intok("b0", "eof")
+    p.intok("b1", "eof")
+    p.intok("b2", "eof")
+    p.intok("b3", "eof")
+    p.shl("t", "b1", 8)
+    p.or_("item", "b0", "t")
+    p.shl("t", "b2", 16)
+    p.or_("item", "item", "t")
+    p.shl("t", "b3", 24)
+    p.or_("item", "item", "t")
+    # All hash functions, unrolled.
+    for j in range(num_hashes):
+        p.mul("h", "item", HASH_CONSTANTS[j])
+        p.and_("h", "h", 0xFFFFFFFF)
+        p.shr("h", "h", shift)
+        p.shr("word", "h", 3)
+        p.and_("bit", "h", 7)
+        p.li("one", 1)
+        p.shl("one", "one", "bit")
+        p.add("addr", "word", j * words_per_section)
+        p.load("t", "addr")
+        p.or_("t", "t", "one")
+        p.store("t", "addr")
+    p.add("count", "count", 1)
+    p.ne("t", "count", block_size)
+    p.brnz("t", "loop")
+    # Emit and clear the whole filter.
+    p.li("count", 0)
+    p.li("i", 0)
+    p.label("emit")
+    p.load("t", "i")
+    p.outtok("t")
+    p.store(0, "i")
+    p.add("i", "i", 1)
+    p.ne("t", "i", total_words)
+    p.brnz("t", "emit")
+    p.br("loop")
+
+    p.label("eof")
+    p.halt()
+    return p.assemble()

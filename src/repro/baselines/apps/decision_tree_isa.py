@@ -1,0 +1,115 @@
+"""Gradient-boosted decision tree evaluation in the baseline ISA.
+
+Same stream format as :mod:`repro.apps.decision_tree`: the model is parsed
+from the stream head into local memory, then each datapoint is evaluated
+against every tree and the 32-bit sum emitted as four bytes.
+
+Local memory layout (word-per-field arrays, as a C struct-of-arrays):
+
+* roots at ``ROOTS`` (max_trees words)
+* node fields at ``LEAF``/``FEAT``/``THR``/``LEFT``/``RIGHT``/``VAL``
+  (max_nodes words each)
+* features at ``FEATURES``
+
+Tree walking is the classic pointer-chasing loop — data-dependent branches
+every node, which is what diverges across streams on the GPU.
+"""
+
+from ...isa import ProgramBuilder
+
+
+def decision_tree_program(max_features=64, max_trees=32, max_nodes=4096):
+    roots_base = 0
+    leaf_base = roots_base + max_trees
+    feat_base = leaf_base + max_nodes
+    thr_base = feat_base + max_nodes
+    left_base = thr_base + max_nodes
+    right_base = left_base + max_nodes
+    val_base = right_base + max_nodes
+    features_base = val_base + max_nodes
+
+    p = ProgramBuilder(
+        "decision_tree_isa", local_words=features_base + max_features
+    )
+
+    def read_le(dest, nbytes, eof="eof"):
+        p.intok(dest, eof)
+        for k in range(1, nbytes):
+            p.intok("t", eof)
+            p.shl("t", "t", 8 * k)
+            p.or_(dest, dest, "t")
+
+    # --- header ------------------------------------------------------------
+    read_le("n_features", 1)
+    read_le("n_trees", 1)
+    p.li("i", 0)
+    p.label("load_roots")
+    read_le("t2", 2)
+    p.store("t2", "i", roots_base)
+    p.add("i", "i", 1)
+    p.ne("t", "i", "n_trees")
+    p.brnz("t", "load_roots")
+    read_le("n_nodes", 2)
+    p.li("i", 0)
+    p.label("load_nodes")
+    read_le("w", 1)
+    p.store("w", "i", leaf_base)
+    read_le("w", 1)
+    p.store("w", "i", feat_base)
+    read_le("w", 4)
+    p.store("w", "i", thr_base)
+    read_le("w", 2)
+    p.store("w", "i", left_base)
+    read_le("w", 2)
+    p.store("w", "i", right_base)
+    read_le("w", 4)
+    p.store("w", "i", val_base)
+    p.add("i", "i", 1)
+    p.ne("t", "i", "n_nodes")
+    p.brnz("t", "load_nodes")
+
+    # --- datapoints -----------------------------------------------------------
+    p.label("point")
+    p.li("i", 0)
+    p.label("load_point")
+    # EOF here ends the run cleanly (between datapoints).
+    read_le("w", 4, eof="eof")
+    p.store("w", "i", features_base)
+    p.add("i", "i", 1)
+    p.ne("t", "i", "n_features")
+    p.brnz("t", "load_point")
+
+    p.li("acc", 0)
+    p.li("tree", 0)
+    p.label("trees")
+    p.load("node", "tree", roots_base)
+    p.label("walk")
+    p.load("t", "node", leaf_base)
+    p.brnz("t", "leaf")
+    p.load("f", "node", feat_base)
+    p.load("x", "f", features_base)
+    p.load("thr", "node", thr_base)
+    p.lt("t", "x", "thr")
+    p.brz("t", "go_right")
+    p.load("node", "node", left_base)
+    p.br("walk")
+    p.label("go_right")
+    p.load("node", "node", right_base)
+    p.br("walk")
+    p.label("leaf")
+    p.load("v", "node", val_base)
+    p.add("acc", "acc", "v")
+    p.and_("acc", "acc", 0xFFFFFFFF)
+    p.add("tree", "tree", 1)
+    p.ne("t", "tree", "n_trees")
+    p.brnz("t", "trees")
+    # Emit the 32-bit prediction as four little-endian bytes.
+    for k in range(4):
+        p.shr("t", "acc", 8 * k)
+        p.and_("t", "t", 0xFF)
+        p.outtok("t")
+    p.br("point")
+
+    p.label("eof")
+    p.halt()
+    return p.assemble()

@@ -1,0 +1,308 @@
+"""JSON field extraction in the baseline ISA.
+
+A direct transcription of the golden state machine in
+:mod:`repro.apps.json_parser` (which is itself the specification of the
+Fleet unit), structured the way a CUDA kernel is: **one fetch-dispatch
+loop** — read a token, switch on the parser state, run a short arm, loop.
+Lanes of a warp share the fetch and dispatch instructions and diverge only
+inside the per-state arms, which is exactly the control-flow divergence
+the paper measures at 2.33x for JSON parsing on the GPU.
+
+Local memory layout: transition table at 0 (``max_states * 256`` words),
+object-path stack at ``STACK`` (``max_depth`` words, alive flag in bit 7).
+"""
+
+from ...apps.json_parser import STATE_MASK, TERMINAL_BIT
+from ...isa import ProgramBuilder
+
+_WS = (0x20, 0x09, 0x0A, 0x0D)
+
+# Parser states held in the ``state`` register (golden-model numbering).
+_OUT, _WKEY, _KEY, _COLON, _WVAL, _SVAL, _BVAL, _AVAL, _TERM, _AFTER = (
+    range(10)
+)
+
+
+def json_program(max_states=32, max_depth=32):
+    table_words = max_states * 256
+    stack_base = table_words
+    p = ProgramBuilder("json_isa", local_words=table_words + max_depth)
+
+    def is_ws(dest, src):
+        p.eq(dest, src, _WS[0])
+        for w in _WS[1:]:
+            p.eq("t_ws", src, w)
+            p.or_(dest, dest, "t_ws")
+
+    def key_lookup():
+        """Advance the trie on ``ch`` (shared by KEY arms)."""
+        p.shl("idx", "key_state", 8)
+        p.or_("idx", "idx", "ch")
+        p.load("lookup", "idx")
+        p.and_("t", "lookup", TERMINAL_BIT)
+        p.ne("t", "t", 0)
+        p.and_("key_term", "key_alive", "t")
+        p.ne("t", "lookup", 0)
+        p.and_("key_alive", "key_alive", "t")
+        p.and_("key_state", "lookup", STATE_MASK)
+
+    # --- load the transition table ----------------------------------------
+    p.intok("lo", "eof")
+    p.intok("hi", "eof")
+    p.shl("total", "hi", 8)
+    p.or_("total", "total", "lo")
+    p.li("i", 0)
+    p.brz("total", "start")
+    p.label("load_entry")
+    p.intok("lo", "eof")
+    p.intok("hi", "eof")
+    p.shl("idx", "hi", 8)
+    p.or_("idx", "idx", "lo")
+    p.intok("val", "eof")
+    p.store("val", "idx")
+    p.add("i", "i", 1)
+    p.ne("t", "i", "total")
+    p.brnz("t", "load_entry")
+
+    # --- the fetch-dispatch loop --------------------------------------------
+    p.label("start")
+    p.li("state", _OUT)
+    p.li("depth", 0)
+
+    p.label("loop")
+    p.intok("ch", "eof")
+    # Dispatch: a compare chain over the state register (a switch).
+    p.eq("t", "state", _OUT)
+    p.brnz("t", "s_out")
+    p.eq("t", "state", _WKEY)
+    p.brnz("t", "s_wkey")
+    p.eq("t", "state", _KEY)
+    p.brnz("t", "s_key")
+    p.eq("t", "state", _COLON)
+    p.brnz("t", "s_colon")
+    p.eq("t", "state", _WVAL)
+    p.brnz("t", "s_wval")
+    p.eq("t", "state", _SVAL)
+    p.brnz("t", "s_sval")
+    p.eq("t", "state", _BVAL)
+    p.brnz("t", "s_bval")
+    p.eq("t", "state", _AVAL)
+    p.brnz("t", "s_aval")
+    p.eq("t", "state", _TERM)
+    p.brnz("t", "s_term")
+    p.br("after_dispatch")  # _AFTER
+
+    # P_OUT: wait for '{'.
+    p.label("s_out")
+    p.ne("t", "ch", ord("{"))
+    p.brnz("t", "loop")
+    p.li("state", _WKEY)
+    p.li("depth", 0)
+    p.li("cur_path", 0)
+    p.li("path_alive", 1)
+    p.br("loop")
+
+    # P_WKEY: expect '"' or '}'.
+    p.label("s_wkey")
+    p.eq("t", "ch", ord('"'))
+    p.brnz("t", "key_start")
+    p.eq("t", "ch", ord("}"))
+    p.brnz("t", "pop")
+    p.br("loop")
+    p.label("key_start")
+    p.mov("key_state", "cur_path")
+    p.mov("key_alive", "path_alive")
+    p.li("key_term", 0)
+    p.li("esc", 0)
+    p.li("state", _KEY)
+    p.br("loop")
+
+    # P_KEY: one key character.
+    p.label("s_key")
+    p.brnz("esc", "key_esc")
+    p.eq("t", "ch", ord('"'))
+    p.brnz("t", "key_end")
+    p.eq("t", "ch", ord("\\"))
+    p.brz("t", "key_go")
+    p.li("esc", 1)
+    p.label("key_go")
+    key_lookup()
+    p.br("loop")
+    p.label("key_esc")
+    p.li("esc", 0)
+    key_lookup()
+    p.br("loop")
+    p.label("key_end")
+    p.mov("match_state", "key_state")
+    p.mov("match_alive", "key_alive")
+    p.and_("match_term", "key_alive", "key_term")
+    p.li("state", _COLON)
+    p.br("loop")
+
+    # P_COLON: expect ':'.
+    p.label("s_colon")
+    p.ne("t", "ch", ord(":"))
+    p.brnz("t", "loop")
+    p.li("state", _WVAL)
+    p.br("loop")
+
+    # P_WVAL: dispatch on the value's first character.
+    p.label("s_wval")
+    is_ws("t", "ch")
+    p.brnz("t", "loop")
+    p.eq("t", "ch", ord('"'))
+    p.brnz("t", "sval_start")
+    p.eq("t", "ch", ord("{"))
+    p.brnz("t", "descend")
+    p.eq("t", "ch", ord("["))
+    p.brnz("t", "aval_start")
+    p.mov("emit_on", "match_term")
+    p.li("state", _BVAL)
+    p.brz("emit_on", "loop")
+    p.outtok("ch")
+    p.br("loop")
+
+    p.label("sval_start")
+    p.mov("emit_on", "match_term")
+    p.li("esc", 0)
+    p.li("state", _SVAL)
+    p.br("loop")
+
+    p.label("aval_start")
+    p.mov("emit_on", "match_term")
+    p.li("adepth", 1)
+    p.li("instr_", 0)
+    p.li("esc", 0)
+    p.li("state", _AVAL)
+    p.brz("emit_on", "loop")
+    p.outtok("ch")
+    p.br("loop")
+
+    # Object value: push and descend via the '.' edge.
+    p.label("descend")
+    p.shl("t", "path_alive", 7)
+    p.or_("t", "t", "cur_path")
+    p.store("t", "depth", stack_base)
+    p.add("depth", "depth", 1)
+    p.shl("idx", "match_state", 8)
+    p.or_("idx", "idx", ord("."))
+    p.load("dot", "idx")
+    p.and_("cur_path", "dot", STATE_MASK)
+    p.ne("t", "dot", 0)
+    p.and_("path_alive", "match_alive", "t")
+    p.li("state", _WKEY)
+    p.br("loop")
+
+    # '}' closing the current object ('ch' already consumed).
+    p.label("pop")
+    p.brnz("depth", "pop_inner")
+    p.li("state", _OUT)
+    p.br("loop")
+    p.label("pop_inner")
+    p.sub("depth", "depth", 1)
+    p.load("t", "depth", stack_base)
+    p.and_("cur_path", "t", STATE_MASK)
+    p.shr("path_alive", "t", 7)
+    p.li("state", _AFTER)
+    p.br("loop")
+
+    # P_SVAL: one string-value character.
+    p.label("s_sval")
+    p.brnz("esc", "sval_esc")
+    p.eq("t", "ch", ord("\\"))
+    p.brnz("t", "sval_bs")
+    p.eq("t", "ch", ord('"'))
+    p.brnz("t", "sval_end")
+    p.brz("emit_on", "loop")
+    p.outtok("ch")
+    p.br("loop")
+    p.label("sval_bs")
+    p.li("esc", 1)
+    p.brz("emit_on", "loop")
+    p.outtok("ch")
+    p.br("loop")
+    p.label("sval_esc")
+    p.li("esc", 0)
+    p.brz("emit_on", "loop")
+    p.outtok("ch")
+    p.br("loop")
+    p.label("sval_end")
+    p.li("state", _AFTER)
+    p.brz("emit_on", "loop")
+    p.li("state", _TERM)
+    p.br("loop")
+
+    # P_BVAL: one bare-value character.
+    p.label("s_bval")
+    p.eq("t", "ch", ord(","))
+    p.eq("t2", "ch", ord("}"))
+    p.or_("t", "t", "t2")
+    is_ws("t2", "ch")
+    p.or_("t", "t", "t2")
+    p.brnz("t", "bval_end")
+    p.brz("emit_on", "loop")
+    p.outtok("ch")
+    p.br("loop")
+    p.label("bval_end")
+    p.brz("emit_on", "after_dispatch")
+    p.outtok(0x0A)
+    p.br("after_dispatch")
+
+    # P_AVAL: one array character (opaque except strings and brackets).
+    p.label("s_aval")
+    p.brz("emit_on", "aval_class")
+    p.outtok("ch")
+    p.label("aval_class")
+    p.brnz("instr_", "aval_str")
+    p.eq("t", "ch", ord('"'))
+    p.brnz("t", "aval_quote")
+    p.eq("t", "ch", ord("["))
+    p.brnz("t", "aval_open")
+    p.eq("t", "ch", ord("]"))
+    p.brnz("t", "aval_close")
+    p.br("loop")
+    p.label("aval_quote")
+    p.li("instr_", 1)
+    p.br("loop")
+    p.label("aval_open")
+    p.add("adepth", "adepth", 1)
+    p.br("loop")
+    p.label("aval_close")
+    p.sub("adepth", "adepth", 1)
+    p.brnz("adepth", "loop")
+    p.li("state", _AFTER)
+    p.brz("emit_on", "loop")
+    p.li("state", _TERM)
+    p.br("loop")
+    p.label("aval_str")
+    p.brnz("esc", "aval_str_esc")
+    p.eq("t", "ch", ord("\\"))
+    p.brnz("t", "aval_str_bs")
+    p.eq("t", "ch", ord('"'))
+    p.brz("t", "loop")
+    p.li("instr_", 0)
+    p.br("loop")
+    p.label("aval_str_bs")
+    p.li("esc", 1)
+    p.br("loop")
+    p.label("aval_str_esc")
+    p.li("esc", 0)
+    p.br("loop")
+
+    # P_TERM: emit the pending separator, then treat like AFTER.
+    p.label("s_term")
+    p.outtok(0x0A)
+    p.label("after_dispatch")
+    p.li("state", _AFTER)
+    p.eq("t", "ch", ord(","))
+    p.brz("t", "after_not_comma")
+    p.li("state", _WKEY)
+    p.br("loop")
+    p.label("after_not_comma")
+    p.eq("t", "ch", ord("}"))
+    p.brnz("t", "pop")
+    p.br("loop")
+
+    p.label("eof")
+    p.halt()
+    return p.assemble()

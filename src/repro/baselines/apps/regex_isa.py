@@ -1,0 +1,71 @@
+"""Regex matching in the baseline ISA.
+
+Mirrors the paper's CUDA version: "the state machine for the email regex
+is fully elaborated" — here the program is *generated* from the same
+Glushkov automaton the Fleet unit uses, with the NFA state kept as a
+bitmask in one register and updated branchlessly (multiplies stand in for
+predicated selects, as a CUDA compiler would emit). The only data-
+dependent branch is the rarely-taken match emission, so this baseline has
+low divergence — consistent with the paper's regex being one of the
+better GPU performers.
+"""
+
+from ...apps.regex import EMAIL_PATTERN, _char_ranges, build_automaton
+from ...isa import ProgramBuilder
+
+
+def regex_program(pattern=EMAIL_PATTERN):
+    automaton = build_automaton(pattern)
+    first_mask = sum(1 << j for j in automaton.first)
+    last_mask = sum(1 << j for j in automaton.last)
+    follow_masks = [
+        sum(1 << j for j in automaton.follow[i])
+        for i in range(automaton.size)
+    ]
+
+    p = ProgramBuilder("regex_isa", local_words=4)
+    p.li("state", 0)
+    p.li("position", 0)
+
+    p.label("loop")
+    p.intok("ch", "eof")
+    # reachable = first | union of follow sets of active positions.
+    p.li("reach", first_mask)
+    for i in range(automaton.size):
+        if not follow_masks[i]:
+            continue
+        p.shr("t", "state", i)
+        p.and_("t", "t", 1)
+        p.mul("t", "t", follow_masks[i])
+        p.or_("reach", "reach", "t")
+    # char_mask: for each position, a branchless class test.
+    p.li("cmask", 0)
+    for j, chars in enumerate(automaton.classes):
+        ranges = _char_ranges(chars)
+        first_range = True
+        for lo, hi in ranges:
+            if lo == hi:
+                p.eq("t", "ch", lo)
+            else:
+                p.ge("t", "ch", lo)
+                p.le("t2", "ch", hi)
+                p.and_("t", "t", "t2")
+            if first_range:
+                p.mov("inclass", "t")
+                first_range = False
+            else:
+                p.or_("inclass", "inclass", "t")
+        p.shl("inclass", "inclass", j)
+        p.or_("cmask", "cmask", "inclass")
+    p.and_("state", "reach", "cmask")
+    p.and_("hit", "state", last_mask)
+    p.brz("hit", "no_match")
+    p.outtok("position")
+    p.label("no_match")
+    p.add("position", "position", 1)
+    p.and_("position", "position", 0xFFFFFFFF)
+    p.br("loop")
+
+    p.label("eof")
+    p.halt()
+    return p.assemble()

@@ -1,0 +1,102 @@
+"""Smith-Waterman fuzzy matching in the baseline ISA.
+
+Same stream format and scoring as :mod:`repro.apps.smith_waterman`. The
+row update is an inner loop over the ``m`` cells — on a CPU this is the
+serial recurrence the paper calls "inherently serial" (each cell depends
+on its left neighbour), which is why the CPU baseline is the paper's
+slowest.
+
+Local memory layout: target at 0..m-1, row at m..2m-1.
+"""
+
+from ...isa import ProgramBuilder
+
+
+def smith_waterman_program(target_length=16, match=2, mismatch=1, gap=1):
+    m = target_length
+    p = ProgramBuilder("smith_waterman_isa", local_words=2 * m + 4)
+
+    # --- header: target string, then 16-bit threshold ---------------------
+    p.li("i", 0)
+    p.label("load_target")
+    p.intok("ch", "eof")
+    p.store("ch", "i")
+    p.add("i", "i", 1)
+    p.ne("t", "i", m)
+    p.brnz("t", "load_target")
+    p.intok("tlo", "eof")
+    p.intok("thi", "eof")
+    p.shl("threshold", "thi", 8)
+    p.or_("threshold", "threshold", "tlo")
+    # Zero the row.
+    p.li("i", 0)
+    p.label("zero_row")
+    p.store(0, "i", m)
+    p.add("i", "i", 1)
+    p.ne("t", "i", m)
+    p.brnz("t", "zero_row")
+    p.li("position", 0)
+
+    # --- main loop: one payload character per iteration --------------------
+    p.label("loop")
+    p.intok("ch", "eof")
+    p.li("diag_prev", 0)  # H[i-1][j-1]
+    p.li("left_prev", 0)  # H[i][j-1]
+    p.li("hit", 0)
+    p.li("j", 0)
+    p.label("cells")
+    p.load("tc", "j")  # target[j]
+    p.load("up", "j", m)  # old row[j]
+    # diag score: match / mismatch with floor 0.
+    p.eq("is_match", "ch", "tc")
+    p.brnz("is_match", "take_match")
+    p.ge("t", "diag_prev", mismatch)
+    p.mul("score", "t", "diag_prev")  # 0 if underflow
+    p.brz("t", "have_diag")
+    p.sub("score", "diag_prev", mismatch)
+    p.br("have_diag")
+    p.label("take_match")
+    p.add("score", "diag_prev", match)
+    p.label("have_diag")
+    # up/left gap scores with floor 0, then max.
+    p.ge("t", "up", gap)
+    p.brz("t", "up_zero")
+    p.sub("u", "up", gap)
+    p.br("up_done")
+    p.label("up_zero")
+    p.li("u", 0)
+    p.label("up_done")
+    p.ge("t", "left_prev", gap)
+    p.brz("t", "left_zero")
+    p.sub("l", "left_prev", gap)
+    p.br("left_done")
+    p.label("left_zero")
+    p.li("l", 0)
+    p.label("left_done")
+    p.ge("t", "u", "score")
+    p.brz("t", "max1")
+    p.mov("score", "u")
+    p.label("max1")
+    p.ge("t", "l", "score")
+    p.brz("t", "max2")
+    p.mov("score", "l")
+    p.label("max2")
+    # threshold check, row update, shift the diagonals.
+    p.ge("t", "score", "threshold")
+    p.or_("hit", "hit", "t")
+    p.mov("diag_prev", "up")
+    p.mov("left_prev", "score")
+    p.store("score", "j", m)
+    p.add("j", "j", 1)
+    p.ne("t", "j", m)
+    p.brnz("t", "cells")
+    p.brz("hit", "no_hit")
+    p.outtok("position")
+    p.label("no_hit")
+    p.add("position", "position", 1)
+    p.and_("position", "position", 0xFFFFFFFF)
+    p.br("loop")
+
+    p.label("eof")
+    p.halt()
+    return p.assemble()

@@ -1,0 +1,35 @@
+"""Workload generators, experiment harnesses, and paper-style reporting."""
+
+from .catalog import AppSpec, catalog
+from .harness import (
+    Figure7Row,
+    run_figure7,
+    run_figure9,
+    run_sec73_memory,
+)
+from .loc import count_source_lines, figure8_rows
+from .report import (
+    PAPER_FIGURE7,
+    PAPER_FIGURE8,
+    PAPER_FIGURE9,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+)
+
+__all__ = [
+    "AppSpec",
+    "Figure7Row",
+    "PAPER_FIGURE7",
+    "PAPER_FIGURE8",
+    "PAPER_FIGURE9",
+    "catalog",
+    "count_source_lines",
+    "figure8_rows",
+    "format_figure7",
+    "format_figure8",
+    "format_figure9",
+    "run_figure7",
+    "run_figure9",
+    "run_sec73_memory",
+]

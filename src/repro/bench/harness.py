@@ -1,0 +1,114 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each function returns plain data structures; ``repro.bench.report``
+formats them in the paper's layout, and the ``benchmarks/`` suite wraps
+them in pytest-benchmark targets.
+"""
+
+from ..baselines.cpu import evaluate_cpu_app
+from ..baselines.gpu import evaluate_gpu_app
+from ..memory import EchoPu, MemoryConfig, SinkPu, simulate_channels
+from ..system import evaluate_fleet_app
+from .catalog import catalog
+
+
+class Figure7Row:
+    """One application's full comparison (paper Figure 7)."""
+
+    def __init__(self, title, fleet, cpu, gpu):
+        self.title = title
+        self.fleet = fleet
+        self.cpu = cpu
+        self.gpu = gpu
+
+    @property
+    def fleet_vs_cpu_ppw(self):
+        return self.fleet.perf_per_watt / self.cpu.perf_per_watt
+
+    @property
+    def fleet_vs_cpu_ppw_dram(self):
+        return self.fleet.perf_per_watt_dram / self.cpu.perf_per_watt_dram
+
+    @property
+    def fleet_vs_gpu_ppw(self):
+        return self.fleet.perf_per_watt / self.gpu.perf_per_watt
+
+    @property
+    def fleet_vs_gpu_ppw_dram(self):
+        return self.fleet.perf_per_watt_dram / self.gpu.perf_per_watt_dram
+
+
+def run_figure7(apps=None, *, sim_cycles=30_000, gpu_lanes=32):
+    """Compute Figure 7: Fleet vs CPU vs GPU for the six applications."""
+    specs = catalog()
+    rows = []
+    for key in apps or specs:
+        spec = specs[key]
+        unit = spec.unit()
+        profile_override = (
+            spec.profile_unit() if spec.profile_unit else None
+        )
+        pairs = spec.stream_pairs()
+        fleet = evaluate_fleet_app(
+            spec.key, unit, sample_pairs=pairs,
+            profile_unit_override=profile_override, sim_cycles=sim_cycles,
+        )
+        program = spec.program()
+        cpu = evaluate_cpu_app(
+            spec.key, program, pairs, simd_speedup=spec.simd_speedup
+        )
+        gpu = evaluate_gpu_app(
+            spec.key, program, spec.gpu_warp_pairs(lanes=gpu_lanes)
+        )
+        rows.append(Figure7Row(spec.title, fleet, cpu, gpu))
+    return rows
+
+
+def run_figure9(*, channels=4, pus_per_channel=128, stream_bytes=1 << 16,
+                fixed_cycles=40_000):
+    """Figure 9: the memory-controller optimization ablation, using the
+    token-dropping sink unit to isolate the input path."""
+    base = MemoryConfig()
+    variants = [
+        ("None", base.replace(burst_registers=1, async_addressing=False)),
+        ("Async. Addr. Supply", base.replace(burst_registers=1)),
+        ("Async. Addr. Supply & Burst Regs.", base),
+    ]
+    results = []
+    for label, config in variants:
+        stats = simulate_channels(
+            config,
+            lambda i: [SinkPu(stream_bytes) for _ in range(pus_per_channel)],
+            channels=1,
+            fixed_cycles=fixed_cycles,
+        )
+        results.append((label, channels * stats.input_gbps))
+    return results
+
+
+def run_sec73_memory(*, channels=4, pus_per_channel=128,
+                     stream_bytes=1 << 18, fixed_cycles=40_000):
+    """Section 7.3's absolute numbers: input-only throughput at the
+    default and maximal burst sizes, and the input+output echo test."""
+    base = MemoryConfig()
+    results = {}
+    stats = simulate_channels(
+        base,
+        lambda i: [SinkPu(stream_bytes) for _ in range(pus_per_channel)],
+        channels=1, fixed_cycles=fixed_cycles,
+    )
+    results["input_default_burst"] = channels * stats.input_gbps
+    stats = simulate_channels(
+        base.replace(beats_per_burst=64),
+        lambda i: [SinkPu(stream_bytes) for _ in range(pus_per_channel)],
+        channels=1, fixed_cycles=fixed_cycles,
+    )
+    results["input_peak_burst64"] = channels * stats.input_gbps
+    stats = simulate_channels(
+        base,
+        lambda i: [EchoPu(stream_bytes) for _ in range(pus_per_channel)],
+        channels=1, fixed_cycles=fixed_cycles,
+    )
+    results["echo_input"] = channels * stats.input_gbps
+    results["echo_output"] = channels * stats.output_gbps
+    return results

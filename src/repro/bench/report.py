@@ -1,0 +1,76 @@
+"""Paper-style table formatting for the experiment harnesses."""
+
+#: The paper's Figure 7 values, for side-by-side reporting:
+#: (PUs, Fleet GB/s, CPU GB/s, GPU GB/s, vs CPU ppw, vs GPU ppw).
+PAPER_FIGURE7 = {
+    "JSON Parsing": (512, 21.39, 6.11, 25.23, 42.03, 8.57),
+    "Integer Coding": (192, 10.99, 2.11, 31.04, 78.19, 4.60),
+    "Decision Tree": (384, 3.77, 2.01, 102.17, 23.77, 0.59),
+    "Smith-Waterman": (384, 24.62, 0.68, 29.41, 444.67, 9.28),
+    "Regex": (704, 27.24, 3.25, 73.59, 95.54, 4.18),
+    "Bloom Filter": (320, 24.21, 12.03, 13.50, 22.43, 9.55),
+}
+
+#: Paper Figure 9 (GB/s).
+PAPER_FIGURE9 = {
+    "None": 0.98,
+    "Async. Addr. Supply": 1.88,
+    "Async. Addr. Supply & Burst Regs.": 27.24,
+}
+
+#: Paper Figure 8 (Fleet LoC, CUDA LoC).
+PAPER_FIGURE8 = {
+    "JSON Parsing": (201, 165),
+    "Integer Coding": (315, 155),
+    "Decision Tree": (74, 63),
+    "Smith-Waterman": (55, 45),
+    "Regex": (35, 65),
+    "Bloom Filter": (100, 58),
+}
+
+
+def format_figure7(rows):
+    """Render Figure 7 rows with the paper's numbers alongside."""
+    header = (
+        f"{'App':<16}{'PUs':>5}{'(pap)':>6} "
+        f"{'Fleet':>7}{'(pap)':>7} {'CPU':>6}{'(pap)':>6} "
+        f"{'GPU':>7}{'(pap)':>7} {'vsCPU':>8}{'(pap)':>8} "
+        f"{'vsGPU':>7}{'(pap)':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        p = PAPER_FIGURE7[row.title]
+        lines.append(
+            f"{row.title:<16}{row.fleet.pu_count:>5}{p[0]:>6} "
+            f"{row.fleet.gbps:>7.2f}{p[1]:>7.2f} "
+            f"{row.cpu.gbps:>6.2f}{p[2]:>6.2f} "
+            f"{row.gpu.gbps:>7.2f}{p[3]:>7.2f} "
+            f"{row.fleet_vs_cpu_ppw:>7.1f}x{p[4]:>7.1f}x "
+            f"{row.fleet_vs_gpu_ppw:>6.2f}x{p[5]:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def format_figure9(results):
+    lines = [f"{'Memory Controller Optimizations':<36}{'GB/s':>7}"
+             f"{'(paper)':>9}",
+             "-" * 52]
+    for label, gbps in results:
+        lines.append(
+            f"{label:<36}{gbps:>7.2f}{PAPER_FIGURE9[label]:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure8(rows):
+    lines = [
+        f"{'App':<16}{'Fleet LoC':>10}{'(paper)':>9}"
+        f"{'Baseline LoC':>14}{'(paper)':>9}",
+        "-" * 58,
+    ]
+    for title, fleet_loc, isa_loc in rows:
+        p = PAPER_FIGURE8[title]
+        lines.append(
+            f"{title:<16}{fleet_loc:>10}{p[0]:>9}{isa_loc:>14}{p[1]:>9}"
+        )
+    return "\n".join(lines)

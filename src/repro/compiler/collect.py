@@ -1,0 +1,114 @@
+"""Collection pass: gather every assignment, write, emit, and BRAM read in
+a Fleet program together with its guard.
+
+This is the first half of the paper's compilation algorithm (Section 4):
+"For each register r, the compiler gathers all assignments to it in the
+program, along with their conditions." A guard is:
+
+* the conjunction of the enclosing ``if`` conditions (with earlier arms of
+  the same ``if`` negated, so ``else if``/``else`` arms are mutually
+  exclusive),
+* plus the loop condition for statements inside a ``while`` body,
+* plus ``while_done`` for leaf statements outside every ``while`` — a
+  ``while`` loop "is simply an if block that our control logic executes
+  multiple times", and post-loop statements fire only once it completes.
+
+BRAM reads found inside ``if``/``while`` *conditions* are guarded by the
+path up to (not including) that condition and never by ``while_done``:
+condition logic computes on every virtual cycle, exactly as in hardware.
+"""
+
+from ..lang import ast
+
+
+class Guard:
+    """A conjunction of (condition expression, polarity) terms, optionally
+    conjoined with the program-wide ``while_done`` signal."""
+
+    __slots__ = ("terms", "needs_while_done")
+
+    def __init__(self, terms, needs_while_done):
+        self.terms = tuple(terms)  # tuple of (Node, bool positive)
+        self.needs_while_done = needs_while_done
+
+    def __repr__(self):
+        return (
+            f"Guard({len(self.terms)} terms, "
+            f"while_done={self.needs_while_done})"
+        )
+
+
+class Collection:
+    """Everything the code generator needs, grouped by state element."""
+
+    def __init__(self):
+        self.loops = []  # list of Guard (loop active when guard true)
+        self.reg_assigns = {}  # RegDecl -> [(Guard, value Node)]
+        self.vreg_assigns = {}  # VectorRegDecl -> [(Guard, index, value)]
+        self.bram_writes = {}  # BramDecl -> [(Guard, addr, value)]
+        self.bram_reads = {}  # BramDecl -> [(Guard, addr Node)]
+        self.emits = []  # [(Guard, value Node)]
+
+    def reads_of(self, bram):
+        return self.bram_reads.get(bram, [])
+
+    def writes_of(self, bram):
+        return self.bram_writes.get(bram, [])
+
+
+def collect(program):
+    """Run the collection pass over a validated program."""
+    collection = Collection()
+    _walk(program.body, (), False, collection)
+    return collection
+
+
+def _walk(body, conds, in_loop, out):
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            negated = []
+            for cond, arm_body in stmt.arms:
+                arm_conds = conds + tuple(negated)
+                if cond is not None:
+                    _record_reads(cond, Guard(arm_conds, False), out)
+                    _walk(
+                        arm_body, arm_conds + ((cond, True),), in_loop, out
+                    )
+                    negated.append((cond, False))
+                else:
+                    _walk(arm_body, arm_conds, in_loop, out)
+        elif isinstance(stmt, ast.While):
+            _record_reads(stmt.cond, Guard(conds, False), out)
+            loop_conds = conds + ((stmt.cond, True),)
+            out.loops.append(Guard(loop_conds, False))
+            _walk(stmt.body, loop_conds, True, out)
+        else:
+            guard = Guard(conds, needs_while_done=not in_loop)
+            _record_leaf(stmt, guard, out)
+
+
+def _record_leaf(stmt, guard, out):
+    for expr in ast.statement_exprs(stmt):
+        _record_reads(expr, guard, out)
+    if isinstance(stmt, ast.RegAssign):
+        out.reg_assigns.setdefault(stmt.reg, []).append((guard, stmt.value))
+    elif isinstance(stmt, ast.VectorRegAssign):
+        out.vreg_assigns.setdefault(stmt.vreg, []).append(
+            (guard, stmt.index, stmt.value)
+        )
+    elif isinstance(stmt, ast.BramWrite):
+        out.bram_writes.setdefault(stmt.bram, []).append(
+            (guard, stmt.addr, stmt.value)
+        )
+    elif isinstance(stmt, ast.Emit):
+        out.emits.append((guard, stmt.value))
+    else:  # pragma: no cover - the AST has no other leaf statements
+        raise AssertionError(f"unexpected leaf {stmt!r}")
+
+
+def _record_reads(expr, guard, out):
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.BramRead):
+            out.bram_reads.setdefault(node.bram, []).append(
+                (guard, node.addr)
+            )

@@ -1,0 +1,62 @@
+"""Full-unit RTL testbench: drives a compiled processing unit through its
+ready-valid interface and collects its output stream.
+
+This reproduces the paper's peek-poke cross-check infrastructure (Section
+6): the same input stream is run through the functional simulator and the
+compiled RTL, and the outputs must match token for token — including under
+arbitrary input and output stalls, which the driver can inject.
+"""
+
+from ..lang.errors import FleetSimulationError
+from ..rtl.simulator import RtlSimulator
+from .unit_compiler import compile_unit
+
+
+class UnitTestbench:
+    """Cycle-accurate harness around one compiled processing unit."""
+
+    def __init__(self, program, *, elide_forwarding=()):
+        self.program = program
+        self.module = compile_unit(program, elide_forwarding=elide_forwarding)
+        self.sim = RtlSimulator(self.module)
+
+    def run(self, tokens, *, input_stall=None, output_stall=None,
+            max_cycles=None):
+        """Run a whole stream to completion and return the output tokens.
+
+        ``input_stall``/``output_stall`` are optional callables invoked with
+        the cycle number; returning true deasserts ``input_valid`` /
+        ``output_ready`` for that cycle (models a slow memory controller).
+
+        Returns ``(outputs, cycles)`` where ``cycles`` counts from reset to
+        the cycle ``output_finished`` first reads true.
+        """
+        sim = self.sim
+        sim.reset()
+        outputs = []
+        index = 0
+        if max_cycles is None:
+            max_cycles = 10_000 + 200 * (len(tokens) + 1) * 64
+        for cycle in range(max_cycles):
+            stalled_in = input_stall is not None and input_stall(cycle)
+            stalled_out = output_stall is not None and output_stall(cycle)
+            have_token = index < len(tokens) and not stalled_in
+            sim.set_inputs(
+                input_token=tokens[index] if index < len(tokens) else 0,
+                input_valid=1 if have_token else 0,
+                input_finished=1 if index >= len(tokens) else 0,
+                output_ready=0 if stalled_out else 1,
+            )
+            outs = sim.outputs()
+            if outs["output_finished"]:
+                return outputs, cycle
+            if outs["output_valid"] and not stalled_out:
+                outputs.append(outs["output_token"])
+            if outs["input_ready"] and have_token:
+                index += 1
+            sim.clock_edge()
+        raise FleetSimulationError(
+            f"unit {self.program.name!r} did not finish within "
+            f"{max_cycles} cycles (processed {index}/{len(tokens)} tokens, "
+            f"emitted {len(outputs)})"
+        )

@@ -1,0 +1,126 @@
+"""Command-line regeneration of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.figures figure9
+    python -m repro.figures figure8
+    python -m repro.figures sec73
+    python -m repro.figures figure7 [--apps regex,bloom_filter] [--fast]
+    python -m repro.figures all
+
+Each command prints the regenerated table with the paper's values
+alongside (the same output the benchmark suite produces, without the
+pytest machinery).
+"""
+
+import argparse
+import sys
+
+
+def _figure7(args):
+    from .bench import format_figure7, run_figure7
+
+    apps = args.apps.split(",") if args.apps else None
+    sim_cycles = 6_000 if args.fast else 15_000
+    lanes = 8 if args.fast else 32
+    rows = run_figure7(apps=apps, sim_cycles=sim_cycles, gpu_lanes=lanes)
+    print(format_figure7(rows))
+
+
+def _figure8(_args):
+    from .bench import figure8_rows, format_figure8
+
+    print(format_figure8(figure8_rows()))
+
+
+def _figure9(args):
+    from .bench import format_figure9, run_figure9
+
+    cycles = 15_000 if args.fast else 40_000
+    print(format_figure9(run_figure9(fixed_cycles=cycles)))
+
+
+def _sec73(args):
+    from .bench import run_sec73_memory
+
+    cycles = 15_000 if args.fast else 40_000
+    results = run_sec73_memory(fixed_cycles=cycles)
+    print(f"input (1024-bit bursts): "
+          f"{results['input_default_burst']:.2f} GB/s (paper 27.24)")
+    print(f"input (64-beat bursts):  "
+          f"{results['input_peak_burst64']:.2f} GB/s (paper 30.1)")
+    print(f"echo in/out: {results['echo_input']:.2f} / "
+          f"{results['echo_output']:.2f} GB/s (paper 11.38)")
+
+
+def _sec74(args):
+    from .apps import int_coding_unit, json_field_unit
+    from .baselines import (
+        estimate_module_hls,
+        hls_initiation_interval,
+        simulate_hls_memory,
+    )
+    from .compiler import compile_unit
+    from .memory import MemoryConfig
+    from .system.area import estimate_module
+
+    cycles = 10_000 if args.fast else 25_000
+    cfg = MemoryConfig()
+    pipelined = simulate_hls_memory(cfg, outstanding=1,
+                                    fixed_cycles=cycles)
+    unrolled = simulate_hls_memory(cfg, outstanding=2, fixed_cycles=cycles)
+    print(f"HLS memory: pipelined {pipelined * 1000:.0f} MB/s "
+          f"(paper 524.84), unrolled {unrolled * 1000:.0f} MB/s "
+          f"(paper 675.06)")
+    for name, unit, paper_ii, paper_area in (
+        ("JSON", json_field_unit(), 15, 4.6),
+        ("integer coding", int_coding_unit(), 18, 2.8),
+    ):
+        ii = hls_initiation_interval(unit)
+        module = compile_unit(unit)
+        ratio = (
+            estimate_module_hls(module, ii).luts
+            / estimate_module(module).luts
+        )
+        print(f"{name}: II {ii} (paper {paper_ii}), area "
+              f"{ratio:.1f}x (paper {paper_area}x)")
+
+
+_COMMANDS = {
+    "figure7": _figure7,
+    "figure8": _figure8,
+    "figure9": _figure9,
+    "sec73": _sec73,
+    "sec74": _sec74,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.figures",
+        description="Regenerate the paper's evaluation tables.",
+    )
+    parser.add_argument(
+        "command", choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--apps", default=None,
+        help="figure7 only: comma-separated application subset",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="shorter simulations (coarser numbers)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        for name in ("figure9", "sec73", "sec74", "figure8", "figure7"):
+            print(f"\n=== {name} ===")
+            _COMMANDS[name](args)
+    else:
+        _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Functional (software) simulation of Fleet processing units."""
+
+from .simulator import UnitSimulator, VirtualCycle
+from .stream import (
+    bytes_from_tokens,
+    tokens_from_bytes,
+    tokens_to_words,
+    words_to_tokens,
+)
+from .trace import StreamTrace
+
+__all__ = [
+    "StreamTrace",
+    "UnitSimulator",
+    "VirtualCycle",
+    "bytes_from_tokens",
+    "tokens_from_bytes",
+    "tokens_to_words",
+    "words_to_tokens",
+]

@@ -1,0 +1,54 @@
+"""Per-stream execution traces.
+
+The full-system performance simulator (:mod:`repro.system.system_sim`)
+replays these traces: the Fleet compiler guarantees one virtual cycle per
+real cycle absent IO stalls, so the number of virtual cycles a token takes
+in the functional simulator *is* its hardware latency in cycles.
+"""
+
+
+class StreamTrace:
+    """Virtual-cycle accounting for one processing unit on one stream."""
+
+    def __init__(self):
+        #: virtual cycles spent on each input token, in stream order
+        #: (the post-stream cleanup "token" is included when it runs).
+        self.vcycles_per_token = []
+        #: output tokens produced for each input token.
+        self.emits_per_token = []
+        self._cleanup_recorded = False
+
+    def record_token(self, vcycles, emits, stream_finished):
+        self.vcycles_per_token.append(vcycles)
+        self.emits_per_token.append(emits)
+        if stream_finished:
+            self._cleanup_recorded = True
+
+    @property
+    def tokens_in(self):
+        """Number of real input tokens (excludes the cleanup cycle)."""
+        n = len(self.vcycles_per_token)
+        return n - 1 if self._cleanup_recorded else n
+
+    @property
+    def tokens_out(self):
+        return sum(self.emits_per_token)
+
+    @property
+    def total_vcycles(self):
+        return sum(self.vcycles_per_token)
+
+    @property
+    def mean_vcycles_per_token(self):
+        """Average virtual cycles per input token — the reciprocal of PU
+        throughput in tokens/cycle."""
+        if not self.tokens_in:
+            return 0.0
+        return self.total_vcycles / self.tokens_in
+
+    def __repr__(self):
+        return (
+            f"StreamTrace(tokens_in={self.tokens_in}, "
+            f"tokens_out={self.tokens_out}, "
+            f"total_vcycles={self.total_vcycles})"
+        )

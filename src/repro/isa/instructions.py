@@ -1,0 +1,85 @@
+"""A small register-machine ISA for the CPU/GPU baseline implementations.
+
+The paper's CPU (C) and GPU (CUDA) baselines "use the same token-based
+processing model and algorithms" as the Fleet versions. We make that
+comparison concrete: each application is written once in this ISA, and
+
+* the scalar executor (:mod:`repro.isa.scalar`) runs one stream and counts
+  dynamically executed instructions — the CPU cost model's input;
+* the SIMT executor (:mod:`repro.isa.simt`) runs 32 streams in lockstep
+  with per-lane masks — warp-level issue counts expose exactly the
+  control-flow divergence the paper blames for GPU losses.
+
+The ISA is deliberately minimal: 64-bit unsigned registers, a per-lane
+local memory, branches, and stream input/output instructions that mirror
+Fleet's token interface.
+"""
+
+MASK64 = (1 << 64) - 1
+
+#: opcode -> operand shape, for validation.
+OPCODES = {
+    "li": ("reg", "imm"),
+    "mov": ("reg", "reg"),
+    "bin": ("alu", "reg", "val", "val"),
+    "load": ("reg", "val", "val"),  # rd = mem[base + off]
+    "store": ("val", "val", "val"),  # mem[base + off] = value
+    "br": ("label",),
+    "brnz": ("val", "label"),
+    "brz": ("val", "label"),
+    "intok": ("reg", "label"),  # rd = next token, or jump at EOF
+    "outtok": ("val",),
+    "halt": (),
+}
+
+ALU_OPS = {
+    "add": lambda a, b: (a + b) & MASK64,
+    "sub": lambda a, b: (a - b) & MASK64,
+    "mul": lambda a, b: (a * b) & MASK64,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: (a << (b & 63)) & MASK64,
+    "shr": lambda a, b: a >> (b & 63),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    # Bit length of the first operand (x86 BSR / CUDA __clz); the second
+    # operand is ignored. Used by the integer-coding width search.
+    "blen": lambda a, b: a.bit_length(),
+}
+
+
+class Instr:
+    """One instruction; operands are register indices, immediates, or
+    label targets (resolved to instruction indices at assembly)."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op, args):
+        self.op = op
+        self.args = args
+
+    def __repr__(self):
+        return f"Instr({self.op}, {self.args})"
+
+
+#: Cycle weights for the performance models: memory operations and
+#: multiplies cost more than simple ALU operations on both platforms.
+DEFAULT_WEIGHTS = {
+    "load": 2.0,
+    "store": 2.0,
+    "mul_alu": 2.0,
+    "default": 1.0,
+}
+
+
+def weighted_cycles(op_counts, weights=DEFAULT_WEIGHTS):
+    """Convert an opcode histogram to weighted cycle counts."""
+    total = 0.0
+    for op, count in op_counts.items():
+        total += count * weights.get(op, weights["default"])
+    return total

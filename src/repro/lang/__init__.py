@@ -1,0 +1,40 @@
+"""The Fleet processing-unit language (Python-embedded DSL).
+
+See :class:`UnitBuilder` for the construction API and the paper's Section 3
+for the language definition this package reproduces.
+"""
+
+from .ast import (
+    BramDecl,
+    RegDecl,
+    UnitProgram,
+    VectorRegDecl,
+)
+from .builder import BramHandle, Expr, RegHandle, UnitBuilder, VectorRegHandle
+from .prover import ProofReport, prove_program
+from .errors import (
+    FleetError,
+    FleetRestrictionError,
+    FleetSimulationError,
+    FleetSyntaxError,
+    FleetWidthError,
+)
+
+__all__ = [
+    "BramDecl",
+    "BramHandle",
+    "Expr",
+    "FleetError",
+    "FleetRestrictionError",
+    "FleetSimulationError",
+    "FleetSyntaxError",
+    "FleetWidthError",
+    "ProofReport",
+    "RegDecl",
+    "RegHandle",
+    "UnitBuilder",
+    "UnitProgram",
+    "VectorRegDecl",
+    "VectorRegHandle",
+    "prove_program",
+]

@@ -1,0 +1,98 @@
+"""Static validation of Fleet programs.
+
+The paper enforces its language restrictions in the software simulator
+(dynamic checks, see :mod:`repro.interp.simulator`) and notes that a static
+analyzer could verify well-structured programs up front. We implement the
+statically decidable subset here:
+
+* no nested ``while`` loops;
+* no *dependent* BRAM reads: a BRAM read address — including the conditions
+  that select which address is read — may not itself depend on BRAM read
+  data from the same virtual cycle. This is what lets the compiler schedule
+  all reads in pipeline stage 1 and everything else in stage 2.
+
+The dynamic checks (at most one read/write per BRAM and one emit per virtual
+cycle, no conflicting concurrent assignments) depend on which conditions are
+true at runtime and stay in the simulator, exactly as in the paper.
+"""
+
+from . import ast
+from .errors import FleetRestrictionError, FleetSyntaxError
+
+
+def validate_program(program):
+    """Raise on statically detectable restriction violations."""
+    _check_no_nested_while(program.body, in_while=False)
+    _check_dependent_reads(program)
+
+
+def _check_no_nested_while(body, in_while):
+    for stmt in body:
+        if isinstance(stmt, ast.While):
+            if in_while:
+                raise FleetSyntaxError(
+                    "nested while loops are not supported (paper Section 3)"
+                )
+            _check_no_nested_while(stmt.body, in_while=True)
+        elif isinstance(stmt, ast.If):
+            for _, arm_body in stmt.arms:
+                _check_no_nested_while(arm_body, in_while)
+
+
+def _check_dependent_reads(program):
+    # A read inside a while condition would make while_done — and therefore
+    # the read-address mux selecting between loop and post-loop addresses —
+    # depend on same-cycle read data, a combinational cycle in the generated
+    # two-stage pipeline. Reject it whenever the program reads any BRAM.
+    while_cond_reads = any(
+        ast.contains_bram_read(stmt.cond)
+        for stmt in ast.walk_statements(program.body)
+        if isinstance(stmt, ast.While)
+    )
+    program_has_reads = any(
+        ast.contains_bram_read(e)
+        for stmt in ast.walk_statements(program.body)
+        for e in ast.statement_exprs(stmt)
+    )
+    if while_cond_reads and program_has_reads:
+        raise FleetRestrictionError(
+            "a while condition reads a BRAM; this makes every BRAM read "
+            "address in the program depend on same-cycle read data "
+            "(dependent reads are not allowed)"
+        )
+    _walk(program.body, guarded_by_read=False)
+
+
+def _walk(body, guarded_by_read):
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            for cond, arm_body in stmt.arms:
+                arm_guarded = guarded_by_read
+                if cond is not None:
+                    _check_expr(cond, guarded_by_read, context="condition")
+                    arm_guarded = arm_guarded or ast.contains_bram_read(cond)
+                _walk(arm_body, arm_guarded)
+        elif isinstance(stmt, ast.While):
+            _check_expr(stmt.cond, guarded_by_read, context="while condition")
+            loop_guarded = guarded_by_read or ast.contains_bram_read(stmt.cond)
+            _walk(stmt.body, loop_guarded)
+        else:
+            for expr in ast.statement_exprs(stmt):
+                _check_expr(expr, guarded_by_read, context="statement")
+
+
+def _check_expr(expr, guarded_by_read, context):
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.BramRead):
+            if guarded_by_read:
+                raise FleetRestrictionError(
+                    f"dependent BRAM read of {node.bram.name!r}: the {context}"
+                    " is gated by a condition that itself reads a BRAM, so "
+                    "its read address would depend on same-cycle read data"
+                )
+            if ast.contains_bram_read(node.addr):
+                raise FleetRestrictionError(
+                    f"dependent BRAM read: the address of a read of "
+                    f"{node.bram.name!r} contains another BRAM read "
+                    "(e.g. a[b[0]] is not allowed)"
+                )

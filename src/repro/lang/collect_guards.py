@@ -1,0 +1,103 @@
+"""Guard-annotated access gathering for the static prover.
+
+A lighter sibling of the compiler's collection pass: walks a program and
+records every BRAM read/write, emit, and register assignment together
+with its guard — the conjunction of enclosing conditions — plus whether
+it sits inside a ``while`` body (loop-body and post-loop statements can
+never share a virtual cycle).
+"""
+
+from . import ast
+
+
+class Guard:
+    __slots__ = ("terms", "needs_while_done")
+
+    def __init__(self, terms, needs_while_done):
+        self.terms = tuple(terms)  # (cond Node, polarity)
+        self.needs_while_done = needs_while_done
+
+
+class GuardInfo:
+    """One access: its guard, loop membership, and payload (e.g. the read
+    address node), with guard facts attached lazily by the prover."""
+
+    __slots__ = ("guard", "in_loop", "payload", "facts")
+
+    def __init__(self, guard, in_loop, payload=None):
+        self.guard = guard
+        self.in_loop = in_loop
+        self.payload = payload
+        self.facts = None
+
+
+class Accesses:
+    def __init__(self):
+        self.reads = {}  # BramDecl -> [GuardInfo(payload=addr node)]
+        self.writes = {}  # BramDecl -> [GuardInfo]
+        self.emits = []  # [GuardInfo]
+        self.reg_assigns = {}  # RegDecl -> [GuardInfo]
+
+
+def gather_accesses(program):
+    accesses = Accesses()
+    _walk(program.body, (), False, accesses)
+    # Attach facts eagerly (the prover reads .facts).
+    from .prover import guard_facts
+
+    for group in _all_groups(accesses):
+        for info in group:
+            info.facts = guard_facts(info.guard)
+    return accesses
+
+
+def _all_groups(accesses):
+    yield from accesses.reads.values()
+    yield from accesses.writes.values()
+    yield [info for info in accesses.emits]
+    yield from accesses.reg_assigns.values()
+
+
+def _walk(body, conds, in_loop, out):
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            negated = []
+            for cond, arm_body in stmt.arms:
+                arm_conds = conds + tuple(negated)
+                if cond is not None:
+                    _record_reads(cond, arm_conds, in_loop, out,
+                                  condition=True)
+                    _walk(arm_body, arm_conds + ((cond, True),),
+                          in_loop, out)
+                    negated.append((cond, False))
+                else:
+                    _walk(arm_body, arm_conds, in_loop, out)
+        elif isinstance(stmt, ast.While):
+            _record_reads(stmt.cond, conds, in_loop, out, condition=True)
+            _walk(stmt.body, conds + ((stmt.cond, True),), True, out)
+        else:
+            guard = Guard(conds, needs_while_done=not in_loop)
+            info_factory = lambda payload=None: GuardInfo(  # noqa: E731
+                guard, in_loop, payload
+            )
+            for expr in ast.statement_exprs(stmt):
+                _record_reads(expr, conds, in_loop, out,
+                              needs_while_done=not in_loop)
+            if isinstance(stmt, ast.Emit):
+                out.emits.append(info_factory())
+            elif isinstance(stmt, ast.BramWrite):
+                out.writes.setdefault(stmt.bram, []).append(info_factory())
+            elif isinstance(stmt, ast.RegAssign):
+                out.reg_assigns.setdefault(stmt.reg, []).append(
+                    info_factory()
+                )
+
+
+def _record_reads(expr, conds, in_loop, out, condition=False,
+                  needs_while_done=False):
+    guard = Guard(conds, needs_while_done and not condition)
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.BramRead):
+            out.reads.setdefault(node.bram, []).append(
+                GuardInfo(guard, in_loop, node.addr)
+            )

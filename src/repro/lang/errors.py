@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Fleet DSL and its simulators.
+
+The paper (Section 3) distinguishes between malformed programs (rejected at
+construction time) and violations of the language's BRAM/emit restrictions
+(detected by the software simulator). We mirror that split here.
+"""
+
+
+class FleetError(Exception):
+    """Base class for all errors raised by the Fleet reproduction."""
+
+
+class FleetSyntaxError(FleetError):
+    """The program is structurally malformed (bad builder usage, bad names,
+    nested while loops, and similar construction-time mistakes)."""
+
+
+class FleetWidthError(FleetError):
+    """A bit-width rule was violated (zero/negative widths, out-of-range
+    constants, slices outside an expression's width)."""
+
+
+class FleetRestrictionError(FleetError):
+    """A Fleet language restriction was violated: dependent BRAM reads,
+    more than one BRAM read or write per virtual cycle, more than one emit
+    per virtual cycle, or conflicting concurrent assignments.
+
+    Section 3 of the paper defines these restrictions; they are what allow
+    the compiler to always schedule one virtual cycle per real cycle.
+    """
+
+
+class FleetSimulationError(FleetError):
+    """The simulator was driven incorrectly (reading outputs before running,
+    token values that do not fit the declared token width, etc.)."""

@@ -1,0 +1,208 @@
+"""Reusable building blocks for Fleet processing units.
+
+The paper notes (Section 7.2) that managing patterns like the division of
+output words into 8-bit chunks "was fairly complex. We hope to add
+library code to Fleet to simplify this and other common patterns." This
+module is that library: each helper generates the registers and
+statements for one pattern on a caller-supplied :class:`UnitBuilder`.
+
+All helpers follow the same conventions as hand-written units — one BRAM
+access and one emit per virtual cycle, concurrent assignment semantics —
+so they compose with user logic and with each other (subject to the usual
+restrictions).
+"""
+
+from .builder import UnitBuilder  # noqa: F401  (documented entry point)
+
+
+def saturating_sub(b, value, amount):
+    """``max(0, value - amount)`` in unsigned logic."""
+    return b.mux(value >= amount, value - amount, b.const(0, 1))
+
+
+def saturating_add(b, value, amount, *, width):
+    """``min(2**width - 1, value + amount)``."""
+    total = value + amount
+    limit = (1 << width) - 1
+    return b.mux(total > limit, b.const(limit, width), total.bits(
+        width - 1, 0
+    ) if total.width > width else total)
+
+
+def max_tree(b, values):
+    """Maximum of a list of expressions, as a balanced compare tree
+    (log-depth, the structure a synthesis tool builds for wide maxes)."""
+    values = list(values)
+    if not values:
+        raise ValueError("max_tree of nothing")
+    while len(values) > 1:
+        paired = []
+        for i in range(0, len(values) - 1, 2):
+            x, y = values[i], values[i + 1]
+            paired.append(b.wire(b.mux(x >= y, x, y)))
+        if len(values) % 2:
+            paired.append(values[-1])
+        values = paired
+    return values[0]
+
+
+def min_tree(b, values):
+    """Minimum of a list of expressions (see :func:`max_tree`)."""
+    values = list(values)
+    if not values:
+        raise ValueError("min_tree of nothing")
+    while len(values) > 1:
+        paired = []
+        for i in range(0, len(values) - 1, 2):
+            x, y = values[i], values[i + 1]
+            paired.append(b.wire(b.mux(x <= y, x, y)))
+        if len(values) % 2:
+            paired.append(values[-1])
+        values = paired
+    return values[0]
+
+
+def popcount(b, value):
+    """Number of set bits, as an adder tree over the bits."""
+    bits = [value.bit(i) for i in range(value.width)]
+    while len(bits) > 1:
+        paired = []
+        for i in range(0, len(bits) - 1, 2):
+            paired.append(b.wire(bits[i] + bits[i + 1]))
+        if len(bits) % 2:
+            paired.append(bits[-1])
+        bits = paired
+    return bits[0]
+
+
+def one_hot(b, index, width):
+    """``1 << index`` truncated to ``width`` bits."""
+    return (b.const(1, 1) << index).bits(width - 1, 0)
+
+
+class WordAssembler:
+    """Assembles little-endian multi-byte words from 8-bit tokens.
+
+    The pattern every word-oriented unit in this repo hand-rolls: a shift
+    register plus a byte counter. Call :meth:`step` once per input token
+    (inside the caller's ``!stream_finished`` guard); ``word_ready`` is
+    true on the token that completes a word, and ``word`` is the
+    completed value on that virtual cycle.
+    """
+
+    def __init__(self, b, name, *, word_bytes=4):
+        self.b = b
+        self.word_bytes = word_bytes
+        self._shift = b.reg(f"{name}_shift", width=8 * word_bytes)
+        self._count = b.reg(
+            f"{name}_count",
+            width=max(1, (word_bytes - 1).bit_length()) + 1,
+            init=0,
+        )
+        self._stepped = False
+
+    def step(self):
+        """Emit the per-token statements; call exactly once."""
+        if self._stepped:
+            raise RuntimeError("WordAssembler.step() called twice")
+        self._stepped = True
+        b = self.b
+        w = 8 * self.word_bytes
+        self._current = b.wire(
+            b.cat(b.input, self._shift.bits(w - 1, 8)),
+            name=f"{self._shift.decl.name}_cur",
+        )
+        self._shift.set(self._current)
+        last = self._count == self.word_bytes - 1
+        self._count.set(b.mux(last, 0, self._count + 1))
+        self._ready = b.wire(last)
+
+    @property
+    def word_ready(self):
+        """1-bit: the current token completes a word."""
+        self._require_step()
+        return self._ready
+
+    @property
+    def word(self):
+        """The completed word (valid when :attr:`word_ready`)."""
+        self._require_step()
+        return self._current
+
+    def _require_step(self):
+        if not self._stepped:
+            raise RuntimeError("call WordAssembler.step() first")
+
+
+class BytePacker:
+    """Packs variable-width fields into an 8-bit output stream.
+
+    The integer-coding emission machinery, generalized: an accumulator
+    plus a bit counter. Drive it from a ``while`` loop, one action per
+    virtual cycle:
+
+    * when :attr:`byte_ready` — call :meth:`emit_byte` (one emit);
+    * otherwise call :meth:`insert` with up to ``max_field_width`` bits;
+    * finally :meth:`flush_byte` pads the tail to a byte boundary.
+
+    ``acc_width`` must cover ``7 + max_field_width`` bits.
+    """
+
+    def __init__(self, b, name, *, max_field_width=32):
+        self.b = b
+        acc_width = 7 + max_field_width + 1
+        self._acc = b.reg(f"{name}_acc", width=acc_width, init=0)
+        self._bits = b.reg(
+            f"{name}_bits", width=max(4, acc_width.bit_length()), init=0
+        )
+
+    @property
+    def byte_ready(self):
+        """At least one full byte is buffered."""
+        return self._bits >= 8
+
+    @property
+    def empty(self):
+        return self._bits == 0
+
+    def insert(self, value, width_expr):
+        """Append ``value``'s low ``width_expr`` bits (call only when
+        ``byte_ready`` is false, so the shift distance stays under 8)."""
+        b = self.b
+        shifted = (value << self._bits.bits(2, 0))
+        self._acc.set(self._acc | shifted)
+        self._bits.set(self._bits + width_expr)
+
+    def emit_byte(self):
+        """Emit the low byte and shift it out."""
+        b = self.b
+        b.emit(self._acc.bits(7, 0))
+        self._acc.set(self._acc >> 8)
+        self._bits.set(self._bits - 8)
+
+    def flush_byte(self):
+        """Emit the final zero-padded partial byte and reset."""
+        b = self.b
+        b.emit(self._acc.bits(7, 0))
+        self._acc.set(0)
+        self._bits.set(0)
+
+
+class BlockCounter:
+    """Counts items per block and pulses on block completion — the
+    histogram/Bloom block pattern with the conflict-free mux update."""
+
+    def __init__(self, b, name, block_size):
+        self.b = b
+        self.block_size = block_size
+        self._count = b.reg(
+            f"{name}_count", width=max(1, block_size.bit_length()), init=0
+        )
+
+    def step(self):
+        """Advance by one item; returns the 1-bit 'block completed' pulse
+        for this virtual cycle. Call once per item."""
+        b = self.b
+        last = b.wire(self._count == self.block_size - 1)
+        self._count.set(b.mux(last, 0, self._count + 1))
+        return last

@@ -1,0 +1,282 @@
+"""Static proof of the Fleet language restrictions.
+
+The paper checks its restrictions dynamically in the software simulator
+and notes that "a static analyzer could also guarantee that certain
+well-structured programs do not violate the restrictions" (Section 3).
+This module is that analyzer: :func:`prove_program` attempts to prove,
+for every pair of syntactic accesses that would conflict if they executed
+in the same virtual cycle, that their guards are mutually exclusive.
+
+Conflicts checked: two reads of one BRAM (at different addresses), two
+writes of one BRAM, two emits, and two assignments to one register. A
+pair is proven exclusive when any of these holds:
+
+* **negation** — one guard contains a condition the other contains
+  negated (the same condition *object*, as ``elif``/``otherwise`` arms
+  produce);
+* **interval separation** — both guards constrain the same (structurally
+  equal) expression to disjoint value ranges, via ``==``, ``<``, ``<=``,
+  ``>``, ``>=`` terms against constants, decomposed through ``and``/``or``
+  with De Morgan's laws;
+* **loop phase** — one access is inside a ``while`` body and the other
+  outside every loop: loop-body statements run only on virtual cycles
+  where some loop is active, post-loop statements only when none is;
+* **same address** — two reads with structurally identical addresses
+  need only one port.
+
+The prover is sound but incomplete: a failed proof is reported, not an
+error — exactly the paper's split, where the dynamic simulator remains
+the authority. All six evaluation applications are proven clean (see the
+test suite), so the dynamic checks can be disabled for them with
+confidence.
+"""
+
+from . import ast
+from .collect_guards import GuardInfo, gather_accesses
+
+
+class Conflict:
+    """One unproven pair of potentially conflicting accesses."""
+
+    def __init__(self, resource, kind, first, second):
+        self.resource = resource
+        self.kind = kind  # "read" | "write" | "emit" | "assign"
+        self.first = first
+        self.second = second
+
+    def __repr__(self):
+        return f"Conflict({self.kind} of {self.resource!r})"
+
+
+class ProofReport:
+    """Outcome of :func:`prove_program`."""
+
+    def __init__(self, conflicts):
+        self.conflicts = conflicts
+
+    @property
+    def ok(self):
+        return not self.conflicts
+
+    def __repr__(self):
+        return f"ProofReport(ok={self.ok}, conflicts={len(self.conflicts)})"
+
+
+# ---------------------------------------------------------------------------
+# Structural expression keys
+# ---------------------------------------------------------------------------
+
+
+def structural_key(node):
+    """A hashable, structure-identifying key for an expression."""
+    if isinstance(node, ast.Const):
+        return ("const", node.value, node.width)
+    if isinstance(node, ast.InputToken):
+        return ("input", node.width)
+    if isinstance(node, ast.StreamFinished):
+        return ("sf",)
+    if isinstance(node, ast.RegRead):
+        return ("reg", id(node.reg))
+    if isinstance(node, ast.WireRead):
+        return ("wire",) + (structural_key(node.wire.value),)
+    if isinstance(node, ast.VectorRegRead):
+        return ("vreg", id(node.vreg), structural_key(node.index))
+    if isinstance(node, ast.BramRead):
+        return ("bram", id(node.bram), structural_key(node.addr))
+    if isinstance(node, ast.BinOp):
+        return ("bin", node.op, structural_key(node.lhs),
+                structural_key(node.rhs))
+    if isinstance(node, ast.UnOp):
+        return ("un", node.op, structural_key(node.operand))
+    if isinstance(node, ast.Mux):
+        return ("mux", structural_key(node.cond),
+                structural_key(node.then), structural_key(node.els))
+    if isinstance(node, ast.Slice):
+        return ("slice", node.hi, node.lo, structural_key(node.operand))
+    if isinstance(node, ast.Concat):
+        return ("cat",) + tuple(structural_key(p) for p in node.parts)
+    raise TypeError(f"unkeyable node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Guard facts: literal sets and interval constraints
+# ---------------------------------------------------------------------------
+
+_FLIP = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt",
+         "eq": "ne", "ne": "eq"}
+_SWAP = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le",
+         "eq": "eq", "ne": "ne"}
+
+
+class _Facts:
+    """Conjunctive facts extracted from one guard."""
+
+    def __init__(self):
+        self.literals = {}  # id(cond node) -> polarity
+        self.intervals = {}  # structural key -> [lo, hi]
+        self.excluded = {}  # structural key -> set of excluded values
+        self.contradictory = False
+
+    def add_literal(self, node, polarity):
+        seen = self.literals.get(id(node))
+        if seen is not None and seen != polarity:
+            self.contradictory = True
+        self.literals[id(node)] = polarity
+
+    def bound(self, key, lo=None, hi=None):
+        interval = self.intervals.setdefault(key, [0, None])
+        if lo is not None:
+            interval[0] = max(interval[0], lo)
+        if hi is not None:
+            interval[1] = hi if interval[1] is None else min(
+                interval[1], hi
+            )
+        if interval[1] is not None and interval[0] > interval[1]:
+            self.contradictory = True
+
+    def exclude(self, key, value):
+        self.excluded.setdefault(key, set()).add(value)
+
+
+def _as_comparison(node):
+    """Normalize ``expr OP const`` / ``const OP expr`` to
+    ``(op, expr, value)`` or None."""
+    if not isinstance(node, ast.BinOp) or node.op not in _SWAP:
+        return None
+    if isinstance(node.rhs, ast.Const):
+        return node.op, node.lhs, node.rhs.value
+    if isinstance(node.lhs, ast.Const):
+        return _SWAP[node.op], node.rhs, node.lhs.value
+    return None
+
+
+def _add_term(facts, node, polarity):
+    """Decompose a 1-bit condition term into facts."""
+    facts.add_literal(node, polarity)
+    if isinstance(node, ast.WireRead):
+        _add_term(facts, node.wire.value, polarity)
+        return
+    if isinstance(node, ast.UnOp) and node.op == "lnot":
+        _add_term(facts, node.operand, not polarity)
+        return
+    if isinstance(node, ast.BinOp) and node.op == "and" and polarity:
+        _add_term(facts, node.lhs, True)
+        _add_term(facts, node.rhs, True)
+        return
+    if isinstance(node, ast.BinOp) and node.op == "or" and not polarity:
+        _add_term(facts, node.lhs, False)
+        _add_term(facts, node.rhs, False)
+        return
+    comparison = _as_comparison(node)
+    if comparison is None:
+        return
+    op, expr, value = comparison
+    if not polarity:
+        op = _FLIP[op]
+    key = structural_key(expr)
+    if op == "eq":
+        facts.bound(key, lo=value, hi=value)
+    elif op == "ne":
+        facts.exclude(key, value)
+    elif op == "lt":
+        facts.bound(key, hi=value - 1)
+    elif op == "le":
+        facts.bound(key, hi=value)
+    elif op == "gt":
+        facts.bound(key, lo=value + 1)
+    elif op == "ge":
+        facts.bound(key, lo=value)
+
+
+def guard_facts(guard):
+    facts = _Facts()
+    for cond, polarity in guard.terms:
+        _add_term(facts, cond, polarity)
+    return facts
+
+
+def _exclusive(info_a, info_b):
+    """Can accesses guarded by ``info_a`` and ``info_b`` ever co-fire?"""
+    a, b = info_a.facts, info_b.facts
+    if a.contradictory or b.contradictory:
+        return True  # an unsatisfiable guard never fires
+    # Loop phase: a loop-body access vs a post-loop access.
+    if info_a.in_loop != info_b.in_loop and (
+        info_a.guard.needs_while_done or info_b.guard.needs_while_done
+    ):
+        return True
+    # Literal negation.
+    for node_id, polarity in a.literals.items():
+        other = b.literals.get(node_id)
+        if other is not None and other != polarity:
+            return True
+    # Interval separation / equality-vs-exclusion on a shared expression.
+    for key, (lo_a, hi_a) in a.intervals.items():
+        if key in b.intervals:
+            lo_b, hi_b = b.intervals[key]
+            if hi_a is not None and lo_b > hi_a:
+                return True
+            if hi_b is not None and lo_a > hi_b:
+                return True
+        if lo_a == (hi_a if hi_a is not None else None):
+            if lo_a in b.excluded.get(key, ()):
+                return True
+    for key, (lo_b, hi_b) in b.intervals.items():
+        if lo_b == (hi_b if hi_b is not None else None):
+            if lo_b in a.excluded.get(key, ()):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Program-level proof
+# ---------------------------------------------------------------------------
+
+
+class _Access:
+    def __init__(self, guard, in_loop, payload):
+        self.guard = guard
+        self.in_loop = in_loop
+        self.payload = payload
+        self.facts = guard_facts(guard)
+
+
+def prove_program(program):
+    """Attempt to prove the per-virtual-cycle restrictions statically."""
+    accesses = gather_accesses(program)
+    conflicts = []
+
+    def check(kind, resource_name, items, same_ok=None):
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                first, second = items[i], items[j]
+                if same_ok and same_ok(first, second):
+                    continue
+                if not _exclusive(first, second):
+                    conflicts.append(
+                        Conflict(resource_name, kind, first, second)
+                    )
+
+    for bram, reads in accesses.reads.items():
+        check(
+            "read", bram.name, reads,
+            same_ok=lambda x, y: structural_key(x.payload)
+            == structural_key(y.payload),
+        )
+    for bram, writes in accesses.writes.items():
+        check("write", bram.name, writes)
+    check("emit", "<output>", accesses.emits)
+    for reg, assigns in accesses.reg_assigns.items():
+        check("assign", reg.name, assigns)
+    return ProofReport(conflicts)
+
+
+# Re-exported for introspection/tests.
+__all__ = [
+    "Conflict",
+    "GuardInfo",
+    "ProofReport",
+    "guard_facts",
+    "prove_program",
+    "structural_key",
+]

@@ -1,0 +1,61 @@
+"""Bit-width arithmetic for the Fleet DSL.
+
+All Fleet values are fixed-width unsigned integers, as in the paper's
+examples (state elements are declared with explicit bit counts and the
+generated RTL operates on unsigned buses). Widths follow Chisel-style
+inference rules:
+
+* ``a + b`` / ``a - b``  ->  ``max(w(a), w(b)) + 1``   (carry/borrow bit)
+* ``a * b``              ->  ``w(a) + w(b)``
+* bitwise ops            ->  ``max(w(a), w(b))``
+* comparisons            ->  1 bit
+* ``a << k`` (const k)   ->  ``w(a) + k``
+* ``a >> k``             ->  ``w(a)`` (zero fill)
+
+Assignment to a state element truncates to the element's declared width,
+and all evaluation wraps modulo ``2**width``.
+"""
+
+from .errors import FleetWidthError
+
+#: Widest value the simulators will manipulate. Purely a sanity bound to
+#: catch runaway width inference (e.g. shifting by a huge amount).
+MAX_WIDTH = 4096
+
+
+def check_width(width):
+    """Validate a declared or inferred bit width, returning it unchanged."""
+    if not isinstance(width, int) or isinstance(width, bool):
+        raise FleetWidthError(f"width must be an int, got {width!r}")
+    if width < 1:
+        raise FleetWidthError(f"width must be >= 1, got {width}")
+    if width > MAX_WIDTH:
+        raise FleetWidthError(f"width {width} exceeds MAX_WIDTH={MAX_WIDTH}")
+    return width
+
+
+def mask(width):
+    """All-ones mask for ``width`` bits."""
+    return (1 << width) - 1
+
+
+def truncate(value, width):
+    """Wrap ``value`` to an unsigned ``width``-bit integer."""
+    return value & mask(width)
+
+
+def bits_for(value):
+    """Minimum width able to hold the non-negative integer ``value``.
+
+    Zero still needs one bit of storage, so ``bits_for(0) == 1``.
+    """
+    if value < 0:
+        raise FleetWidthError(
+            f"Fleet values are unsigned; cannot infer a width for {value}"
+        )
+    return max(1, value.bit_length())
+
+
+def fits(value, width):
+    """Whether the non-negative integer ``value`` fits in ``width`` bits."""
+    return 0 <= value <= mask(width)

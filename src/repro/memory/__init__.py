@@ -1,0 +1,26 @@
+"""The Fleet multi-stream memory system (paper Section 5): DRAM/AXI4
+channel model, round-robin input/output controllers with asynchronous
+address supply and burst registers, and behavioral PU models."""
+
+from .channel import ChannelStats, ChannelSystem, simulate_channels
+from .config import MemoryConfig
+from .dram import DramChannel
+from .functional_pu import FunctionalPu
+from .input_controller import InputController
+from .output_controller import OutputController
+from .pu_model import BasePu, EchoPu, RatePu, SinkPu
+
+__all__ = [
+    "BasePu",
+    "ChannelStats",
+    "ChannelSystem",
+    "DramChannel",
+    "EchoPu",
+    "FunctionalPu",
+    "InputController",
+    "MemoryConfig",
+    "OutputController",
+    "RatePu",
+    "SinkPu",
+    "simulate_channels",
+]

@@ -1,0 +1,124 @@
+"""One complete memory channel: DRAM + input controller + output controller
++ the processing units they serve.
+
+The paper instantiates a separate input and output controller per AXI4
+channel with no cross-channel coordination, so the full 4-channel F1
+system is simulated as independent channels and aggregated
+(:func:`simulate_channels`).
+"""
+
+from .dram import DramChannel
+from .input_controller import InputController
+from .output_controller import OutputController
+
+
+class ChannelStats:
+    """Results of one channel simulation."""
+
+    def __init__(self, cycles, bytes_in, bytes_out, config):
+        self.cycles = cycles
+        self.bytes_in = bytes_in
+        self.bytes_out = bytes_out
+        self.config = config
+
+    @property
+    def input_gbps(self):
+        return self.config.gbps(self.bytes_in, self.cycles)
+
+    @property
+    def output_gbps(self):
+        return self.config.gbps(self.bytes_out, self.cycles)
+
+    def __repr__(self):
+        return (
+            f"ChannelStats(cycles={self.cycles}, in={self.input_gbps:.2f} "
+            f"GB/s, out={self.output_gbps:.2f} GB/s)"
+        )
+
+
+class ChannelSystem:
+    """Cycle-steps one channel until the work drains or a horizon hits."""
+
+    def __init__(self, config, pus, data=None, stream_bases=None,
+                 out_bases=None):
+        self.config = config
+        self.pus = pus
+        self.dram = DramChannel(config, data=data)
+        self.input_controller = InputController(
+            config, self.dram, pus, stream_bases
+        )
+        self.output_controller = OutputController(
+            config, self.dram, pus, out_bases
+        )
+        self.cycle = 0
+
+    def step(self):
+        now = self.cycle
+        self.input_controller.submit_addresses(now)
+        self.output_controller.submit_addresses(now)
+        self.output_controller.push_data(now)
+        accept = self.input_controller.can_accept_beat(now)
+        # The channel only transfers a read beat when the controller has a
+        # burst register for it (the AXI R-channel ready signal).
+        delivered = self.dram.step(read_accept=accept)
+        if delivered is not None:
+            tag, beat, last, payload = delivered
+            self.input_controller.accept_beat(now, tag, beat, last, payload)
+        self.output_controller.release(now)
+        self.cycle += 1
+
+    def drained(self):
+        """All input delivered to PUs, all PU output written back."""
+        now = self.cycle
+        if not self.input_controller.finished:
+            return False
+        if any(reg.free_at > now for reg in
+               self.input_controller._registers):
+            return False
+        for pu in self.pus:
+            if not pu.output_finished(now) or pu.output_available(now):
+                return False
+        return self.output_controller.finished
+
+    def run(self, max_cycles=2_000_000):
+        """Run to completion (or the horizon); returns :class:`ChannelStats`."""
+        while self.cycle < max_cycles and not self.drained():
+            self.step()
+        return ChannelStats(
+            self.cycle,
+            self.input_controller.bytes_delivered,
+            self.output_controller.bytes_accepted,
+            self.config,
+        )
+
+    def run_for(self, cycles):
+        """Run exactly ``cycles`` cycles (throughput measurements)."""
+        for _ in range(cycles):
+            self.step()
+        return ChannelStats(
+            self.cycle,
+            self.input_controller.bytes_delivered,
+            self.output_controller.bytes_accepted,
+            self.config,
+        )
+
+
+def simulate_channels(config, make_pus, channels=4, data=None,
+                      max_cycles=2_000_000, fixed_cycles=None):
+    """Simulate ``channels`` independent channels (the paper's F1 has four)
+    and aggregate their throughput.
+
+    ``make_pus(channel_index)`` returns the PU list for one channel.
+    """
+    total_in = total_out = 0
+    worst_cycles = 0
+    for index in range(channels):
+        system = ChannelSystem(config, make_pus(index), data=data)
+        if fixed_cycles is not None:
+            stats = system.run_for(fixed_cycles)
+        else:
+            stats = system.run(max_cycles=max_cycles)
+        total_in += stats.bytes_in
+        total_out += stats.bytes_out
+        worst_cycles = max(worst_cycles, stats.cycles)
+    return ChannelStats(worst_cycles, total_in, total_out, config)

@@ -1,0 +1,99 @@
+"""Configuration for the Fleet memory system simulation (paper Section 5).
+
+Defaults model the Amazon F1 setup the paper evaluates: a 512-bit AXI4 data
+bus per DDR3 channel at a 125 MHz logic clock, 1024-bit bursts (two
+transfers), 32-bit processing-unit buffer ports, and ``r = 512/32 = 16``
+burst registers per controller.
+
+The DRAM timing constants are calibrated to public DDR3 behaviour at this
+clock: ~30 cycles of access latency, ~6% of cycles lost to refresh
+(tRFC/tREFI), and an occasional extra cycle of bank-management overhead per
+request. Section 7.3's measured numbers fall out of these plus the
+architecture itself — see ``benchmarks/bench_figure9_memctrl.py``.
+"""
+
+
+class MemoryConfig:
+    """Tunable parameters for one memory channel and its controllers."""
+
+    def __init__(
+        self,
+        *,
+        bus_bytes=64,  # 512-bit AXI4 data bus
+        beats_per_burst=2,  # 1024-bit bursts (the paper's default)
+        dram_latency=30,  # cycles from address accept to first beat
+        refresh_interval=128,  # a refresh window every this many cycles
+        refresh_cycles=8,  # bus idle cycles per refresh window (~6%)
+        bank_gap_every=5,  # one extra idle cycle per this many requests
+        bank_gap_cycles=1,
+        turnaround_cycles=6,  # bus direction-switch penalty
+        max_direction_beats=64,  # batch this many beats before switching
+        port_width_bits=32,  # PU input/output buffer data port width
+        burst_registers=16,  # r = bus_bits / port_width_bits
+        async_addressing=True,  # paper's asynchronous address supply
+        max_outstanding=None,  # address-ahead window (default: 2r)
+        input_blocking=True,  # paper default: blocking input addressing
+        output_blocking=False,  # paper default: nonblocking output
+        frequency_hz=125_000_000,
+    ):
+        self.bus_bytes = bus_bytes
+        self.beats_per_burst = beats_per_burst
+        self.dram_latency = dram_latency
+        self.refresh_interval = refresh_interval
+        self.refresh_cycles = refresh_cycles
+        self.bank_gap_every = bank_gap_every
+        self.bank_gap_cycles = bank_gap_cycles
+        self.turnaround_cycles = turnaround_cycles
+        self.max_direction_beats = max_direction_beats
+        self.port_width_bits = port_width_bits
+        self.burst_registers = burst_registers
+        self.async_addressing = async_addressing
+        self.max_outstanding = (
+            max_outstanding if max_outstanding is not None
+            else 2 * burst_registers
+        )
+        self.input_blocking = input_blocking
+        self.output_blocking = output_blocking
+        self.frequency_hz = frequency_hz
+
+    @property
+    def burst_bytes(self):
+        """Bytes per DRAM burst (and per PU buffer refill)."""
+        return self.bus_bytes * self.beats_per_burst
+
+    @property
+    def drain_cycles(self):
+        """Cycles to move one burst between a burst register and a PU
+        buffer through the PU's narrow port."""
+        port_bytes = self.port_width_bits // 8
+        return (self.burst_bytes + port_bytes - 1) // port_bytes
+
+    def gbps(self, total_bytes, cycles):
+        """Convert a byte count over a cycle count to GB/s."""
+        if cycles == 0:
+            return 0.0
+        return total_bytes / cycles * self.frequency_hz / 1e9
+
+    def replace(self, **overrides):
+        """A copy of this config with some fields changed."""
+        fields = dict(
+            bus_bytes=self.bus_bytes,
+            beats_per_burst=self.beats_per_burst,
+            dram_latency=self.dram_latency,
+            refresh_interval=self.refresh_interval,
+            refresh_cycles=self.refresh_cycles,
+            bank_gap_every=self.bank_gap_every,
+            bank_gap_cycles=self.bank_gap_cycles,
+            turnaround_cycles=self.turnaround_cycles,
+            max_direction_beats=self.max_direction_beats,
+            port_width_bits=self.port_width_bits,
+            burst_registers=self.burst_registers,
+            async_addressing=self.async_addressing,
+            max_outstanding=None if "burst_registers" in overrides
+            else self.max_outstanding,
+            input_blocking=self.input_blocking,
+            output_blocking=self.output_blocking,
+            frequency_hz=self.frequency_hz,
+        )
+        fields.update(overrides)
+        return MemoryConfig(**fields)

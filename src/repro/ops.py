@@ -1,0 +1,79 @@
+"""Operator tables shared by the Fleet DSL, the RTL IR, and both simulators.
+
+Each operator has a width-inference rule and an evaluation function over
+unsigned Python integers. Evaluation functions receive already-masked
+operands and must return a value that the caller masks to the result width;
+this keeps wrap-around semantics in exactly one place.
+"""
+
+from .lang.errors import FleetWidthError
+from .lang.types import MAX_WIDTH, mask
+
+# ---------------------------------------------------------------------------
+# Binary operators
+# ---------------------------------------------------------------------------
+
+#: op name -> (width_rule, eval_fn). ``width_rule(wl, wr)`` returns the
+#: result width; ``eval_fn(a, b, wl, wr)`` returns the unmasked result.
+BINOPS = {
+    "add": (lambda wl, wr: max(wl, wr) + 1, lambda a, b, wl, wr: a + b),
+    "sub": (lambda wl, wr: max(wl, wr) + 1, lambda a, b, wl, wr: a - b),
+    "mul": (lambda wl, wr: wl + wr, lambda a, b, wl, wr: a * b),
+    "and": (lambda wl, wr: max(wl, wr), lambda a, b, wl, wr: a & b),
+    "or": (lambda wl, wr: max(wl, wr), lambda a, b, wl, wr: a | b),
+    "xor": (lambda wl, wr: max(wl, wr), lambda a, b, wl, wr: a ^ b),
+    "eq": (lambda wl, wr: 1, lambda a, b, wl, wr: int(a == b)),
+    "ne": (lambda wl, wr: 1, lambda a, b, wl, wr: int(a != b)),
+    "lt": (lambda wl, wr: 1, lambda a, b, wl, wr: int(a < b)),
+    "le": (lambda wl, wr: 1, lambda a, b, wl, wr: int(a <= b)),
+    "gt": (lambda wl, wr: 1, lambda a, b, wl, wr: int(a > b)),
+    "ge": (lambda wl, wr: 1, lambda a, b, wl, wr: int(a >= b)),
+    # Dynamic shifts: the shift amount is an expression. The result width of
+    # a dynamic left shift grows by the largest representable amount, which
+    # is why real designs (and our apps) shift by constants where possible.
+    "shl": (
+        lambda wl, wr: _bounded(wl + mask(wr)),
+        lambda a, b, wl, wr: a << b,
+    ),
+    "shr": (lambda wl, wr: wl, lambda a, b, wl, wr: a >> b),
+}
+
+#: Unary operator name -> (width_rule, eval_fn).
+UNOPS = {
+    "not": (lambda w: w, lambda a, w: ~a),  # bitwise complement
+    "lnot": (lambda w: 1, lambda a, w: int(a == 0)),  # logical negation
+    "orr": (lambda w: 1, lambda a, w: int(a != 0)),  # OR-reduce
+    "andr": (lambda w: 1, lambda a, w: int(a == mask(w))),  # AND-reduce
+    "xorr": (lambda w: 1, lambda a, w: bin(a).count("1") & 1),  # parity
+}
+
+
+def _bounded(width):
+    if width > MAX_WIDTH:
+        raise FleetWidthError(
+            f"inferred width {width} exceeds MAX_WIDTH={MAX_WIDTH}; "
+            "shift by a constant or mask the shift amount first"
+        )
+    return width
+
+
+def binop_width(op, wl, wr):
+    """Result width of binary ``op`` applied to widths ``wl`` and ``wr``."""
+    return BINOPS[op][0](wl, wr)
+
+
+def eval_binop(op, a, b, wl, wr):
+    """Evaluate binary ``op``, masking the result to its inferred width."""
+    rule, fn = BINOPS[op]
+    return fn(a, b, wl, wr) & mask(rule(wl, wr))
+
+
+def unop_width(op, w):
+    """Result width of unary ``op`` applied to width ``w``."""
+    return UNOPS[op][0](w)
+
+
+def eval_unop(op, a, w):
+    """Evaluate unary ``op``, masking the result to its inferred width."""
+    rule, fn = UNOPS[op]
+    return fn(a, w) & mask(rule(w))

@@ -1,0 +1,44 @@
+"""RTL intermediate representation, cycle-accurate simulation, and Verilog
+emission — the hardware substrate the Fleet compiler targets."""
+
+from .ir import (
+    BinOp,
+    BramSpec,
+    Concat,
+    Const,
+    Module,
+    Mux,
+    RegSpec,
+    Signal,
+    Slice,
+    UnOp,
+    Value,
+    cat,
+    mux,
+    truncate,
+    wrap,
+    zext,
+)
+from .simulator import RtlSimulator
+from .verilog import emit_verilog
+
+__all__ = [
+    "BinOp",
+    "BramSpec",
+    "Concat",
+    "Const",
+    "Module",
+    "Mux",
+    "RegSpec",
+    "RtlSimulator",
+    "Signal",
+    "Slice",
+    "UnOp",
+    "Value",
+    "cat",
+    "emit_verilog",
+    "mux",
+    "truncate",
+    "wrap",
+    "zext",
+]

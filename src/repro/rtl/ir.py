@@ -1,0 +1,442 @@
+"""A small synthesizable RTL intermediate representation.
+
+This is the substrate the Fleet compiler targets — the Python analogue of
+the Chisel RTL the paper's compiler emits. A :class:`Module` contains:
+
+* input and output ports,
+* named combinational wires (single assignment, no cycles),
+* registers with an init value, a next-value expression, and an optional
+  write-enable,
+* BRAM primitives with one read port and one write port and **one cycle of
+  read latency** (read-during-write to the same address returns the old
+  value), matching the technology BRAMs the paper describes.
+
+Everything is an unsigned bit vector. Width inference reuses the shared
+operator tables in :mod:`repro.ops`, and :mod:`repro.rtl.simulator` executes
+modules cycle by cycle. :mod:`repro.rtl.verilog` pretty-prints a module as
+synthesizable Verilog.
+"""
+
+from ..lang.errors import FleetSyntaxError, FleetWidthError
+from ..lang.types import check_width, fits, mask
+from ..ops import binop_width, unop_width
+
+
+class Value:
+    """Base class for IR expressions; provides operator sugar.
+
+    Comparison helpers are methods (``a.eq(b)``) rather than rich-comparison
+    overloads so that IR objects keep default identity semantics in dicts
+    and sets.
+    """
+
+    __slots__ = ("width",)
+
+    def children(self):
+        return ()
+
+    # -- arithmetic / bitwise sugar -----------------------------------------
+    def __add__(self, other):
+        return BinOp("add", self, wrap(other))
+
+    def __sub__(self, other):
+        return BinOp("sub", self, wrap(other))
+
+    def __mul__(self, other):
+        return BinOp("mul", self, wrap(other))
+
+    def __and__(self, other):
+        return BinOp("and", self, wrap(other))
+
+    def __or__(self, other):
+        return BinOp("or", self, wrap(other))
+
+    def __xor__(self, other):
+        return BinOp("xor", self, wrap(other))
+
+    def __invert__(self):
+        return UnOp("not", self)
+
+    def __lshift__(self, other):
+        return BinOp("shl", self, wrap(other))
+
+    def __rshift__(self, other):
+        return BinOp("shr", self, wrap(other))
+
+    # -- comparisons ---------------------------------------------------------
+    def eq(self, other):
+        return BinOp("eq", self, wrap(other))
+
+    def ne(self, other):
+        return BinOp("ne", self, wrap(other))
+
+    def lt(self, other):
+        return BinOp("lt", self, wrap(other))
+
+    def le(self, other):
+        return BinOp("le", self, wrap(other))
+
+    def gt(self, other):
+        return BinOp("gt", self, wrap(other))
+
+    def ge(self, other):
+        return BinOp("ge", self, wrap(other))
+
+    # -- reductions / logic ----------------------------------------------------
+    def lnot(self):
+        """1 iff zero."""
+        return UnOp("lnot", self)
+
+    def orr(self):
+        """OR-reduce."""
+        return UnOp("orr", self)
+
+    def andr(self):
+        """AND-reduce."""
+        return UnOp("andr", self)
+
+    def bits(self, hi, lo):
+        return Slice(self, hi, lo)
+
+    def bit(self, i):
+        return Slice(self, i, i)
+
+
+def wrap(value):
+    """Coerce Python ints to :class:`Const`."""
+    if isinstance(value, Value):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value), 1)
+    if isinstance(value, int):
+        return Const(value)
+    raise FleetSyntaxError(f"not an RTL value: {value!r}")
+
+
+class Const(Value):
+    __slots__ = ("value",)
+
+    def __init__(self, value, width=None):
+        if value < 0:
+            raise FleetWidthError(f"RTL constants are unsigned, got {value}")
+        if width is None:
+            width = max(1, value.bit_length())
+        if not fits(value, width):
+            raise FleetWidthError(f"{value} does not fit in {width} bits")
+        self.value = value
+        self.width = check_width(width)
+
+    def __repr__(self):
+        return f"Const({self.value}, w={self.width})"
+
+
+#: Signal kinds.
+INPUT, WIRE, REG, BRAM_RD = "input", "wire", "reg", "bram_rd"
+
+
+class Signal(Value):
+    """A named net: module input, wire, register output, or BRAM read data.
+
+    ``index`` is the slot in the simulator's value table, assigned by the
+    owning module.
+    """
+
+    __slots__ = ("name", "kind", "index")
+
+    def __init__(self, name, width, kind, index):
+        self.name = name
+        self.width = check_width(width)
+        self.kind = kind
+        self.index = index
+
+    def __repr__(self):
+        return f"Signal({self.name}:{self.kind}, w={self.width})"
+
+
+class BinOp(Value):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op, lhs, rhs):
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self.width = binop_width(op, lhs.width, rhs.width)
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+
+class UnOp(Value):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        self.op = op
+        self.operand = operand
+        self.width = unop_width(op, operand.width)
+
+
+    def children(self):
+        return (self.operand,)
+
+
+class Mux(Value):
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond, then, els):
+        cond = wrap(cond)
+        if cond.width != 1:
+            raise FleetWidthError(
+                f"mux condition must be 1 bit, got {cond.width}"
+            )
+        self.cond = cond
+        self.then = wrap(then)
+        self.els = wrap(els)
+        self.width = max(self.then.width, self.els.width)
+
+    def children(self):
+        return (self.cond, self.then, self.els)
+
+
+def mux(cond, then, els):
+    """``cond ? then : els``."""
+    return Mux(wrap(cond), then, els)
+
+
+class Slice(Value):
+    __slots__ = ("operand", "hi", "lo")
+
+    def __init__(self, operand, hi, lo):
+        if not (0 <= lo <= hi < operand.width):
+            raise FleetWidthError(
+                f"slice [{hi}:{lo}] out of range for width {operand.width}"
+            )
+        self.operand = operand
+        self.hi = hi
+        self.lo = lo
+        self.width = hi - lo + 1
+
+    def children(self):
+        return (self.operand,)
+
+
+class Concat(Value):
+    """``parts[0]`` is most significant."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = tuple(wrap(p) for p in parts)
+        if not self.parts:
+            raise FleetSyntaxError("concat of zero parts")
+        self.width = check_width(sum(p.width for p in self.parts))
+
+    def children(self):
+        return self.parts
+
+
+def cat(*parts):
+    return Concat(parts)
+
+
+def truncate(value, width):
+    """Slice an IR value down to ``width`` bits (no-op if already narrow),
+    zero-extension being implicit in the unsigned semantics."""
+    value = wrap(value)
+    if value.width <= width:
+        return value
+    return Slice(value, width - 1, 0)
+
+
+def zext(value, width):
+    """Zero-extend (or pass through) ``value`` to exactly ``width`` bits."""
+    value = wrap(value)
+    if value.width == width:
+        return value
+    if value.width > width:
+        raise FleetWidthError(
+            f"cannot zero-extend width {value.width} down to {width}"
+        )
+    return Concat([Const(0, width - value.width), value])
+
+
+class RegSpec:
+    """A register: ``q <= enable ? next : q`` at each clock edge."""
+
+    __slots__ = ("q", "init", "next", "enable")
+
+    def __init__(self, q, init):
+        self.q = q
+        if not fits(init, q.width):
+            raise FleetWidthError(
+                f"register {q.name!r}: init {init} does not fit in "
+                f"{q.width} bits"
+            )
+        self.init = init
+        self.next = None
+        self.enable = None  # None means always enabled
+
+    def __repr__(self):
+        return f"RegSpec({self.q.name}, w={self.q.width}, init={self.init})"
+
+
+class BramSpec:
+    """A BRAM primitive: one read port, one write port, 1-cycle read
+    latency, read-old-data on same-address collision."""
+
+    __slots__ = (
+        "name", "elements", "width", "rd_data",
+        "rd_addr", "wr_en", "wr_addr", "wr_data",
+    )
+
+    def __init__(self, name, elements, width, rd_data):
+        if elements < 1:
+            raise FleetSyntaxError(f"BRAM {name!r}: needs >= 1 element")
+        self.name = name
+        self.elements = elements
+        self.width = check_width(width)
+        self.rd_data = rd_data
+        self.rd_addr = None
+        self.wr_en = None
+        self.wr_addr = None
+        self.wr_data = None
+
+    @property
+    def addr_width(self):
+        return max(1, (self.elements - 1).bit_length())
+
+    def __repr__(self):
+        return (
+            f"BramSpec({self.name!r}, elements={self.elements}, "
+            f"width={self.width})"
+        )
+
+
+class Module:
+    """A flat RTL module (the compiler emits one per processing unit)."""
+
+    def __init__(self, name):
+        self.name = name
+        self.inputs = []
+        self.outputs = []  # Signals that are also wires
+        self.wires = []  # list of (Signal, Value) in declaration order
+        self.regs = []
+        self.brams = []
+        self._signals = []
+        self._names = set()
+        self._finalized = False
+
+    # -- construction -----------------------------------------------------------
+    def _new_signal(self, name, width, kind):
+        if name in self._names:
+            raise FleetSyntaxError(
+                f"duplicate signal name {name!r} in module {self.name!r}"
+            )
+        self._names.add(name)
+        sig = Signal(name, width, kind, len(self._signals))
+        self._signals.append(sig)
+        return sig
+
+    def input(self, name, width):
+        sig = self._new_signal(name, width, INPUT)
+        self.inputs.append(sig)
+        return sig
+
+    def wire(self, name, value):
+        """Declare a combinational wire driven by ``value``."""
+        value = wrap(value)
+        sig = self._new_signal(name, value.width, WIRE)
+        self.wires.append((sig, value))
+        return sig
+
+    def output(self, name, value):
+        """Declare an output port driven combinationally by ``value``."""
+        sig = self.wire(name, value)
+        self.outputs.append(sig)
+        return sig
+
+    def reg(self, name, width, init=0):
+        """Declare a register; set ``.next`` (and optionally ``.enable``)
+        on the returned spec before finalizing."""
+        q = self._new_signal(name, width, REG)
+        spec = RegSpec(q, init)
+        self.regs.append(spec)
+        return spec
+
+    def bram(self, name, elements, width):
+        """Declare a BRAM; set its port expressions before finalizing."""
+        rd_data = self._new_signal(f"{name}__rd_data", width, BRAM_RD)
+        spec = BramSpec(name, elements, width, rd_data)
+        self.brams.append(spec)
+        return spec
+
+    # -- validation ----------------------------------------------------------------
+    def finalize(self):
+        """Validate connectivity; must be called before simulation/emission."""
+        for spec in self.regs:
+            if spec.next is None:
+                raise FleetSyntaxError(
+                    f"register {spec.q.name!r} has no next-value expression"
+                )
+            spec.next = truncate(wrap(spec.next), spec.q.width)
+            if spec.enable is not None:
+                spec.enable = wrap(spec.enable)
+                if spec.enable.width != 1:
+                    raise FleetWidthError(
+                        f"register {spec.q.name!r}: enable must be 1 bit"
+                    )
+        for spec in self.brams:
+            for port in ("rd_addr", "wr_en", "wr_addr", "wr_data"):
+                if getattr(spec, port) is None:
+                    raise FleetSyntaxError(
+                        f"BRAM {spec.name!r}: port {port} not connected"
+                    )
+            spec.rd_addr = truncate(wrap(spec.rd_addr), spec.addr_width)
+            spec.wr_addr = truncate(wrap(spec.wr_addr), spec.addr_width)
+            spec.wr_data = truncate(wrap(spec.wr_data), spec.width)
+            spec.wr_en = wrap(spec.wr_en)
+            if spec.wr_en.width != 1:
+                raise FleetWidthError(
+                    f"BRAM {spec.name!r}: wr_en must be 1 bit"
+                )
+        self._finalized = True
+        return self
+
+    @property
+    def finalized(self):
+        return self._finalized
+
+    @property
+    def signals(self):
+        return list(self._signals)
+
+    def find_signal(self, name):
+        for sig in self._signals:
+            if sig.name == name:
+                return sig
+        raise FleetSyntaxError(f"no signal named {name!r}")
+
+    def __repr__(self):
+        return (
+            f"Module({self.name!r}, inputs={len(self.inputs)}, "
+            f"wires={len(self.wires)}, regs={len(self.regs)}, "
+            f"brams={len(self.brams)})"
+        )
+
+
+def walk_value(value):
+    """Yield ``value`` and all sub-expressions, each distinct node once
+    (IR expressions are DAGs — compiled programs share sub-expressions)."""
+    stack = [value]
+    seen = set()
+    while stack:
+        v = stack.pop()
+        if id(v) in seen:
+            continue
+        seen.add(id(v))
+        yield v
+        stack.extend(v.children())
+
+
+def referenced_signals(value):
+    """All :class:`Signal` leaves used by an expression."""
+    return [v for v in walk_value(value) if isinstance(v, Signal)]

@@ -1,0 +1,291 @@
+"""Cycle-accurate simulation of RTL modules.
+
+The simulator levelizes each module's combinational logic (topologically
+sorting wires; combinational cycles are rejected) and compiles every wire,
+register-next, and BRAM-port expression to a Python closure once, so
+stepping is just closure evaluation — the same structure as a compiled
+event-free RTL simulator.
+
+IR expressions are DAGs: compiled Fleet programs share sub-expressions
+heavily (guards, forwarded read data, wire temporaries). Any node
+referenced more than once is *hoisted* — given its own slot in the value
+table and evaluated exactly once per cycle, in dependency order — so
+simulation cost is linear in the number of distinct nodes, exactly like
+the hardware it models.
+
+Clocking model per :meth:`RtlSimulator.step`:
+
+1. apply the given input values,
+2. evaluate all combinational logic in topological order,
+3. clock edge: registers latch their next values (subject to enables);
+   each BRAM latches ``mem[rd_addr]`` into its read-data signal and then
+   performs its write, so a same-cycle read of the written address returns
+   the **old** data, as the paper's BRAM semantics require.
+"""
+
+from ..lang.errors import FleetSimulationError, FleetSyntaxError
+from ..lang.types import fits, mask
+from ..ops import BINOPS, UNOPS
+from . import ir
+
+
+def _topo_sort_wires(module):
+    """Order wires so every wire is evaluated after the wires it reads."""
+    wire_value = {sig.index: value for sig, value in module.wires}
+    order = []
+    state = {}  # index -> 1 visiting, 2 done
+
+    def visit(sig, value):
+        state[sig.index] = 1
+        for dep in ir.referenced_signals(value):
+            if dep.kind != ir.WIRE:
+                continue
+            dep_state = state.get(dep.index)
+            if dep_state == 1:
+                raise FleetSyntaxError(
+                    f"combinational cycle through wire {dep.name!r} in "
+                    f"module {module.name!r}"
+                )
+            if dep_state is None:
+                visit(dep, wire_value[dep.index])
+        state[sig.index] = 2
+        order.append((sig, value))
+
+    for sig, value in module.wires:
+        if state.get(sig.index) is None:
+            visit(sig, value)
+    return order
+
+
+class _Compiler:
+    """Compiles a module's expressions to closures over a value table,
+    hoisting multiply-referenced nodes into their own slots."""
+
+    def __init__(self, roots, first_free_slot):
+        refcount = {}
+        by_id = {}
+        for root in roots:
+            refcount[id(root)] = refcount.get(id(root), 0) + 1
+            for node in ir.walk_value(root):
+                by_id[id(node)] = node
+                for child in node.children():
+                    refcount[id(child)] = refcount.get(id(child), 0) + 1
+        self._shared_slot = {}
+        next_slot = first_free_slot
+        for node_id, count in refcount.items():
+            node = by_id[node_id]
+            if count > 1 and not isinstance(node, (ir.Signal, ir.Const)):
+                self._shared_slot[node_id] = next_slot
+                next_slot += 1
+        self.slot_count = next_slot
+        #: evaluation steps: (slot_index, closure), in dependency order.
+        self.plan = []
+        self._scheduled = set()
+
+    def compile(self, node):
+        """Return ``fn(values) -> int``; schedules hoisted dependencies."""
+        slot = self._shared_slot.get(id(node))
+        if slot is None:
+            return self._compile_body(node)
+        if id(node) not in self._scheduled:
+            self._scheduled.add(id(node))
+            body = self._compile_body(node)
+            self.plan.append((slot, body))
+        return lambda values: values[slot]
+
+    def add_step(self, slot, node):
+        """Schedule ``node`` to be evaluated into ``slot`` (used for
+        module wires, which are already single-assignment signals)."""
+        self.plan.append((slot, self.compile(node)))
+
+    def _compile_body(self, node):
+        compile_ = self.compile
+        if isinstance(node, ir.Const):
+            const = node.value
+            return lambda values: const
+        if isinstance(node, ir.Signal):
+            index = node.index
+            return lambda values: values[index]
+        if isinstance(node, ir.BinOp):
+            lhs = compile_(node.lhs)
+            rhs = compile_(node.rhs)
+            rule, fn = BINOPS[node.op]
+            wl, wr = node.lhs.width, node.rhs.width
+            result_mask = mask(rule(wl, wr))
+            return lambda values: (
+                fn(lhs(values), rhs(values), wl, wr) & result_mask
+            )
+        if isinstance(node, ir.UnOp):
+            operand = compile_(node.operand)
+            rule, fn = UNOPS[node.op]
+            w = node.operand.width
+            result_mask = mask(rule(w))
+            return lambda values: fn(operand(values), w) & result_mask
+        if isinstance(node, ir.Mux):
+            cond = compile_(node.cond)
+            then = compile_(node.then)
+            els = compile_(node.els)
+            return lambda values: (
+                then(values) if cond(values) else els(values)
+            )
+        if isinstance(node, ir.Slice):
+            operand = compile_(node.operand)
+            lo = node.lo
+            slice_mask = mask(node.width)
+            return lambda values: (operand(values) >> lo) & slice_mask
+        if isinstance(node, ir.Concat):
+            parts = [(compile_(p), p.width) for p in node.parts]
+
+            def concat(values):
+                acc = 0
+                for fn, width in parts:
+                    acc = (acc << width) | fn(values)
+                return acc
+
+            return concat
+        raise FleetSimulationError(f"unknown IR value {node!r}")
+
+
+class RtlSimulator:
+    """Runs one finalized :class:`~repro.rtl.ir.Module` cycle by cycle."""
+
+    def __init__(self, module):
+        if not module.finalized:
+            module.finalize()
+        self.module = module
+        ordered_wires = _topo_sort_wires(module)
+
+        roots = [value for _, value in ordered_wires]
+        for spec in module.regs:
+            roots.append(spec.next)
+            if spec.enable is not None:
+                roots.append(spec.enable)
+        for spec in module.brams:
+            roots.extend((spec.rd_addr, spec.wr_en, spec.wr_addr,
+                          spec.wr_data))
+        compiler = _Compiler(roots, first_free_slot=len(module.signals))
+
+        # Wires are compiled in topological order; hoisted shared nodes are
+        # interleaved into the plan just before their first user.
+        for sig, value in ordered_wires:
+            compiler.add_step(sig.index, value)
+        self._reg_plan = [
+            (
+                spec,
+                compiler.compile(spec.next),
+                compiler.compile(spec.enable) if spec.enable is not None
+                else None,
+            )
+            for spec in module.regs
+        ]
+        self._bram_plan = [
+            (
+                spec,
+                compiler.compile(spec.rd_addr),
+                compiler.compile(spec.wr_en),
+                compiler.compile(spec.wr_addr),
+                compiler.compile(spec.wr_data),
+            )
+            for spec in module.brams
+        ]
+        self._plan = compiler.plan
+        self._slot_count = compiler.slot_count
+        self._inputs_by_name = {sig.name: sig for sig in module.inputs}
+        self._outputs = list(module.outputs)
+        self.reset()
+
+    def reset(self):
+        """Reset registers to their init values and zero all BRAMs."""
+        self._values = [0] * self._slot_count
+        for spec in self.module.regs:
+            self._values[spec.q.index] = spec.init
+        self._brams = {
+            spec.name: [0] * spec.elements for spec in self.module.brams
+        }
+        self.cycle = 0
+        self._evaluated = False
+
+    # -- driving ----------------------------------------------------------------
+    def set_inputs(self, **inputs):
+        """Set input port values (sticky until changed)."""
+        for name, value in inputs.items():
+            sig = self._inputs_by_name.get(name)
+            if sig is None:
+                raise FleetSimulationError(f"no input port named {name!r}")
+            if not isinstance(value, int) or not fits(value, sig.width):
+                raise FleetSimulationError(
+                    f"value {value!r} does not fit input {name!r} "
+                    f"({sig.width} bits)"
+                )
+            self._values[sig.index] = value
+        self._evaluated = False
+
+    def evaluate(self):
+        """Propagate combinational logic for the current cycle."""
+        values = self._values
+        for index, fn in self._plan:
+            values[index] = fn(values)
+        self._evaluated = True
+
+    def peek(self, name):
+        """Read any signal's value after :meth:`evaluate`."""
+        if not self._evaluated:
+            self.evaluate()
+        return self._values[self.module.find_signal(name).index]
+
+    def outputs(self):
+        """All output port values for the current cycle."""
+        if not self._evaluated:
+            self.evaluate()
+        return {sig.name: self._values[sig.index] for sig in self._outputs}
+
+    def clock_edge(self):
+        """Advance one clock edge (registers and BRAMs update)."""
+        if not self._evaluated:
+            self.evaluate()
+        values = self._values
+        # Sample everything before committing, so register updates are
+        # concurrent with each other and with BRAM reads/writes.
+        reg_updates = []
+        for spec, next_fn, enable_fn in self._reg_plan:
+            if enable_fn is None or enable_fn(values):
+                reg_updates.append((spec.q.index, next_fn(values)))
+        bram_updates = []
+        for spec, rd_addr_fn, wr_en_fn, wr_addr_fn, wr_data_fn in (
+            self._bram_plan
+        ):
+            memory = self._brams[spec.name]
+            rd_addr = rd_addr_fn(values)
+            rd_value = memory[rd_addr] if rd_addr < spec.elements else 0
+            write = None
+            if wr_en_fn(values):
+                wr_addr = wr_addr_fn(values)
+                if wr_addr >= spec.elements:
+                    raise FleetSimulationError(
+                        f"BRAM {spec.name!r} write address {wr_addr} out of "
+                        f"range (elements={spec.elements})"
+                    )
+                write = (wr_addr, wr_data_fn(values))
+            bram_updates.append((spec, memory, rd_value, write))
+        for index, value in reg_updates:
+            values[index] = value
+        for spec, memory, rd_value, write in bram_updates:
+            values[spec.rd_data.index] = rd_value
+            if write is not None:
+                memory[write[0]] = write[1]
+        self.cycle += 1
+        self._evaluated = False
+
+    def step(self, **inputs):
+        """Convenience: set inputs, evaluate, sample outputs, clock."""
+        if inputs:
+            self.set_inputs(**inputs)
+        outs = self.outputs()
+        self.clock_edge()
+        return outs
+
+    def peek_bram(self, name):
+        """Current contents of a BRAM (testing hook)."""
+        if name not in self._brams:
+            raise FleetSimulationError(f"no BRAM named {name!r}")
+        return list(self._brams[name])

@@ -1,0 +1,194 @@
+"""Verilog emission for RTL modules.
+
+Fleet accepts units in "any standard RTL language" and its compiler emits
+Chisel that elaborates to Verilog; this emitter makes our compiled modules
+inspectable as synthesizable Verilog-2001. Registers and BRAMs use the
+standard FPGA inference patterns (``always @(posedge clock)`` with a
+synchronous read register for BRAMs), which vendor tools map to technology
+flip-flops and block RAMs.
+
+Verilog slices and reductions apply only to identifiers, so the emitter
+hoists sliced/concatenated subexpressions into automatically named
+intermediate wires.
+"""
+
+from ..lang.errors import FleetSimulationError
+from . import ir
+
+_BINOP_SYMBOL = {
+    "add": "+", "sub": "-", "mul": "*",
+    "and": "&", "or": "|", "xor": "^",
+    "eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+    "shl": "<<", "shr": ">>",
+}
+
+_UNOP_FORMAT = {
+    "not": "~({0})",
+    "lnot": "~(|({0}))",
+    "orr": "|({0})",
+    "andr": "&({0})",
+    "xorr": "^({0})",
+}
+
+
+class _Emitter:
+    def __init__(self, module, roots):
+        self.module = module
+        self.lines = []
+        self.hoisted = []  # (name, width, text) for temp wires
+        self._temp_count = 0
+        # Sub-expressions referenced more than once are emitted as a single
+        # named wire — both for readability and because compiled Fleet
+        # expressions are DAGs that would explode if printed as trees.
+        counts = {}
+        self._by_id = {}
+        for root in roots:
+            counts[id(root)] = counts.get(id(root), 0) + 1
+            for node in ir.walk_value(root):
+                self._by_id[id(node)] = node
+                for child in node.children():
+                    counts[id(child)] = counts.get(id(child), 0) + 1
+        self._shared = {
+            node_id
+            for node_id, count in counts.items()
+            if count > 1
+            and not isinstance(self._by_id[node_id], (ir.Signal, ir.Const))
+        }
+        self._shared_name = {}
+
+    def _hoist(self, value):
+        """Materialize ``value`` as a named wire and return the name."""
+        if isinstance(value, ir.Signal):
+            return value.name
+        if id(value) in self._shared:
+            return self.expr(value)
+        text = self._expr_body(value)
+        name = f"_t{self._temp_count}"
+        self._temp_count += 1
+        self.hoisted.append((name, value.width, text))
+        return name
+
+    def expr(self, value):
+        if id(value) in self._shared:
+            name = self._shared_name.get(id(value))
+            if name is None:
+                text = self._expr_body(value)
+                name = f"_t{self._temp_count}"
+                self._temp_count += 1
+                self.hoisted.append((name, value.width, text))
+                self._shared_name[id(value)] = name
+            return name
+        return self._expr_body(value)
+
+    def _expr_body(self, value):
+        if isinstance(value, ir.Const):
+            return f"{value.width}'d{value.value}"
+        if isinstance(value, ir.Signal):
+            return value.name
+        if isinstance(value, ir.BinOp):
+            lhs = self.expr(value.lhs)
+            rhs = self.expr(value.rhs)
+            return f"({lhs} {_BINOP_SYMBOL[value.op]} {rhs})"
+        if isinstance(value, ir.UnOp):
+            operand = self.expr(value.operand)
+            return _UNOP_FORMAT[value.op].format(operand)
+        if isinstance(value, ir.Mux):
+            return (
+                f"({self.expr(value.cond)} ? {self.expr(value.then)} : "
+                f"{self.expr(value.els)})"
+            )
+        if isinstance(value, ir.Slice):
+            name = self._hoist(value.operand)
+            if value.hi == value.lo:
+                return f"{name}[{value.lo}]"
+            return f"{name}[{value.hi}:{value.lo}]"
+        if isinstance(value, ir.Concat):
+            return "{" + ", ".join(self.expr(p) for p in value.parts) + "}"
+        raise FleetSimulationError(f"cannot emit {value!r}")
+
+
+def _decl(width, name):
+    if width == 1:
+        return name
+    return f"[{width - 1}:0] {name}"
+
+
+def emit_verilog(module):
+    """Render a finalized module as a Verilog-2001 source string."""
+    if not module.finalized:
+        module.finalize()
+    roots = [value for _, value in module.wires]
+    for spec in module.regs:
+        roots.append(spec.next)
+        if spec.enable is not None:
+            roots.append(spec.enable)
+    for spec in module.brams:
+        roots.extend((spec.rd_addr, spec.wr_en, spec.wr_addr, spec.wr_data))
+    em = _Emitter(module, roots)
+
+    ports = ["input clock"]
+    ports += [f"input {_decl(sig.width, sig.name)}" for sig in module.inputs]
+    ports += [
+        f"output {_decl(sig.width, sig.name)}" for sig in module.outputs
+    ]
+
+    body = []
+    output_names = {sig.name for sig in module.outputs}
+    wire_texts = []
+    for sig, value in module.wires:
+        wire_texts.append((sig, em.expr(value)))
+    for sig, text in wire_texts:
+        if sig.name in output_names:
+            body.append(f"  assign {sig.name} = {text};")
+        else:
+            body.append(f"  wire {_decl(sig.width, sig.name)} = {text};")
+
+    for spec in module.regs:
+        body.append(
+            f"  reg {_decl(spec.q.width, spec.q.name)} = "
+            f"{spec.q.width}'d{spec.init};"
+        )
+    for spec in module.brams:
+        body.append(
+            f"  reg {_decl(spec.width, spec.name + '__mem')} "
+            f"[0:{spec.elements - 1}];"
+        )
+        body.append(
+            f"  reg {_decl(spec.width, spec.rd_data.name)} = "
+            f"{spec.width}'d0;"
+        )
+
+    seq = ["  always @(posedge clock) begin"]
+    for spec in module.regs:
+        next_text = em.expr(spec.next)
+        if spec.enable is None:
+            seq.append(f"    {spec.q.name} <= {next_text};")
+        else:
+            seq.append(
+                f"    if ({em.expr(spec.enable)}) "
+                f"{spec.q.name} <= {next_text};"
+            )
+    for spec in module.brams:
+        rd_addr = em.expr(spec.rd_addr)
+        seq.append(f"    {spec.rd_data.name} <= {spec.name}__mem[{rd_addr}];")
+        seq.append(
+            f"    if ({em.expr(spec.wr_en)}) "
+            f"{spec.name}__mem[{em.expr(spec.wr_addr)}] <= "
+            f"{em.expr(spec.wr_data)};"
+        )
+    seq.append("  end")
+
+    hoist_lines = [
+        f"  wire {_decl(width, name)} = {text};"
+        for name, width, text in em.hoisted
+    ]
+
+    lines = [f"module {module.name} ("]
+    lines.append(",\n".join(f"  {p}" for p in ports))
+    lines.append(");")
+    lines.extend(hoist_lines)
+    lines.extend(body)
+    if module.regs or module.brams:
+        lines.extend(seq)
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,56 @@
+"""Full-system layer: device database, area and power models, the
+replicated-design performance estimator, and the software runtime."""
+
+from .area import (
+    AreaEstimate,
+    bram36_count,
+    estimate_module,
+    fit_processing_units,
+    pu_overhead,
+)
+from .device import AMAZON_F1, Device
+from .full_system import FullSystemResult, run_full_system
+from .power import (
+    CPU_PACKAGE_WATTS,
+    DRAM_WATTS,
+    GPU_PACKAGE_WATTS,
+    fpga_package_watts,
+    perf_per_watt,
+)
+from .runtime import (
+    FleetRuntime,
+    pack_streams,
+    split_arbitrary,
+    split_on_newlines,
+)
+from .system_sim import (
+    FleetAppResult,
+    UnitProfile,
+    evaluate_fleet_app,
+    profile_unit,
+)
+
+__all__ = [
+    "AMAZON_F1",
+    "AreaEstimate",
+    "CPU_PACKAGE_WATTS",
+    "DRAM_WATTS",
+    "Device",
+    "FleetAppResult",
+    "FleetRuntime",
+    "FullSystemResult",
+    "GPU_PACKAGE_WATTS",
+    "UnitProfile",
+    "bram36_count",
+    "estimate_module",
+    "evaluate_fleet_app",
+    "fit_processing_units",
+    "fpga_package_watts",
+    "pack_streams",
+    "perf_per_watt",
+    "profile_unit",
+    "pu_overhead",
+    "run_full_system",
+    "split_arbitrary",
+    "split_on_newlines",
+]

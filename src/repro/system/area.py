@@ -1,0 +1,158 @@
+"""FPGA area estimation for compiled RTL modules.
+
+A structural cost model over the RTL IR: every distinct expression node
+(the IR is a DAG; shared nodes are synthesized once, as a real tool's CSE
+would) contributes LUTs according to its operator and width, registers
+contribute flip-flops, and BRAM declarations map to BRAM36 primitives
+using the UltraScale port-width/depth modes. The constants are standard
+rules of thumb for 6-input-LUT architectures (one LUT per 2 result bits of
+add/compare via carry chains, one LUT per 2:1 mux bit, ~w*log2(w)/2 for a
+dynamic shifter's mux stages, half a DSP-equivalent's worth of logic per
+multiplier bit when multipliers are built from fabric).
+
+Absolute numbers will differ from Vivado's, but relative areas — which
+determine the paper's PU counts and its HLS area ratios — track the logic
+structure directly.
+"""
+
+import math
+
+from ..rtl import ir
+
+
+class AreaEstimate:
+    """Resource usage of one module (or one processing unit)."""
+
+    def __init__(self, luts, ffs, bram36, dsp=0):
+        self.luts = luts
+        self.ffs = ffs
+        self.bram36 = bram36
+        self.dsp = dsp
+
+    def scaled(self, factor):
+        return AreaEstimate(
+            int(self.luts * factor), int(self.ffs * factor),
+            int(math.ceil(self.bram36 * factor)), int(self.dsp * factor),
+        )
+
+    def __repr__(self):
+        return (
+            f"AreaEstimate(luts={self.luts}, ffs={self.ffs}, "
+            f"bram36={self.bram36}, dsp={self.dsp})"
+        )
+
+
+#: BRAM36 native modes: port width -> depth.
+_BRAM_MODES = ((1, 32768), (2, 16384), (4, 8192), (9, 4096), (18, 2048),
+               (36, 1024))
+
+#: Arrays this small go to LUTRAM instead of block RAM.
+_LUTRAM_BITS = 1024
+
+
+def bram36_count(elements, width):
+    """BRAM36 primitives needed for an ``elements x width`` memory."""
+    columns = max(1, math.ceil(width / 36))
+    column_width = math.ceil(width / columns)
+    for mode_width, depth in _BRAM_MODES:
+        if column_width <= mode_width:
+            return columns * max(1, math.ceil(elements / depth))
+    raise AssertionError("unreachable")
+
+
+def _node_luts(node):
+    if isinstance(node, (ir.Const, ir.Signal, ir.Slice, ir.Concat)):
+        return 0.0  # wiring only
+    if isinstance(node, ir.Mux):
+        return node.width / 2 + 0.5
+    if isinstance(node, ir.UnOp):
+        w = node.operand.width
+        if node.op == "not":
+            return 0.0  # absorbed into downstream LUTs
+        return w / 4 + 0.5  # reductions: a LUT tree
+    if isinstance(node, ir.BinOp):
+        wl, wr = node.lhs.width, node.rhs.width
+        w = max(wl, wr)
+        op = node.op
+        if op in ("add", "sub"):
+            return w / 2 + 1  # carry chain
+        if op in ("and", "or", "xor"):
+            return w / 2
+        if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            return w / 2 + 1  # compare tree / carry chain
+        if op == "mul":
+            if isinstance(node.rhs, ir.Const) or isinstance(
+                node.lhs, ir.Const
+            ):
+                return w  # constant multiply: shift-add network
+            return wl * wr / 4  # fabric multiplier
+        if op in ("shl", "shr"):
+            if isinstance(node.rhs, ir.Const):
+                return 0.0  # static shift is wiring
+            stages = max(1, node.rhs.width)
+            return node.width * stages / 2  # barrel shifter mux stages
+    raise AssertionError(f"unknown node {node!r}")
+
+
+def estimate_module(module):
+    """Estimate one RTL module's resources."""
+    roots = [value for _, value in module.wires]
+    for spec in module.regs:
+        roots.append(spec.next)
+        if spec.enable is not None:
+            roots.append(spec.enable)
+    for spec in module.brams:
+        roots.extend((spec.rd_addr, spec.wr_en, spec.wr_addr, spec.wr_data))
+
+    luts = 0.0
+    seen = set()
+    for root in roots:
+        for node in ir.walk_value(root):
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            luts += _node_luts(node)
+
+    ffs = sum(spec.q.width for spec in module.regs)
+    brams = 0
+    for spec in module.brams:
+        if spec.elements * spec.width <= _LUTRAM_BITS:
+            luts += spec.elements * spec.width / 16  # distributed RAM
+        else:
+            brams += bram36_count(spec.elements, spec.width)
+    return AreaEstimate(int(math.ceil(luts)), ffs, brams)
+
+
+#: Per-PU IO plumbing the replication layer adds around each unit: the
+#: input/output BRAM buffers (one burst each) and handshake glue.
+def pu_overhead(config):
+    buffer_brams = 2 * max(
+        1, bram36_count(
+            config.burst_bytes * 8 // config.port_width_bits,
+            config.port_width_bits,
+        ),
+    )
+    return AreaEstimate(luts=40, ffs=60, bram36=buffer_brams)
+
+
+def fit_processing_units(unit_area, device, config):
+    """How many copies of a PU fit on ``device`` (paper Section 7.2 filled
+    the F1 with as many PUs as possible)."""
+    overhead = pu_overhead(config)
+    per_pu_luts = unit_area.luts + overhead.luts
+    per_pu_ffs = unit_area.ffs + overhead.ffs
+    per_pu_bram = unit_area.bram36 + overhead.bram36
+    bound_luts = device.pu_luts // max(1, per_pu_luts)
+    bound_ffs = device.pu_ffs // max(1, per_pu_ffs)
+    bound_bram = device.pu_bram36 // max(1, per_pu_bram)
+    count = min(bound_luts, bound_ffs, bound_bram, MAX_PUS_TIMING)
+    # Whole PUs per channel (the units are divided among the channels).
+    return max(device.channels,
+               count - count % device.channels)
+
+
+#: Replication is also bounded by routing congestion and timing closure at
+#: 125 MHz — the controllers' fan-out trees grow with the PU count. The
+#: paper's largest working configuration is 704 PUs (regex); we use that
+#: as the platform's replication envelope.
+MAX_PUS_TIMING = 704

@@ -1,0 +1,67 @@
+"""FPGA device database.
+
+The paper targets the Amazon F1 instance's Xilinx UltraScale+ VU9P.
+Resource totals are the public VU9P figures; the usable fractions account
+for the F1 shell (PCIe/DRAM interface logic Amazon reserves) and for
+routing/placement headroom, and the controller fraction reflects the
+paper's measurement that the input and output controllers together take
+about a tenth of the F1's logic at the default burst size.
+"""
+
+
+class Device:
+    """One FPGA part and platform overheads."""
+
+    def __init__(self, name, *, luts, ffs, bram36, uram, dsp, channels,
+                 frequency_hz, usable_fraction=0.70,
+                 controller_lut_fraction=0.10, bram_usable_fraction=0.90):
+        self.name = name
+        self.luts = luts
+        self.ffs = ffs
+        self.bram36 = bram36
+        self.uram = uram
+        self.dsp = dsp
+        self.channels = channels
+        self.frequency_hz = frequency_hz
+        self.usable_fraction = usable_fraction
+        self.controller_lut_fraction = controller_lut_fraction
+        self.bram_usable_fraction = bram_usable_fraction
+
+    @property
+    def pu_luts(self):
+        """LUTs available to processing units."""
+        return int(
+            self.luts
+            * (self.usable_fraction - self.controller_lut_fraction)
+        )
+
+    @property
+    def pu_ffs(self):
+        return int(
+            self.ffs * (self.usable_fraction - self.controller_lut_fraction)
+        )
+
+    @property
+    def pu_bram36(self):
+        """BRAM36-equivalents available to PUs. Each UltraRAM holds 288 Kb
+        (8 BRAM36 of bits); we discount it 2x for shape mismatch."""
+        return int(
+            (self.bram36 + self.uram * 4) * self.bram_usable_fraction
+        )
+
+    def __repr__(self):
+        return f"Device({self.name!r})"
+
+
+#: The Amazon F1's VU9P with four DDR3 channels at the paper's 125 MHz
+#: logic clock.
+AMAZON_F1 = Device(
+    "xcvu9p (Amazon F1)",
+    luts=1_182_240,
+    ffs=2_364_480,
+    bram36=2_160,
+    uram=960,
+    dsp=6_840,
+    channels=4,
+    frequency_hz=125_000_000,
+)

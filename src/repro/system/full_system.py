@@ -1,0 +1,121 @@
+"""End-to-end full-system execution: the paper's Section 2 flow in one
+simulation.
+
+``run_full_system`` packs the user's streams into (simulated) FPGA DRAM,
+instantiates one functional processing unit per stream behind the
+Section 5 memory controllers, cycle-steps the channel until everything
+drains, and reads the per-PU output regions back — producing bit-exact
+results *and* an honest cycle count from a single run. This is the
+integration point the test suite uses to show that the memory system and
+the processing units compose correctly (no lost, duplicated, or
+reordered bytes under real backpressure).
+"""
+
+from ..lang.errors import FleetSimulationError
+from ..memory import ChannelSystem, MemoryConfig
+from ..memory.functional_pu import FunctionalPu
+from .runtime import pack_streams
+
+
+class FullSystemResult:
+    """Outputs and timing of one full-system run."""
+
+    def __init__(self, outputs, output_bytes, cycles, stats):
+        #: per-stream output token lists (from the units themselves)
+        self.outputs = outputs
+        #: per-stream output regions as read back from DRAM
+        self.output_bytes = output_bytes
+        self.cycles = cycles
+        self.stats = stats
+
+    def __repr__(self):
+        return (
+            f"FullSystemResult({len(self.outputs)} streams, "
+            f"{self.cycles} cycles)"
+        )
+
+
+def run_full_system(unit, streams, *, header=b"", config=None,
+                    max_cycles=5_000_000, out_region_bytes=None,
+                    channels=1):
+    """Process ``streams`` on ``channels`` simulated channels of
+    replicated ``unit`` PUs; returns a :class:`FullSystemResult`.
+
+    ``header`` is prepended to every stream (field tables, models, ...).
+    ``out_region_bytes`` sizes each PU's output region; the default is
+    generous (input size + 4 KiB). With ``channels > 1`` the streams are
+    divided round-robin among independent channels (the paper's F1 layout
+    — no cross-channel coordination) and results are reassembled in
+    stream order; the cycle count is the slowest channel's.
+    """
+    if not streams:
+        raise FleetSimulationError("no streams to process")
+    config = config or MemoryConfig()
+    if channels > 1:
+        return _run_multi_channel(
+            unit, streams, header=header, config=config,
+            max_cycles=max_cycles, out_region_bytes=out_region_bytes,
+            channels=channels,
+        )
+    full_streams = [bytes(header) + bytes(s) for s in streams]
+    buffer, offsets, lengths = pack_streams(full_streams)
+
+    region = out_region_bytes or (max(lengths) * 4 + 4096)
+    data = bytearray(buffer)
+    out_bases = []
+    for _ in full_streams:
+        pad = (-len(data)) % 64
+        data += b"\0" * pad
+        out_bases.append(len(data))
+        data += b"\0" * region
+
+    pus = [
+        FunctionalPu(unit, length) for length in lengths
+    ]
+    system = ChannelSystem(
+        config, pus, data=data, stream_bases=offsets, out_bases=out_bases
+    )
+    stats = system.run(max_cycles=max_cycles)
+    if not system.drained():
+        raise FleetSimulationError(
+            f"full-system run did not drain within {max_cycles} cycles"
+        )
+
+    outputs = [pu.output_tokens for pu in pus]
+    output_bytes = []
+    for index, base in enumerate(out_bases):
+        written = system.output_controller.bytes_written[index]
+        if written > region:
+            raise FleetSimulationError(
+                f"stream {index} overflowed its output region"
+            )
+        output_bytes.append(bytes(data[base:base + written]))
+    return FullSystemResult(outputs, output_bytes, stats.cycles, stats)
+
+
+def _run_multi_channel(unit, streams, *, header, config, max_cycles,
+                       out_region_bytes, channels):
+    assignments = [list() for _ in range(channels)]
+    for index, stream in enumerate(streams):
+        assignments[index % channels].append((index, stream))
+    outputs = [None] * len(streams)
+    output_bytes = [None] * len(streams)
+    worst_cycles = 0
+    last_stats = None
+    for group in assignments:
+        if not group:
+            continue
+        result = run_full_system(
+            unit, [stream for _, stream in group], header=header,
+            config=config, max_cycles=max_cycles,
+            out_region_bytes=out_region_bytes, channels=1,
+        )
+        for (index, _), tokens, region in zip(
+            group, result.outputs, result.output_bytes
+        ):
+            outputs[index] = tokens
+            output_bytes[index] = region
+        worst_cycles = max(worst_cycles, result.cycles)
+        last_stats = result.stats
+    return FullSystemResult(outputs, output_bytes, worst_cycles,
+                            last_stats)

@@ -1,0 +1,46 @@
+"""Power models for the three platforms in the paper's Figure 7.
+
+The paper's own methodology substitutes constants where measurement was
+impossible: it assumes a constant 12.5 W of DRAM power on every platform
+(the highest CPU DRAM power observed). We follow the same approach:
+
+* **FPGA package** — static + shell + controllers, plus dynamic power
+  proportional to the logic and BRAM actually toggling. Constants are
+  calibrated so a full F1 (hundreds of PUs) lands in the 15–21 W package
+  range implied by the paper's Fleet perf/W columns.
+* **CPU package** — the c4.8xlarge has two Haswell E5-2666 v3 sockets;
+  under full 36-thread load we charge the full 200 W (the paper's CPU
+  perf/W numbers imply ~200 W package).
+* **GPU package** — the paper's implied V100 package power varies from
+  ~110 W (Bloom) to ~255 W (decision tree) with utilization; we use a
+  utilization-independent 190 W average and note the simplification.
+
+All platform comparisons report performance per watt both with and without
+the 12.5 W DRAM adder, matching the two columns of Figure 7.
+"""
+
+DRAM_WATTS = 12.5
+
+CPU_PACKAGE_WATTS = 200.0
+GPU_PACKAGE_WATTS = 190.0
+
+_FPGA_STATIC_WATTS = 6.0  # static + shell + memory controllers
+_FPGA_LUT_WATTS = 14e-6  # per active LUT at 125 MHz
+_FPGA_FF_WATTS = 2e-6
+_FPGA_BRAM36_WATTS = 4e-3
+
+
+def fpga_package_watts(total_luts, total_ffs, total_bram36):
+    """FPGA package power for a replicated design."""
+    return (
+        _FPGA_STATIC_WATTS
+        + total_luts * _FPGA_LUT_WATTS
+        + total_ffs * _FPGA_FF_WATTS
+        + total_bram36 * _FPGA_BRAM36_WATTS
+    )
+
+
+def perf_per_watt(gbps, package_watts, include_dram):
+    """GB/s per watt, optionally charging the constant DRAM power."""
+    watts = package_watts + (DRAM_WATTS if include_dram else 0.0)
+    return gbps / watts

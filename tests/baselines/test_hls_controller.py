@@ -1,0 +1,47 @@
+"""The HLS serial memory controller in isolation."""
+
+from repro.baselines.hls import HlsSerialController, simulate_hls_memory
+from repro.memory import MemoryConfig
+from repro.memory.dram import DramChannel
+
+
+def test_delivers_all_bytes_eventually():
+    cfg = MemoryConfig().replace(refresh_interval=0, bank_gap_every=0)
+    dram = DramChannel(cfg)
+    controller = HlsSerialController(cfg, dram, n_streams=4,
+                                     stream_bytes=512)
+    for cycle in range(100_000):
+        if controller.finished:
+            break
+        controller.step(cycle)
+    assert controller.finished
+    assert controller.bytes_delivered == 4 * 512
+
+
+def test_round_robin_across_streams():
+    cfg = MemoryConfig().replace(refresh_interval=0, bank_gap_every=0)
+    dram = DramChannel(cfg)
+    controller = HlsSerialController(cfg, dram, n_streams=4,
+                                     stream_bytes=1 << 14)
+    for cycle in range(3000):
+        controller.step(cycle)
+    consumed = [
+        (1 << 14) - remaining for remaining in controller.remaining
+    ]
+    assert max(consumed) - min(consumed) <= cfg.burst_bytes
+
+
+def test_serial_fill_bounds_throughput():
+    # 64 bits/cycle fabric-side = 1 GB/s at 125 MHz, whatever the DRAM
+    # could deliver.
+    cfg = MemoryConfig().replace(dram_latency=0, refresh_interval=0,
+                                 bank_gap_every=0)
+    gbps = simulate_hls_memory(cfg, outstanding=8, fixed_cycles=20_000)
+    assert gbps <= 1.0
+
+
+def test_outstanding_window_hides_latency():
+    cfg = MemoryConfig()
+    one = simulate_hls_memory(cfg, outstanding=1, fixed_cycles=20_000)
+    two = simulate_hls_memory(cfg, outstanding=2, fixed_cycles=20_000)
+    assert two > one

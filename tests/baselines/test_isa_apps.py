@@ -1,0 +1,94 @@
+"""Every ISA baseline program computes bit-exactly what the golden model
+(and therefore the Fleet unit) computes — the three-way cross-check."""
+
+import pytest
+
+from repro.apps import (
+    bloom_reference,
+    decision_tree_reference,
+    int_coding_reference,
+    json_fields_reference,
+    regex_reference,
+    smith_waterman_reference,
+)
+from repro.apps.decision_tree import encode_points
+from repro.apps.json_parser import make_stream as json_make_stream
+from repro.apps.smith_waterman import make_stream as sw_make_stream
+from repro.baselines.apps.bloom_isa import bloom_program
+from repro.baselines.apps.decision_tree_isa import decision_tree_program
+from repro.baselines.apps.int_coding_isa import int_coding_program
+from repro.baselines.apps.json_isa import json_program
+from repro.baselines.apps.regex_isa import regex_program
+from repro.baselines.apps.smith_waterman_isa import smith_waterman_program
+from repro.bench.workloads import (
+    JSON_FIELDS,
+    email_text,
+    json_records,
+    make_gbt_model,
+    rng,
+)
+from repro.isa import ScalarExecutor, SimtExecutor
+
+
+def test_json_isa_matches_golden():
+    rnd = rng(21)
+    text = json_records(rnd, 2500)
+    stream = json_make_stream(JSON_FIELDS, text)
+    result = ScalarExecutor(json_program()).run(stream)
+    assert result.outputs == json_fields_reference(JSON_FIELDS, text)
+
+
+@pytest.mark.parametrize("bits", [5, 15, 25])
+def test_int_coding_isa_matches_golden(bits):
+    rnd = rng(22 + bits)
+    data = [rnd.randrange(256) for _ in range(0)] or [
+        b for _ in range(20)
+        for b in rnd.randrange(1 << bits).to_bytes(4, "little")
+    ]
+    result = ScalarExecutor(int_coding_program()).run(data)
+    assert result.outputs == int_coding_reference(data)
+
+
+def test_decision_tree_isa_matches_golden():
+    rnd = rng(23)
+    model = make_gbt_model(rnd, n_features=4, n_trees=5, depth=4)
+    points = [[rnd.randrange(1 << 20) for _ in range(4)]
+              for _ in range(10)]
+    stream = list(model.encode_header() + encode_points(points))
+    result = ScalarExecutor(decision_tree_program()).run(stream)
+    assert result.outputs == decision_tree_reference(model, points)
+
+
+def test_smith_waterman_isa_matches_golden():
+    rnd = rng(24)
+    payload = [rnd.choice(b"ACGT") for _ in range(400)]
+    stream = sw_make_stream(list(b"ACGTACGT"), 10, payload)
+    result = ScalarExecutor(smith_waterman_program(8)).run(stream)
+    assert result.outputs == smith_waterman_reference(stream, 8)
+
+
+def test_regex_isa_matches_golden():
+    rnd = rng(25)
+    text = email_text(rnd, 2000)
+    result = ScalarExecutor(regex_program()).run(text)
+    assert result.outputs == regex_reference(text)
+
+
+def test_bloom_isa_matches_golden():
+    rnd = rng(26)
+    data = [rnd.randrange(256) for _ in range(8 * 4 * 4)]
+    program = bloom_program(block_size=8, num_hashes=4, section_bits=256)
+    result = ScalarExecutor(program).run(data)
+    assert result.outputs == bloom_reference(data, 8, 4, 256)
+
+
+def test_simt_lanes_match_scalar_per_stream():
+    rnd = rng(27)
+    program = json_program()
+    streams = [
+        json_make_stream(JSON_FIELDS, json_records(rnd, 400))
+        for _ in range(6)
+    ]
+    warp = SimtExecutor(program).run(streams)
+    for stream, lane_out in zip(streams, warp.outputs):
+        assert lane_out == ScalarExecutor(program).run(stream).outputs

@@ -1,0 +1,30 @@
+"""The `python -m repro.figures` command-line interface."""
+
+import pytest
+
+from repro.figures import main
+
+
+def test_figure8_command(capsys):
+    assert main(["figure8"]) == 0
+    out = capsys.readouterr().out
+    assert "JSON Parsing" in out and "Bloom Filter" in out
+
+
+def test_figure9_fast_command(capsys):
+    assert main(["figure9", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Burst Regs" in out
+    assert "27.24" in out  # paper column present
+
+
+def test_figure7_single_app(capsys):
+    assert main(["figure7", "--apps", "regex", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Regex" in out
+    assert "704" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure42"])

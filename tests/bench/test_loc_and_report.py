@@ -1,0 +1,64 @@
+"""LoC counting and report formatting."""
+
+from repro.bench import (
+    PAPER_FIGURE7,
+    PAPER_FIGURE8,
+    count_source_lines,
+    figure8_rows,
+    format_figure8,
+    format_figure9,
+)
+
+
+def test_count_skips_comments_and_docstrings():
+    def sample():
+        """A docstring.
+
+        spanning lines.
+        """
+        x = 1  # a comment
+        # a full-line comment
+        return x
+
+    assert count_source_lines(sample) == 3  # def, assign, return
+
+
+def test_count_multiline_statements():
+    def sample():
+        value = (
+            1
+            + 2
+        )
+        return value
+
+    assert count_source_lines(sample) == 6
+
+
+def test_figure8_rows_cover_all_apps():
+    rows = figure8_rows()
+    assert {title for title, _, _ in rows} == set(PAPER_FIGURE8)
+    for _, fleet_loc, isa_loc in rows:
+        assert fleet_loc > 10
+        assert isa_loc > 10
+
+
+def test_format_figure8_includes_paper_values():
+    text = format_figure8(figure8_rows())
+    assert "JSON Parsing" in text
+    assert "201" in text  # the paper's JSON LoC
+
+
+def test_format_figure9():
+    text = format_figure9([
+        ("None", 1.0),
+        ("Async. Addr. Supply", 1.9),
+        ("Async. Addr. Supply & Burst Regs.", 27.5),
+    ])
+    assert "0.98" in text and "27.24" in text
+
+
+def test_paper_constants_sanity():
+    # transcription checks against the paper's Figure 7
+    assert PAPER_FIGURE7["Regex"][0] == 704
+    assert PAPER_FIGURE7["Smith-Waterman"][4] == 444.67
+    assert PAPER_FIGURE7["Decision Tree"][5] == 0.59

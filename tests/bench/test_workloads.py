@@ -1,0 +1,114 @@
+"""Workload generators: reproducibility and the statistics the paper's
+evaluation depends on."""
+
+from repro.apps.json_parser import json_fields_reference
+from repro.bench import workloads as wl
+
+
+def test_rng_is_deterministic():
+    assert wl.rng().random() == wl.rng().random()
+
+
+class TestJsonRecords:
+    def test_records_are_parseable_json(self):
+        import json
+
+        text = wl.json_records(wl.rng(), 3000)
+        records = text.decode().strip().split("\n")
+        assert len(records) > 5
+        for record in records:
+            parsed = json.loads(record)
+            assert "user" in parsed and "status" in parsed
+
+    def test_extraction_ratio_near_twenty_percent(self):
+        # The paper's JSON workload reduces input by ~80%.
+        text = wl.json_records(wl.rng(), 8000)
+        out = json_fields_reference(wl.JSON_FIELDS, text)
+        ratio = len(out) / len(text)
+        assert 0.10 < ratio < 0.35
+
+    def test_trims_to_whole_records(self):
+        text = wl.json_records(wl.rng(), 2000)
+        assert text.endswith(b"\n")
+
+
+class TestIntegerStreams:
+    def test_values_respect_range(self):
+        data = bytes(wl.integer_stream(wl.rng(), 400, 10))
+        for offset in range(0, len(data), 4):
+            value = int.from_bytes(data[offset:offset + 4], "little")
+            assert value < (1 << 10)
+
+    def test_length_is_whole_integers(self):
+        assert len(wl.integer_stream(wl.rng(), 403, 10)) % 4 == 0
+
+
+class TestGbtModels:
+    def test_model_indices_in_bounds(self):
+        model = wl.make_gbt_model(wl.rng())
+        for node in model.nodes:
+            if not node.is_leaf:
+                assert node.feature < model.n_features
+                assert node.left < len(model.nodes)
+                assert node.right < len(model.nodes)
+        for root in model.roots:
+            assert root < len(model.nodes)
+
+    def test_model_fits_unit_capacity(self):
+        model = wl.make_gbt_model(wl.rng())
+        assert len(model.nodes) <= 4096
+        assert len(model.roots) <= 32
+
+
+class TestTextWorkloads:
+    def test_email_text_contains_matches(self):
+        from repro.apps import regex_reference
+
+        text = wl.email_text(wl.rng(), 4000)
+        assert len(regex_reference(text)) >= 5
+
+    def test_dna_stream_has_header_and_planted_matches(self):
+        from repro.apps import smith_waterman_reference
+
+        stream = wl.dna_stream(wl.rng(), 6000)
+        assert bytes(stream[:16]) == wl.SW_TARGET
+        hits = smith_waterman_reference(stream, 16)
+        assert hits  # the planted near-matches cross the threshold
+
+    def test_dna_alphabet(self):
+        stream = wl.dna_stream(wl.rng(), 500)
+        assert set(stream[18:]) <= set(b"ACGT")
+
+
+class TestCatalog:
+    def test_catalog_covers_figure7(self):
+        from repro.apps import PAPER_APPS
+        from repro.bench.catalog import catalog
+
+        specs = catalog()
+        assert tuple(specs) == PAPER_APPS
+
+    def test_stream_pairs_grow(self):
+        from repro.bench.catalog import catalog
+
+        for key, spec in catalog().items():
+            for small, large in spec.stream_pairs(small=600, large=1800):
+                assert len(large) > len(small), key
+
+    def test_int_coding_spans_five_ranges(self):
+        from repro.bench.catalog import catalog
+
+        spec = catalog()["integer_coding"]
+        assert len(spec.stream_pairs(small=320, large=640)) == 5
+
+    def test_gpu_warps_share_headers(self):
+        from repro.bench.catalog import catalog
+
+        spec = catalog()["decision_tree"]
+        (warp_small, warp_large), = spec.gpu_warp_pairs(
+            lanes=3, small=400, large=800
+        )
+        assert len(warp_small) == 3
+        # each lane gets its own model (per-stream state), all valid
+        for stream in warp_small:
+            assert stream[0] == 8  # n_features byte

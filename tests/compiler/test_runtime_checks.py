@@ -1,0 +1,92 @@
+"""The compiler's optional runtime restriction checks (paper Section 3:
+"we could insert logic to perform runtime checks")."""
+
+from repro.apps import block_frequencies_unit
+from repro.compiler import compile_unit
+from repro.lang import UnitBuilder
+from repro.rtl import RtlSimulator
+
+
+def drive_stream(sim, tokens):
+    """Minimal unchecked driver that watches the error flag."""
+    errors = []
+    index = 0
+    for _ in range(10 * (len(tokens) + 4)):
+        sim.set_inputs(
+            input_token=tokens[index] if index < len(tokens) else 0,
+            input_valid=1 if index < len(tokens) else 0,
+            input_finished=1 if index >= len(tokens) else 0,
+            output_ready=1,
+        )
+        outs = sim.outputs()
+        errors.append(outs["restriction_error"])
+        if outs["output_finished"]:
+            break
+        if outs["input_ready"] and index < len(tokens):
+            index += 1
+        sim.clock_edge()
+    return errors
+
+
+def test_clean_program_never_flags():
+    unit = block_frequencies_unit(block_size=4)
+    module = compile_unit(unit, insert_runtime_checks=True)
+    sim = RtlSimulator(module)
+    errors = drive_stream(sim, list(range(12)))
+    assert not any(errors)
+
+
+def test_double_emit_latches_error():
+    b = UnitBuilder("bad", input_width=8, output_width=8)
+    # (guarded with stream_finished so the cleanup cycle's dummy token 0
+    # does not itself trigger the overlap)
+    with b.when(b.not_(b.stream_finished)):
+        with b.when(b.input < 200):
+            b.emit(1)
+        with b.when(b.input < 100):  # overlaps for tokens < 100
+            b.emit(2)
+    unit = b.finish()
+    module = compile_unit(unit, insert_runtime_checks=True)
+    sim = RtlSimulator(module)
+    errors = drive_stream(sim, [150])
+    assert not any(errors)  # only one emit fired
+    sim.reset()
+    errors = drive_stream(sim, [50])
+    assert any(errors)  # both guards true -> flagged
+    # and the flag is sticky
+    assert errors[-1] == 1
+
+
+def test_conflicting_reads_latch_error():
+    b = UnitBuilder("bad", input_width=8, output_width=8)
+    m = b.bram("m", elements=8, width=8)
+    x = b.reg("x", width=8)
+    with b.when(b.input > 10):
+        x.set((m[0] + m[1]).bits(7, 0))
+    unit = b.finish()
+    module = compile_unit(unit, insert_runtime_checks=True)
+    sim = RtlSimulator(module)
+    assert not any(drive_stream(sim, [5]))
+    sim.reset()
+    assert any(drive_stream(sim, [50]))
+
+
+def test_double_write_latches_error():
+    b = UnitBuilder("bad", input_width=8, output_width=8)
+    m = b.bram("m", elements=8, width=8)
+    with b.when(b.input > 10):
+        m[0] = 1
+    m[1] = 2
+    unit = b.finish()
+    module = compile_unit(unit, insert_runtime_checks=True)
+    sim = RtlSimulator(module)
+    assert not any(drive_stream(sim, [5]))
+    sim.reset()
+    assert any(drive_stream(sim, [50]))
+
+
+def test_checks_off_by_default():
+    unit = block_frequencies_unit(block_size=4)
+    module = compile_unit(unit)
+    names = {sig.name for sig in module.outputs}
+    assert "restriction_error" not in names

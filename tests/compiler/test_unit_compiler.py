@@ -1,0 +1,75 @@
+"""Compiled-RTL structure and the paper's II = 1 guarantee."""
+
+from repro.apps import block_frequencies_unit, identity_unit
+from repro.compiler import UnitTestbench, compile_unit
+from repro.interp import UnitSimulator
+from repro.lang import UnitBuilder
+
+
+def test_io_interface_complete():
+    module = compile_unit(identity_unit())
+    input_names = {sig.name for sig in module.inputs}
+    output_names = {sig.name for sig in module.outputs}
+    assert input_names == {
+        "input_token", "input_valid", "output_ready", "input_finished"
+    }
+    assert output_names == {
+        "output_valid", "output_token", "input_ready", "output_finished"
+    }
+
+
+def test_port_widths_match_token_sizes():
+    b = UnitBuilder("w", input_width=4, output_width=12)
+    b.emit(b.cat(b.input, b.input, b.input))
+    module = compile_unit(b.finish())
+    token_in = next(s for s in module.inputs if s.name == "input_token")
+    token_out = next(s for s in module.outputs if s.name == "output_token")
+    assert token_in.width == 4
+    assert token_out.width == 12
+
+
+def test_forwarding_registers_created_per_written_bram():
+    module = compile_unit(block_frequencies_unit(block_size=4))
+    names = {spec.q.name for spec in module.regs}
+    assert "b_frequencies_last_addr" in names
+    assert "b_frequencies_last_data" in names
+
+
+def test_forwarding_elision():
+    module = compile_unit(
+        block_frequencies_unit(block_size=4),
+        elide_forwarding=("frequencies",),
+    )
+    names = {spec.q.name for spec in module.regs}
+    assert "b_frequencies_last_addr" not in names
+
+
+def test_read_only_bram_needs_no_forwarding():
+    b = UnitBuilder("ro", input_width=8, output_width=8)
+    m = b.bram("m", elements=16, width=8)
+    b.emit(m[b.input.bits(3, 0)])
+    module = compile_unit(b.finish())
+    names = {spec.q.name for spec in module.regs}
+    assert not any("last_addr" in n for n in names)
+
+
+def test_one_virtual_cycle_per_real_cycle():
+    """The paper's central throughput guarantee (Section 4): absent IO
+    stalls, cycles == total virtual cycles (+1 for output_finished)."""
+    unit = block_frequencies_unit(block_size=10)
+    tokens = list(range(100)) * 2
+    sim = UnitSimulator(unit)
+    sim.run(tokens)
+    tb = UnitTestbench(unit)
+    outputs, cycles = tb.run(tokens)
+    assert outputs == sim.outputs
+    assert cycles == sim.trace.total_vcycles + 1
+
+
+def test_identity_initiation_interval_is_one():
+    unit = identity_unit()
+    tb = UnitTestbench(unit)
+    tokens = list(range(200))
+    outputs, cycles = tb.run(tokens)
+    assert outputs == tokens
+    assert cycles == len(tokens) + 2  # pipeline fill + finished flag

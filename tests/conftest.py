@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rnd():
+    """A deterministically seeded RNG per test."""
+    return random.Random(0xF1EE7)
+
+
+@pytest.fixture
+def rnd_factory():
+    """Factory for independently seeded RNGs."""
+    return lambda seed: random.Random(seed)

@@ -1,0 +1,203 @@
+"""Virtual-cycle semantics of the functional simulator."""
+
+import pytest
+
+from repro.interp import UnitSimulator
+from repro.lang import FleetSimulationError, UnitBuilder
+
+
+def make_counter_unit():
+    """Emits a running count of tokens seen, one output per token."""
+    b = UnitBuilder("counter", input_width=8, output_width=8)
+    count = b.reg("count", width=8, init=0)
+    with b.when(b.not_(b.stream_finished)):
+        count.set(count + 1)
+        b.emit(count + 1)
+    return b.finish()
+
+
+class TestBasicSemantics:
+    def test_concurrent_reads_see_start_of_cycle_state(self):
+        # swap two registers every token: concurrent semantics make this
+        # a true swap, not a copy.
+        b = UnitBuilder("swap", input_width=8, output_width=8)
+        x = b.reg("x", width=8, init=1)
+        y = b.reg("y", width=8, init=2)
+        x.set(y)
+        y.set(x)
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        sim.process_token(0)
+        assert sim.peek_reg("x") == 2
+        assert sim.peek_reg("y") == 1
+        sim.process_token(0)
+        assert sim.peek_reg("x") == 1
+
+    def test_counter_emits_cumulative_counts(self):
+        sim = UnitSimulator(make_counter_unit())
+        assert sim.run([9, 9, 9]) == [1, 2, 3]
+
+    def test_register_truncation_on_assign(self):
+        b = UnitBuilder("wrap", input_width=8, output_width=8)
+        r = b.reg("r", width=4, init=15)
+        r.set(r + 1)
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        sim.process_token(0)
+        assert sim.peek_reg("r") == 0
+
+    def test_stream_finished_flag(self):
+        b = UnitBuilder("fin", input_width=8, output_width=8)
+        with b.when(b.stream_finished):
+            b.emit(0xAA)
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        assert sim.run([1, 2, 3]) == [0xAA]
+
+    def test_finish_twice_rejected(self):
+        sim = UnitSimulator(make_counter_unit())
+        sim.finish_stream()
+        with pytest.raises(FleetSimulationError):
+            sim.finish_stream()
+
+    def test_token_after_finish_rejected(self):
+        sim = UnitSimulator(make_counter_unit())
+        sim.finish_stream()
+        with pytest.raises(FleetSimulationError):
+            sim.process_token(1)
+
+    def test_oversized_token_rejected(self):
+        sim = UnitSimulator(make_counter_unit())
+        with pytest.raises(FleetSimulationError):
+            sim.process_token(256)
+
+    def test_reset_restores_initial_state(self):
+        sim = UnitSimulator(make_counter_unit())
+        sim.run([1, 2])
+        sim.reset()
+        assert sim.peek_reg("count") == 0
+        assert sim.run([5]) == [1]
+
+
+class TestIfSemantics:
+    def test_elif_arms_are_exclusive(self):
+        b = UnitBuilder("arms", input_width=8, output_width=8)
+        with b.when(b.input < 10):
+            b.emit(1)
+        with b.elif_(b.input < 20):
+            b.emit(2)
+        with b.otherwise():
+            b.emit(3)
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        # The cleanup virtual cycle processes a dummy 0 token (first arm),
+        # exactly like the paper's stream_finished execution.
+        assert sim.run([5, 15, 25]) == [1, 2, 3, 1]
+
+    def test_untaken_arm_side_effects_skipped(self):
+        b = UnitBuilder("skip", input_width=8, output_width=8)
+        r = b.reg("r", width=8, init=0)
+        with b.when(b.input == 1):
+            r.set(100)
+        with b.otherwise():
+            r.set(200)
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        sim.process_token(1)
+        assert sim.peek_reg("r") == 100
+
+
+class TestWhileSemantics:
+    def make_burst_unit(self):
+        """For each token t, emits t copies of 0xFF via a while loop."""
+        b = UnitBuilder("burst", input_width=8, output_width=8)
+        n = b.reg("n", width=8, init=0)
+        with b.while_(n != 0):
+            b.emit(0xFF)
+            n.set(n - 1)
+        with b.when(b.not_(b.stream_finished)):
+            n.set(b.input)
+        return b.finish()
+
+    def test_loop_runs_before_next_token(self):
+        sim = UnitSimulator(self.make_burst_unit())
+        out = sim.run([2, 0, 3])
+        assert out == [0xFF] * 5
+
+    def test_loop_vcycle_accounting(self):
+        sim = UnitSimulator(self.make_burst_unit())
+        sim.run([2])
+        # token 1: 1 vcycle (sets n=2); cleanup: 2 loop + 1 final.
+        assert sim.trace.vcycles_per_token == [1, 3]
+
+    def test_statements_outside_loop_wait_for_while_done(self):
+        b = UnitBuilder("gate", input_width=8, output_width=8)
+        n = b.reg("n", width=4, init=3)
+        marker = b.reg("marker", width=8, init=0)
+        with b.while_(n != 0):
+            n.set(n - 1)
+        marker.set(marker + 1)  # must fire once per token, not per vcycle
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        sim.process_token(0)
+        assert sim.peek_reg("marker") == 1
+
+    def test_runaway_loop_detected(self):
+        b = UnitBuilder("hang", input_width=8, output_width=8)
+        n = b.reg("n", width=4, init=1)
+        with b.while_(n == 1):
+            n.set(1)
+        unit = b.finish()
+        sim = UnitSimulator(unit, max_vcycles_per_token=1000)
+        with pytest.raises(FleetSimulationError, match="terminate"):
+            sim.process_token(0)
+
+
+class TestBramSemantics:
+    def test_bram_zero_initialized(self):
+        b = UnitBuilder("z", input_width=8, output_width=8)
+        m = b.bram("m", elements=4, width=8)
+        b.emit(m[0])
+        unit = b.finish()
+        assert UnitSimulator(unit).run([1]) == [0, 0]
+
+    def test_write_visible_next_cycle(self):
+        b = UnitBuilder("rw", input_width=8, output_width=8)
+        m = b.bram("m", elements=4, width=8)
+        b.emit(m[0])
+        m[0] = b.input
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        # Emits the value stored by the *previous* token.
+        assert sim.run([7, 9]) == [0, 7, 9]
+
+    def test_out_of_range_address_raises(self):
+        b = UnitBuilder("oob", input_width=8, output_width=8)
+        m = b.bram("m", elements=5, width=8)
+        b.emit(m[b.input.bits(2, 0)])
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        with pytest.raises(FleetSimulationError, match="out of range"):
+            sim.process_token(7)
+
+
+class TestVectorRegisters:
+    def test_random_access_read_write(self):
+        b = UnitBuilder("vr", input_width=8, output_width=8)
+        v = b.vreg("v", elements=4, width=8)
+        b.emit(v[b.input.bits(1, 0)])
+        v[b.input.bits(1, 0)] = b.input
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        # Reads see start-of-cycle state; writes land afterwards.
+        assert sim.run([1, 1, 2]) == [0, 1, 0, 0]
+
+    def test_parallel_writes_to_distinct_indices(self):
+        b = UnitBuilder("vr2", input_width=8, output_width=8)
+        v = b.vreg("v", elements=4, width=8)
+        v[0] = 1
+        v[1] = 2
+        unit = b.finish()
+        sim = UnitSimulator(unit)
+        sim.process_token(0)  # both writes in one virtual cycle
+        assert sim.outputs == []

@@ -1,0 +1,58 @@
+"""Token packing helpers."""
+
+import pytest
+
+from repro.interp import (
+    bytes_from_tokens,
+    tokens_from_bytes,
+    tokens_to_words,
+    words_to_tokens,
+)
+from repro.lang import FleetSimulationError
+
+
+def test_byte_tokens_round_trip():
+    data = bytes(range(32))
+    tokens = tokens_from_bytes(data, 8)
+    assert tokens == list(range(32))
+    assert bytes_from_tokens(tokens, 8) == data
+
+
+def test_four_bit_tokens():
+    tokens = tokens_from_bytes(b"\xAB", 4)
+    assert tokens == [0xB, 0xA]  # little-endian bit order
+    assert bytes_from_tokens(tokens, 4) == b"\xAB"
+
+
+def test_sixteen_bit_tokens():
+    tokens = tokens_from_bytes(b"\x34\x12\x78\x56", 16)
+    assert tokens == [0x1234, 0x5678]
+
+
+def test_partial_token_rejected():
+    with pytest.raises(FleetSimulationError):
+        tokens_from_bytes(b"\x01", 16)
+
+
+def test_oversized_token_rejected_on_pack():
+    with pytest.raises(FleetSimulationError):
+        bytes_from_tokens([256], 8)
+
+
+def test_words_round_trip():
+    values = [0xDEADBEEF, 0x12345678]
+    tokens = words_to_tokens(values, value_width=32, token_width=8)
+    assert tokens[:4] == [0xEF, 0xBE, 0xAD, 0xDE]
+    assert tokens_to_words(tokens, value_width=32, token_width=8) == values
+
+
+def test_words_reject_misaligned():
+    with pytest.raises(FleetSimulationError):
+        words_to_tokens([1], value_width=12, token_width=8)
+    with pytest.raises(FleetSimulationError):
+        tokens_to_words([1, 2, 3], value_width=16, token_width=8)
+
+
+def test_words_reject_unfittable_value():
+    with pytest.raises(FleetSimulationError):
+        words_to_tokens([1 << 32], value_width=32, token_width=8)

@@ -1,0 +1,35 @@
+"""Stream trace accounting (the performance simulator's input)."""
+
+from repro.interp import StreamTrace, UnitSimulator
+from repro.apps import block_frequencies_unit, identity_unit
+
+
+def test_empty_trace():
+    trace = StreamTrace()
+    assert trace.tokens_in == 0
+    assert trace.mean_vcycles_per_token == 0.0
+
+
+def test_cleanup_token_excluded_from_tokens_in():
+    sim = UnitSimulator(identity_unit())
+    sim.run([1, 2, 3])
+    assert sim.trace.tokens_in == 3
+    assert len(sim.trace.vcycles_per_token) == 4  # + cleanup
+
+    # mean divides by real tokens only
+    assert sim.trace.mean_vcycles_per_token == 4 / 3
+
+
+def test_emits_tracked_per_token():
+    sim = UnitSimulator(block_frequencies_unit(block_size=2))
+    sim.run([1, 2, 3, 4])
+    # blocks complete on tokens 3 and during cleanup
+    assert sim.trace.tokens_out == 512
+    flush_tokens = [e for e in sim.trace.emits_per_token if e]
+    assert flush_tokens == [256, 256]
+
+
+def test_total_vcycles_consistent():
+    sim = UnitSimulator(block_frequencies_unit(block_size=2))
+    sim.run([1, 2, 3, 4])
+    assert sim.trace.total_vcycles == sum(sim.trace.vcycles_per_token)

@@ -1,0 +1,88 @@
+"""Static restriction checks (dependent BRAM reads, nested loops)."""
+
+import pytest
+
+from repro.lang import FleetRestrictionError, UnitBuilder
+
+
+def test_read_address_from_register_allowed():
+    b = UnitBuilder("ok", input_width=8, output_width=8)
+    idx = b.reg("idx", width=4)
+    m = b.bram("m", elements=16, width=8)
+    b.emit(m[idx])
+    b.finish()  # no error
+
+
+def test_read_address_containing_read_rejected():
+    b = UnitBuilder("bad", input_width=8, output_width=8)
+    a = b.bram("a", elements=16, width=4)
+    m = b.bram("m", elements=16, width=8)
+    b.emit(m[a[0]])  # the paper's a[b[0]] example
+    with pytest.raises(FleetRestrictionError, match="a\\[b\\[0\\]\\]"):
+        b.finish()
+
+
+def test_read_of_same_bram_in_own_address_rejected():
+    b = UnitBuilder("bad", input_width=8, output_width=8)
+    m = b.bram("m", elements=16, width=4)
+    b.emit(m[m[0]])
+    with pytest.raises(FleetRestrictionError):
+        b.finish()
+
+
+def test_read_gated_by_read_condition_rejected():
+    # The paper's second example: if (b[0]) x = a[0] else x = a[1].
+    b = UnitBuilder("bad", input_width=8, output_width=8)
+    sel = b.bram("sel", elements=4, width=1)
+    a = b.bram("a", elements=4, width=8)
+    x = b.reg("x", width=8)
+    with b.when(sel[0] == 1):
+        x.set(a[0])
+    with b.otherwise():
+        x.set(a[1])
+    with pytest.raises(FleetRestrictionError, match="gated"):
+        b.finish()
+
+
+def test_read_in_condition_gating_register_writes_allowed():
+    # Read data may feed register updates (stage 2), as in the decision
+    # tree's comparisons.
+    b = UnitBuilder("ok", input_width=8, output_width=8)
+    m = b.bram("m", elements=16, width=8)
+    idx = b.reg("idx", width=4)
+    x = b.reg("x", width=8)
+    with b.when(m[idx] > 10):
+        x.set(1)
+    with b.otherwise():
+        x.set(2)
+    b.finish()  # no error
+
+
+def test_while_condition_reading_bram_rejected_when_reads_exist():
+    b = UnitBuilder("bad", input_width=8, output_width=8)
+    m = b.bram("m", elements=16, width=8)
+    idx = b.reg("idx", width=4)
+    with b.while_(m[0] != 0):
+        idx.set(m[idx])
+    with pytest.raises(FleetRestrictionError, match="while condition"):
+        b.finish()
+
+
+def test_write_address_from_read_data_allowed():
+    # Writes happen in stage 2; their addresses may use read data.
+    b = UnitBuilder("ok", input_width=8, output_width=8)
+    src = b.bram("src", elements=16, width=4)
+    dst = b.bram("dst", elements=16, width=8)
+    idx = b.reg("idx", width=4)
+    dst[src[idx]] = b.input
+    b.finish()  # no error
+
+
+def test_wire_does_not_hide_dependent_read():
+    b = UnitBuilder("bad", input_width=8, output_width=8)
+    a = b.bram("a", elements=16, width=4)
+    m = b.bram("m", elements=16, width=8)
+    addr = b.wire(a[0] + 1)
+    b.emit(m[addr])
+    with pytest.raises(FleetRestrictionError):
+        b.finish()

@@ -1,0 +1,64 @@
+"""AST traversal utilities."""
+
+import pytest
+
+from repro.lang import FleetSyntaxError, UnitBuilder
+from repro.lang import ast
+
+
+def build_sample():
+    b = UnitBuilder("s", input_width=8, output_width=8)
+    r = b.reg("r", width=8)
+    m = b.bram("m", elements=16, width=8)
+    with b.when(r == 0):
+        with b.while_(r != 5):
+            r.set(r + 1)
+    b.emit(m[b.input.bits(3, 0)])
+    return b.finish()
+
+
+def test_walk_statements_covers_nesting():
+    unit = build_sample()
+    statements = list(ast.walk_statements(unit.body))
+    kinds = [type(s).__name__ for s in statements]
+    assert "If" in kinds and "While" in kinds
+    assert "RegAssign" in kinds and "Emit" in kinds
+
+
+def test_statement_exprs_for_each_kind():
+    unit = build_sample()
+    for stmt in ast.walk_statements(unit.body):
+        exprs = ast.statement_exprs(stmt)
+        assert isinstance(exprs, tuple)
+        for expr in exprs:
+            assert isinstance(expr, ast.Node)
+
+
+def test_contains_bram_read_through_wires():
+    b = UnitBuilder("w", input_width=8, output_width=8)
+    m = b.bram("m", elements=4, width=8)
+    wired = b.wire(m[0] + 1)
+    assert ast.contains_bram_read(wired.node)
+    plain = b.wire(b.input + 1)
+    assert not ast.contains_bram_read(plain.node)
+
+
+def test_walk_expr_visits_shared_nodes_once():
+    b = UnitBuilder("d", input_width=8, output_width=8)
+    shared = b.wire(b.input + 1)
+    expr = (shared + shared).node
+    visited = list(ast.walk_expr(expr))
+    wire_reads = [n for n in visited if isinstance(n, ast.WireRead)]
+    assert len(wire_reads) == 1  # DAG-aware: each node once
+
+
+def test_concat_of_nothing_rejected():
+    with pytest.raises(FleetSyntaxError):
+        ast.Concat([])
+
+
+def test_decl_reprs_are_informative():
+    unit = build_sample()
+    assert "r" in repr(unit.regs[0])
+    assert "m" in repr(unit.brams[0])
+    assert "elements=16" in repr(unit.brams[0])

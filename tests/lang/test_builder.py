@@ -1,0 +1,224 @@
+"""The DSL construction API: expressions, widths, statements, blocks."""
+
+import pytest
+
+from repro.lang import (
+    FleetSyntaxError,
+    FleetWidthError,
+    UnitBuilder,
+)
+from repro.lang import ast
+
+
+def fresh(name="t", in_w=8, out_w=8):
+    return UnitBuilder(name, input_width=in_w, output_width=out_w)
+
+
+class TestDeclarations:
+    def test_reg_widths_and_init(self):
+        b = fresh()
+        r = b.reg("r", width=7, init=100)
+        assert r.decl.width == 7
+        assert r.decl.init == 100
+
+    def test_reg_init_must_fit(self):
+        b = fresh()
+        with pytest.raises(FleetWidthError):
+            b.reg("r", width=4, init=16)
+
+    def test_duplicate_names_rejected(self):
+        b = fresh()
+        b.reg("x", width=4)
+        with pytest.raises(FleetSyntaxError):
+            b.bram("x", elements=4, width=4)
+
+    def test_bram_addr_width(self):
+        b = fresh()
+        m = b.bram("m", elements=256, width=8)
+        assert m.decl.addr_width == 8
+        m2 = b.bram("m2", elements=300, width=8)
+        assert m2.decl.addr_width == 9
+
+    def test_vreg_index_width(self):
+        b = fresh()
+        v = b.vreg("v", elements=5, width=8)
+        assert v.decl.index_width == 3
+
+
+class TestExpressionWidths:
+    def test_add_grows_one_bit(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        assert (r + 1).width == 9
+
+    def test_mul_adds_widths(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        s = b.reg("s", width=4)
+        assert (r * s).width == 12
+
+    def test_comparisons_are_one_bit(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        for expr in (r == 3, r != 3, r < 3, r <= 3, r > 3, r >= 3):
+            assert expr.width == 1
+
+    def test_const_shift_widens(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        # Shift amounts are expressions; the result is sized for the
+        # largest representable shift (here 4 is a 3-bit constant -> +7).
+        assert (r << 4).width == 8 + 7
+        assert (r >> 4).width == 8
+
+    def test_bit_slicing(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        assert r.bits(7, 4).width == 4
+        assert r.bit(0).width == 1
+        with pytest.raises(FleetWidthError):
+            r.bits(8, 0)
+
+    def test_cat_sums_widths(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        assert b.cat(r, r, b.const(0, 2)).width == 18
+
+    def test_mux_takes_max_width(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        assert b.mux(r == 0, b.const(1, 2), r).width == 8
+
+    def test_mux_condition_must_be_one_bit(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        with pytest.raises(FleetWidthError):
+            b.mux(r, 1, 0)
+
+    def test_reductions(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        assert r.any().width == 1
+        assert r.all().width == 1
+        assert r.parity().width == 1
+
+
+class TestTruthinessGuard:
+    def test_expressions_have_no_python_truth(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        with pytest.raises(FleetSyntaxError):
+            bool(r == 1)
+
+    def test_if_on_expression_raises(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        with pytest.raises(FleetSyntaxError):
+            if r == 1:  # noqa: the raise is the point
+                pass
+
+
+class TestStatements:
+    def test_assign_coerces_wider_value(self):
+        b = fresh()
+        r = b.reg("r", width=4)
+        wide = b.reg("w", width=8)
+        r.set(wide)  # silently truncated, Chisel connect style
+        stmt = b._body[-1]
+        assert isinstance(stmt, ast.RegAssign)
+        assert stmt.value.width == 4
+
+    def test_assign_rejects_unfittable_constant(self):
+        b = fresh()
+        r = b.reg("r", width=4)
+        with pytest.raises(FleetWidthError):
+            r.set(16)
+
+    def test_emit_records_statement(self):
+        b = fresh()
+        b.emit(b.input)
+        assert isinstance(b._body[-1], ast.Emit)
+
+    def test_bram_setitem(self):
+        b = fresh()
+        m = b.bram("m", elements=16, width=8)
+        m[b.input.bits(3, 0)] = 5
+        assert isinstance(b._body[-1], ast.BramWrite)
+
+    def test_when_elif_otherwise_structure(self):
+        b = fresh()
+        r = b.reg("r", width=4)
+        with b.when(r == 0):
+            r.set(1)
+        with b.elif_(r == 1):
+            r.set(2)
+        with b.otherwise():
+            r.set(3)
+        stmt = b._body[-1]
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.arms) == 3
+        assert stmt.arms[2][0] is None
+
+    def test_elif_requires_preceding_when(self):
+        b = fresh()
+        with pytest.raises(FleetSyntaxError):
+            with b.elif_(b.input == 0):
+                pass
+
+    def test_otherwise_after_otherwise_rejected(self):
+        b = fresh()
+        with b.when(b.input == 0):
+            pass
+        with b.otherwise():
+            pass
+        with pytest.raises(FleetSyntaxError):
+            with b.otherwise():
+                pass
+
+    def test_nested_while_rejected(self):
+        b = fresh()
+        r = b.reg("r", width=4)
+        with pytest.raises(FleetSyntaxError):
+            with b.while_(r != 0):
+                with b.while_(r != 1):
+                    pass
+
+    def test_condition_must_be_one_bit(self):
+        b = fresh()
+        r = b.reg("r", width=4)
+        with pytest.raises(FleetWidthError):
+            with b.when(r):
+                pass
+
+    def test_finish_inside_block_rejected(self):
+        b = fresh()
+        with pytest.raises(FleetSyntaxError):
+            with b.when(b.input == 0):
+                b.finish()
+
+    def test_no_statements_after_finish(self):
+        b = fresh()
+        b.finish()
+        with pytest.raises(FleetSyntaxError):
+            b.emit(0)
+
+    def test_wire_shares_node(self):
+        b = fresh()
+        r = b.reg("r", width=8)
+        w = b.wire(r + 1)
+        assert isinstance(w.node, ast.WireRead)
+        assert (w + w).node.lhs.wire is (w + w).node.rhs.wire
+
+
+class TestProgramMetadata:
+    def test_source_lines_counted(self):
+        b = fresh()
+        r = b.reg("r", width=4)
+        r.set(r + 1)
+        unit = b.finish()
+        assert unit.source_lines >= 2
+
+    def test_program_repr_mentions_name(self):
+        b = fresh("myunit")
+        unit = b.finish()
+        assert "myunit" in repr(unit)

@@ -1,0 +1,59 @@
+"""Error hierarchy and the shared operator tables."""
+
+import pytest
+
+from repro import ops
+from repro.lang import (
+    FleetError,
+    FleetRestrictionError,
+    FleetSimulationError,
+    FleetSyntaxError,
+    FleetWidthError,
+)
+
+
+def test_hierarchy_is_catchable_at_the_root():
+    for exc in (FleetSyntaxError, FleetWidthError,
+                FleetRestrictionError, FleetSimulationError):
+        assert issubclass(exc, FleetError)
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("add", 200, 100, 300),  # grows a bit: no wrap at 8-bit operands
+    ("sub", 5, 10, (5 - 10) & 0x1FF),  # borrows wrap in w+1 bits
+    ("mul", 255, 255, 255 * 255),
+    ("and", 0b1100, 0b1010, 0b1000),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("eq", 7, 7, 1),
+    ("ne", 7, 7, 0),
+    ("lt", 3, 7, 1),
+    ("ge", 3, 7, 0),
+    ("shr", 0b1000, 2, 0b10),
+])
+def test_binop_semantics(op, a, b, expected):
+    assert ops.eval_binop(op, a, b, 8, 8) == expected
+
+
+def test_shl_masks_to_inferred_width():
+    # width = wl + mask(wr): 4 + 3 = 7 bits
+    assert ops.eval_binop("shl", 0b1111, 3, 4, 2) == 0b1111000
+
+
+@pytest.mark.parametrize("op,value,width,expected", [
+    ("not", 0b1010, 4, 0b0101),
+    ("lnot", 0, 4, 1),
+    ("lnot", 3, 4, 0),
+    ("orr", 0, 8, 0),
+    ("orr", 64, 8, 1),
+    ("andr", 255, 8, 1),
+    ("andr", 254, 8, 0),
+    ("xorr", 0b1011, 4, 1),
+    ("xorr", 0b1001, 4, 0),
+])
+def test_unop_semantics(op, value, width, expected):
+    assert ops.eval_unop(op, value, width) == expected
+
+
+def test_huge_dynamic_shift_rejected():
+    with pytest.raises(FleetWidthError, match="MAX_WIDTH"):
+        ops.binop_width("shl", 8, 16)

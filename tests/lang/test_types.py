@@ -1,0 +1,80 @@
+"""Bit-width arithmetic primitives."""
+
+import pytest
+
+from repro.lang import FleetWidthError
+from repro.lang.types import (
+    MAX_WIDTH,
+    bits_for,
+    check_width,
+    fits,
+    mask,
+    truncate,
+)
+
+
+class TestCheckWidth:
+    def test_accepts_positive_widths(self):
+        assert check_width(1) == 1
+        assert check_width(64) == 64
+        assert check_width(MAX_WIDTH) == MAX_WIDTH
+
+    def test_rejects_zero(self):
+        with pytest.raises(FleetWidthError):
+            check_width(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(FleetWidthError):
+            check_width(-3)
+
+    def test_rejects_bool(self):
+        with pytest.raises(FleetWidthError):
+            check_width(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(FleetWidthError):
+            check_width(8.0)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(FleetWidthError):
+            check_width(MAX_WIDTH + 1)
+
+
+class TestMaskTruncate:
+    def test_mask_values(self):
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_truncate_wraps(self):
+        assert truncate(0x1FF, 8) == 0xFF
+        assert truncate(256, 8) == 0
+        assert truncate(255, 8) == 255
+
+    def test_truncate_negative_two_complement(self):
+        # Python negatives wrap like hardware subtraction.
+        assert truncate(-1, 8) == 0xFF
+        assert truncate(-2, 4) == 0xE
+
+
+class TestBitsFor:
+    def test_zero_needs_one_bit(self):
+        assert bits_for(0) == 1
+
+    def test_powers_of_two(self):
+        assert bits_for(1) == 1
+        assert bits_for(2) == 2
+        assert bits_for(255) == 8
+        assert bits_for(256) == 9
+
+    def test_rejects_negative(self):
+        with pytest.raises(FleetWidthError):
+            bits_for(-1)
+
+
+class TestFits:
+    def test_boundaries(self):
+        assert fits(255, 8)
+        assert not fits(256, 8)
+        assert fits(0, 1)
+        assert not fits(-1, 8)

@@ -1,0 +1,42 @@
+"""Memory configuration arithmetic."""
+
+import pytest
+
+from repro.memory import MemoryConfig
+
+
+def test_default_matches_paper_f1_setup():
+    cfg = MemoryConfig()
+    assert cfg.bus_bytes == 64  # 512-bit AXI4 data bus
+    assert cfg.burst_bytes == 128  # 1024-bit bursts
+    assert cfg.port_width_bits == 32  # w = 32 on the F1
+    assert cfg.burst_registers == 16  # r = 512/32
+    assert cfg.frequency_hz == 125_000_000
+
+
+def test_drain_cycles():
+    cfg = MemoryConfig()
+    # 128 bytes through a 4-byte port
+    assert cfg.drain_cycles == 32
+
+
+def test_gbps_conversion():
+    cfg = MemoryConfig()
+    # 64 bytes/cycle at 125 MHz = 8 GB/s
+    assert cfg.gbps(64 * 1000, 1000) == pytest.approx(8.0)
+    assert cfg.gbps(100, 0) == 0.0
+
+
+def test_replace_preserves_and_overrides():
+    cfg = MemoryConfig()
+    other = cfg.replace(beats_per_burst=64, dram_latency=10)
+    assert other.beats_per_burst == 64
+    assert other.dram_latency == 10
+    assert other.port_width_bits == cfg.port_width_bits
+    assert cfg.beats_per_burst == 2  # original untouched
+
+
+def test_replace_burst_registers_resets_outstanding_window():
+    cfg = MemoryConfig()
+    narrowed = cfg.replace(burst_registers=1)
+    assert narrowed.max_outstanding == 2  # 2 * r

@@ -1,0 +1,118 @@
+"""DRAM/AXI channel model."""
+
+import pytest
+
+from repro.memory import DramChannel, MemoryConfig
+
+
+def quiet_config(**overrides):
+    """No refresh/bank noise: deterministic timing for unit tests."""
+    base = dict(refresh_interval=0, bank_gap_every=0, turnaround_cycles=0)
+    base.update(overrides)
+    return MemoryConfig().replace(**base)
+
+
+def drain(dram, cycles, read_accept=True):
+    beats = []
+    for _ in range(cycles):
+        delivered = dram.step(read_accept=read_accept)
+        if delivered is not None:
+            beats.append(delivered)
+    return beats
+
+
+class TestReads:
+    def test_latency_respected(self):
+        cfg = quiet_config(dram_latency=10)
+        dram = DramChannel(cfg)
+        dram.submit_read(0, 2, tag="a")
+        beats = drain(dram, 9)
+        assert beats == []
+        beats = drain(dram, 3)
+        assert [b[1] for b in beats] == [0, 1]
+        assert beats[-1][2] is True  # last flag
+
+    def test_in_order_delivery_across_requests(self):
+        cfg = quiet_config(dram_latency=2)
+        dram = DramChannel(cfg)
+        dram.submit_read(0, 1, tag="first")
+        dram.submit_read(64, 1, tag="second")
+        beats = drain(dram, 10)
+        assert [b[0] for b in beats] == ["first", "second"]
+
+    def test_read_accept_backpressure(self):
+        cfg = quiet_config(dram_latency=1)
+        dram = DramChannel(cfg)
+        dram.submit_read(0, 1, tag="x")
+        assert drain(dram, 5, read_accept=False) == []
+        assert len(drain(dram, 5, read_accept=True)) == 1
+
+    def test_data_mode_returns_memory_contents(self):
+        cfg = quiet_config(dram_latency=1)
+        data = bytearray(range(128)) + bytearray(128)
+        dram = DramChannel(cfg, data=data)
+        dram.submit_read(0, 2, tag="x")
+        beats = drain(dram, 10)
+        assert beats[0][3] == bytes(range(64))
+        assert beats[1][3] == bytes(range(64, 128))
+
+
+class TestWrites:
+    def test_write_lands_in_memory(self):
+        cfg = quiet_config(dram_latency=1)
+        data = bytearray(128)
+        dram = DramChannel(cfg, data=data)
+        dram.submit_write(64, 1, tag="w")
+        dram.push_write_beat("w", b"\xAB" * 64)
+        drain(dram, 5)
+        assert data[64:128] == b"\xAB" * 64
+
+    def test_write_data_must_match_address_order(self):
+        cfg = quiet_config()
+        dram = DramChannel(cfg)
+        dram.submit_write(0, 1, tag="w1")
+        dram.submit_write(64, 1, tag="w2")
+        with pytest.raises(AssertionError, match="address order"):
+            dram.push_write_beat("w2", None)
+
+    def test_write_waits_for_data(self):
+        cfg = quiet_config()
+        dram = DramChannel(cfg)
+        dram.submit_write(0, 1, tag="w")
+        drain(dram, 5)
+        assert dram.write_beats == 0
+        dram.push_write_beat("w", None)
+        drain(dram, 2)
+        assert dram.write_beats == 1
+
+
+class TestBusSharing:
+    def test_turnaround_penalty_applied(self):
+        cfg = quiet_config(dram_latency=1, turnaround_cycles=4)
+        dram = DramChannel(cfg)
+        dram.submit_write(0, 1, tag="w")
+        dram.push_write_beat("w", None)
+        # bus starts in READ direction with no reads -> must switch
+        drain(dram, 3)
+        assert dram.write_beats == 0  # still turning around
+        drain(dram, 3)
+        assert dram.write_beats == 1
+
+    def test_refresh_steals_cycles(self):
+        cfg = MemoryConfig().replace(
+            refresh_interval=10, refresh_cycles=5, dram_latency=0,
+            bank_gap_every=0, turnaround_cycles=0,
+        )
+        dram = DramChannel(cfg)
+        for i in range(6):
+            dram.submit_read(i * 64, 1, tag=i)
+        beats = drain(dram, 10)
+        # half of every 10-cycle window is refresh
+        assert len(beats) == 5
+
+    def test_busy_counter_tracks_transfers(self):
+        cfg = quiet_config(dram_latency=0)
+        dram = DramChannel(cfg)
+        dram.submit_read(0, 3, tag="x")
+        drain(dram, 5)
+        assert dram.busy_cycles == 3

@@ -1,0 +1,49 @@
+"""FunctionalPu: the computing PU model."""
+
+import pytest
+
+from repro.apps import identity_unit
+from repro.lang import UnitBuilder
+from repro.lang.errors import FleetSimulationError
+from repro.memory import FunctionalPu
+
+
+def test_requires_byte_tokens():
+    b = UnitBuilder("wide", input_width=16, output_width=16)
+    b.emit(b.input)
+    with pytest.raises(FleetSimulationError, match="8-bit"):
+        FunctionalPu(b.finish(), 100)
+
+
+def test_requires_data_payloads():
+    pu = FunctionalPu(identity_unit(), 8)
+    with pytest.raises(FleetSimulationError, match="data-carrying"):
+        pu.deliver_burst(0, 10, 8, payload=None)
+
+
+def test_computes_and_times():
+    pu = FunctionalPu(identity_unit(), 8)
+    done = pu.deliver_burst(0, 4, 8, payload=bytes(range(8)))
+    # 8 tokens at 1 vcycle each dominates the 4-cycle drain, plus the
+    # cleanup virtual cycle at stream end
+    assert done == 9
+    assert bytes(pu.output_tokens) == bytes(range(8))
+    assert pu.output_available(done) == 8
+
+
+def test_multi_burst_stream():
+    pu = FunctionalPu(identity_unit(), 6)
+    pu.deliver_burst(0, 2, 4, payload=b"abcd")
+    done = pu.deliver_burst(10, 12, 2, payload=b"ef")
+    assert bytes(pu.output_tokens) == b"abcdef"
+    assert pu.output_finished(done)
+
+
+def test_wide_output_tokens_serialized_little_endian():
+    b = UnitBuilder("w32", input_width=8, output_width=32)
+    with b.when(b.not_(b.stream_finished)):
+        b.emit(b.cat(b.input, b.input, b.input, b.input))
+    pu = FunctionalPu(b.finish(), 1)
+    done = pu.deliver_burst(0, 1, 1, payload=b"\x05")
+    payload = pu.take_output(done, 4)
+    assert payload == b"\x05\x05\x05\x05"

@@ -1,0 +1,144 @@
+"""Cycle-accurate RTL simulation semantics."""
+
+import pytest
+
+from repro.lang import FleetSimulationError
+from repro.rtl import Module, RtlSimulator, ir
+
+
+def make_accumulator():
+    """acc <= acc + in every cycle; out = acc."""
+    m = Module("acc")
+    x = m.input("x", 8)
+    acc = m.reg("acc", 16)
+    acc.next = ir.truncate(acc.q + x, 16)
+    m.output("out", acc.q)
+    return m
+
+
+class TestCombinational:
+    def test_wire_evaluation(self):
+        m = Module("comb")
+        a = m.input("a", 8)
+        b = m.input("b", 8)
+        m.output("sum", ir.truncate(a + b, 8))
+        sim = RtlSimulator(m)
+        sim.set_inputs(a=200, b=100)
+        assert sim.outputs()["sum"] == 44  # wraps at 8 bits
+
+    def test_wire_chains_evaluate_in_order(self):
+        m = Module("chain")
+        a = m.input("a", 4)
+        w1 = m.wire("w1", ir.truncate(a + 1, 4))
+        w2 = m.wire("w2", ir.truncate(w1 + 1, 4))
+        m.output("out", w2)
+        sim = RtlSimulator(m)
+        sim.set_inputs(a=3)
+        assert sim.outputs()["out"] == 5
+
+    def test_shared_subexpressions_hoisted(self):
+        # Deep DAG: 2^40 tree nodes if expanded; must compile instantly.
+        m = Module("dag")
+        a = m.input("a", 8)
+        node = ir.wrap(a)
+        for _ in range(40):
+            node = ir.truncate(node + node, 8)
+        m.output("out", node)
+        sim = RtlSimulator(m)
+        sim.set_inputs(a=1)
+        assert sim.outputs()["out"] == (1 << 40) % 256
+
+    def test_unknown_input_rejected(self):
+        sim = RtlSimulator(make_accumulator())
+        with pytest.raises(FleetSimulationError):
+            sim.set_inputs(nope=1)
+
+    def test_oversized_input_rejected(self):
+        sim = RtlSimulator(make_accumulator())
+        with pytest.raises(FleetSimulationError):
+            sim.set_inputs(x=256)
+
+
+class TestRegisters:
+    def test_register_updates_on_edge(self):
+        sim = RtlSimulator(make_accumulator())
+        sim.step(x=5)
+        sim.step(x=7)
+        assert sim.peek("acc") == 12
+
+    def test_register_init_value(self):
+        m = Module("init")
+        r = m.reg("r", 8, init=42)
+        r.next = r.q
+        m.output("out", r.q)
+        sim = RtlSimulator(m)
+        assert sim.outputs()["out"] == 42
+
+    def test_register_enable_gates_update(self):
+        m = Module("en")
+        en = m.input("en", 1)
+        r = m.reg("r", 8)
+        r.next = ir.truncate(r.q + 1, 8)
+        r.enable = en
+        m.output("out", r.q)
+        sim = RtlSimulator(m)
+        sim.step(en=0)
+        sim.step(en=1)
+        sim.step(en=0)
+        assert sim.peek("r") == 1
+
+    def test_registers_update_concurrently(self):
+        m = Module("swap")
+        a = m.reg("a", 4, init=1)
+        b = m.reg("b", 4, init=2)
+        a.next = b.q
+        b.next = a.q
+        m.output("oa", a.q)
+        sim = RtlSimulator(m)
+        sim.step()
+        assert sim.peek("a") == 2
+        assert sim.peek("b") == 1
+
+
+class TestBrams:
+    def make_bram_module(self):
+        m = Module("mem")
+        rd_addr = m.input("rd_addr", 4)
+        wr_en = m.input("wr_en", 1)
+        wr_addr = m.input("wr_addr", 4)
+        wr_data = m.input("wr_data", 8)
+        spec = m.bram("b", 16, 8)
+        spec.rd_addr = rd_addr
+        spec.wr_en = wr_en
+        spec.wr_addr = wr_addr
+        spec.wr_data = wr_data
+        m.output("rd_data", spec.rd_data)
+        return m
+
+    def test_one_cycle_read_latency(self):
+        sim = RtlSimulator(self.make_bram_module())
+        sim.step(wr_en=1, wr_addr=3, wr_data=99, rd_addr=0)
+        sim.step(wr_en=0, rd_addr=3)  # address sampled at this edge
+        assert sim.outputs()["rd_data"] == 99
+
+    def test_read_during_write_returns_old_data(self):
+        sim = RtlSimulator(self.make_bram_module())
+        sim.step(wr_en=1, wr_addr=5, wr_data=11, rd_addr=0)
+        # Same-cycle read+write of address 5: read data (next cycle) must
+        # be the OLD value (11 was written at the first edge).
+        sim.step(wr_en=1, wr_addr=5, wr_data=22, rd_addr=5)
+        assert sim.outputs()["rd_data"] == 11
+        sim.step(rd_addr=5, wr_en=0)
+        assert sim.outputs()["rd_data"] == 22
+
+    def test_reset_clears_memory(self):
+        sim = RtlSimulator(self.make_bram_module())
+        sim.step(wr_en=1, wr_addr=1, wr_data=7, rd_addr=1)
+        sim.reset()
+        assert sim.peek_bram("b") == [0] * 16
+
+    def test_cycle_counter(self):
+        sim = RtlSimulator(self.make_bram_module())
+        for _ in range(5):
+            sim.step(wr_en=0, rd_addr=0, wr_addr=0, wr_data=0)
+        assert sim.cycle == 5

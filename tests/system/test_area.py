@@ -1,0 +1,88 @@
+"""Area estimation and device fitting."""
+
+from repro.apps import identity_unit, int_coding_unit, regex_match_unit
+from repro.compiler import compile_unit
+from repro.memory import MemoryConfig
+from repro.rtl import Module, ir
+from repro.system import AMAZON_F1, estimate_module, fit_processing_units
+from repro.system.area import MAX_PUS_TIMING, bram36_count
+
+
+class TestBram36Count:
+    def test_standard_modes(self):
+        assert bram36_count(1024, 36) == 1
+        assert bram36_count(2048, 18) == 1
+        assert bram36_count(4096, 9) == 1
+        assert bram36_count(32768, 1) == 1
+
+    def test_deep_memories_cascade(self):
+        assert bram36_count(8192, 8) == 2  # 9-bit mode, 4096 deep
+        assert bram36_count(16384, 8) == 4
+
+    def test_wide_memories_use_columns(self):
+        assert bram36_count(1024, 112) == 4  # 4 x 28-bit columns
+        assert bram36_count(1024, 72) == 2
+
+
+class TestModuleEstimation:
+    def test_register_ffs_counted(self):
+        m = Module("m")
+        r = m.reg("r", 13)
+        r.next = r.q
+        m.output("o", r.q)
+        assert estimate_module(m).ffs == 13
+
+    def test_small_arrays_become_lutram(self):
+        m = Module("m")
+        spec = m.bram("tiny", 16, 8)  # 128 bits -> LUTRAM
+        spec.rd_addr = ir.Const(0, 4)
+        spec.wr_en = ir.Const(0, 1)
+        spec.wr_addr = ir.Const(0, 4)
+        spec.wr_data = ir.Const(0, 8)
+        m.output("o", spec.rd_data)
+        est = estimate_module(m)
+        assert est.bram36 == 0
+        assert est.luts > 0
+
+    def test_shared_nodes_counted_once(self):
+        m1 = Module("shared")
+        a1 = m1.input("a", 8)
+        node = ir.truncate(a1 * a1, 8)
+        m1.output("x", ir.truncate(node + node, 8))
+        m2 = Module("dup")
+        a2 = m2.input("a", 8)
+        m2.output(
+            "x",
+            ir.truncate(
+                ir.truncate(a2 * a2, 8) + ir.truncate(a2 * a2, 8), 8
+            ),
+        )
+        assert estimate_module(m1).luts < estimate_module(m2).luts
+
+
+class TestFitting:
+    def test_app_ordering_matches_complexity(self):
+        cfg = MemoryConfig()
+        sizes = {}
+        for name, unit in (
+            ("regex", regex_match_unit()),
+            ("identity", identity_unit()),
+            ("int", int_coding_unit()),
+        ):
+            area = estimate_module(compile_unit(unit))
+            sizes[name] = fit_processing_units(area, AMAZON_F1, cfg)
+        # the tiny NFA fits the most, the coder the fewest
+        assert sizes["int"] < sizes["regex"]
+        assert sizes["int"] < sizes["identity"]
+
+    def test_counts_are_hundreds_and_channel_aligned(self):
+        cfg = MemoryConfig()
+        area = estimate_module(compile_unit(int_coding_unit()))
+        count = fit_processing_units(area, AMAZON_F1, cfg)
+        assert 50 <= count <= MAX_PUS_TIMING
+        assert count % AMAZON_F1.channels == 0
+
+    def test_timing_envelope_caps_tiny_units(self):
+        cfg = MemoryConfig()
+        area = estimate_module(compile_unit(identity_unit()))
+        assert fit_processing_units(area, AMAZON_F1, cfg) <= MAX_PUS_TIMING

@@ -1,0 +1,46 @@
+"""Area scales with the logic a unit actually contains — the property
+behind Figure 7's PU counts and Figure 8's generator-program argument."""
+
+from repro.apps import regex_match_unit, smith_waterman_unit
+from repro.compiler import compile_unit
+from repro.system import estimate_module
+
+
+def test_regex_area_scales_with_pattern():
+    small = estimate_module(compile_unit(regex_match_unit("ab")))
+    large = estimate_module(
+        compile_unit(regex_match_unit("[a-z]+@[a-z]+(com|org|net|edu)"))
+    )
+    assert large.luts > small.luts
+    assert large.ffs > small.ffs
+
+
+def test_smith_waterman_area_scales_with_target_length():
+    m8 = estimate_module(compile_unit(smith_waterman_unit(8)))
+    m16 = estimate_module(compile_unit(smith_waterman_unit(16)))
+    # the row is m cells of compare-select logic: roughly linear
+    assert 1.5 < m16.luts / m8.luts < 3.0
+
+
+def test_runtime_checks_cost_area():
+    from repro.apps import json_field_unit
+
+    unit = json_field_unit()
+    plain = estimate_module(compile_unit(unit))
+    checked = estimate_module(
+        compile_unit(unit, insert_runtime_checks=True)
+    )
+    assert checked.luts > plain.luts
+    assert checked.ffs == plain.ffs + 1  # the sticky error flag
+
+
+def test_forwarding_elision_saves_registers():
+    from repro.apps import block_frequencies_unit
+
+    unit = block_frequencies_unit()
+    full = estimate_module(compile_unit(unit))
+    elided = estimate_module(
+        compile_unit(unit, elide_forwarding=("frequencies",))
+    )
+    assert elided.ffs < full.ffs
+    assert elided.luts <= full.luts

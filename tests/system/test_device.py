@@ -1,0 +1,30 @@
+"""Device database arithmetic."""
+
+from repro.system import AMAZON_F1, Device
+
+
+def test_f1_is_the_vu9p():
+    assert AMAZON_F1.channels == 4
+    assert AMAZON_F1.frequency_hz == 125_000_000
+    assert AMAZON_F1.bram36 == 2160
+    assert AMAZON_F1.luts == 1_182_240
+
+
+def test_usable_fractions_reserve_shell_and_controllers():
+    assert AMAZON_F1.pu_luts < AMAZON_F1.luts
+    # shell + headroom + controllers leave ~60% for PUs
+    assert 0.5 < AMAZON_F1.pu_luts / AMAZON_F1.luts < 0.7
+
+
+def test_uram_counts_toward_bram_pool_discounted():
+    no_uram = Device(
+        "x", luts=100, ffs=100, bram36=100, uram=0, dsp=0,
+        channels=4, frequency_hz=1,
+    )
+    with_uram = Device(
+        "y", luts=100, ffs=100, bram36=100, uram=10, dsp=0,
+        channels=4, frequency_hz=1,
+    )
+    assert with_uram.pu_bram36 > no_uram.pu_bram36
+    # discounted: 10 URAM (8 BRAM36 of bits each) count as 40
+    assert with_uram.pu_bram36 - no_uram.pu_bram36 == int(40 * 0.9)

@@ -1,0 +1,75 @@
+"""End-to-end integration: real streams through DRAM, controllers, and
+functional processing units in one cycle-level simulation."""
+
+import pytest
+
+from repro.apps import (
+    identity_unit,
+    json_field_unit,
+    regex_match_unit,
+    regex_reference,
+)
+from repro.apps.json_parser import encode_field_table, json_fields_reference
+from repro.bench.workloads import JSON_FIELDS, email_text, json_records, rng
+from repro.lang.errors import FleetSimulationError
+from repro.memory import MemoryConfig
+from repro.system import split_on_newlines
+from repro.system.full_system import run_full_system
+
+
+def test_identity_round_trips_through_dram(rnd):
+    streams = [
+        bytes(rnd.randrange(256) for _ in range(300 + 50 * i))
+        for i in range(4)
+    ]
+    result = run_full_system(identity_unit(), streams)
+    for stream, tokens, region in zip(
+        streams, result.outputs, result.output_bytes
+    ):
+        assert bytes(tokens) == stream  # unit outputs
+        assert region == stream  # DRAM write-back
+    assert result.cycles > 0
+
+
+def test_json_extraction_end_to_end():
+    rnd_local = rng(41)
+    text = json_records(rnd_local, 4000)
+    streams = split_on_newlines(text, 4)
+    header = encode_field_table(JSON_FIELDS)
+    result = run_full_system(json_field_unit(), streams, header=header)
+    combined = b"".join(result.output_bytes)
+    assert combined == bytes(
+        json_fields_reference(JSON_FIELDS, text)
+    )
+
+
+def test_regex_end_to_end_with_32bit_outputs():
+    rnd_local = rng(42)
+    streams = [bytes(email_text(rnd_local, 900)) for _ in range(3)]
+    result = run_full_system(regex_match_unit(), streams)
+    for stream, tokens in zip(streams, result.outputs):
+        assert tokens == regex_reference(list(stream))
+    # output regions hold 4-byte little-endian positions
+    for tokens, region in zip(result.outputs, result.output_bytes):
+        decoded = [
+            int.from_bytes(region[i:i + 4], "little")
+            for i in range(0, len(region), 4)
+        ]
+        assert decoded == tokens
+
+
+def test_slow_memory_changes_timing_not_results(rnd):
+    streams = [bytes(rnd.randrange(256) for _ in range(256))
+               for _ in range(2)]
+    fast = run_full_system(identity_unit(), streams)
+    slow_config = MemoryConfig().replace(
+        dram_latency=200, burst_registers=1, async_addressing=False
+    )
+    slow = run_full_system(identity_unit(), streams, config=slow_config)
+    assert slow.output_bytes == fast.output_bytes
+    assert slow.cycles > fast.cycles
+
+
+def test_empty_stream_list_rejected():
+    with pytest.raises(FleetSimulationError):
+        run_full_system(identity_unit(), [])

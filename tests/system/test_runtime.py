@@ -1,0 +1,72 @@
+"""The software runtime: splitting, packing, multi-stream execution."""
+
+import pytest
+
+from repro.apps import json_field_unit, regex_match_unit, regex_reference
+from repro.apps.json_parser import encode_field_table, json_fields_reference
+from repro.bench.workloads import JSON_FIELDS, json_records, rng
+from repro.lang import FleetSimulationError
+from repro.system import (
+    FleetRuntime,
+    pack_streams,
+    split_arbitrary,
+    split_on_newlines,
+)
+
+
+class TestSplitters:
+    def test_newline_split_preserves_bytes(self):
+        data = b"aa\nbbb\ncccc\ndd\n"
+        streams = split_on_newlines(data, 3)
+        assert b"".join(streams) == data
+
+    def test_newline_split_cuts_at_record_boundaries(self):
+        data = b"one\ntwo\nthree\nfour\n"
+        for stream in split_on_newlines(data, 2):
+            assert stream.endswith(b"\n")
+
+    def test_arbitrary_split_with_overlap(self):
+        data = bytes(range(100))
+        streams = split_arbitrary(data, 4, overlap=5)
+        assert streams[0][-5:] == streams[1][:5]
+
+    def test_single_stream_passthrough(self):
+        assert split_on_newlines(b"abc", 1) == [b"abc"]
+
+    def test_pack_alignment(self):
+        buffer, offsets, lengths = pack_streams(
+            [b"abc", b"defgh"], alignment=64
+        )
+        assert offsets == [0, 64]
+        assert lengths == [3, 5]
+        assert buffer[64:69] == b"defgh"
+
+
+class TestRuntime:
+    def test_multi_stream_json_extraction(self):
+        rnd = rng(12)
+        text = json_records(rnd, 3000)
+        streams = split_on_newlines(text, 4)
+        header = encode_field_table(JSON_FIELDS)
+        runtime = FleetRuntime(json_field_unit(), header=header)
+        outputs = runtime.run(streams)
+        assert len(outputs) == len(streams)
+        combined = runtime.run_concatenated(streams)
+        # splitting at record boundaries must not change the result
+        assert combined == json_fields_reference(JSON_FIELDS, text)
+
+    def test_regex_split_positions_are_stream_local(self):
+        rnd = rng(13)
+        from repro.bench.workloads import email_text
+
+        text = bytes(email_text(rnd, 1600))
+        streams = split_arbitrary(text, 2)
+        runtime = FleetRuntime(regex_match_unit())
+        outputs = runtime.run(streams)
+        for stream, hits in zip(streams, outputs):
+            assert hits == regex_reference(list(stream))
+
+    def test_empty_stream_list_rejected(self):
+        runtime = FleetRuntime(json_field_unit())
+        with pytest.raises(FleetSimulationError):
+            runtime.run([])
