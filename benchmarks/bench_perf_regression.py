@@ -1,0 +1,61 @@
+"""Perf-regression benchmark: slow vs fast simulation engines.
+
+Times the interpreter against the compiled-to-Python unit engine (JSON
+parsing, integer coding) and stepped against event-driven memory
+simulation (the Figure 9 sink-PU ablation points) in one run, checks
+exactness, and writes ``BENCH_PERF.json`` at the repo root.
+
+Run under pytest-benchmark with the rest of the suite, or standalone:
+
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py [--quick]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.bench import format_perf, render_perf_json, run_perf_regression
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_PERF.json"
+
+
+def write_report(results, path=OUTPUT):
+    path.write_text(render_perf_json(results))
+    return path
+
+
+def test_perf_regression(once):
+    results = once(run_perf_regression)
+    print("\n" + format_perf(results))
+    write_report(results)
+    assert results["aggregate"]["all_match"], (
+        "fast engines diverged from the oracles"
+    )
+    assert results["aggregate"]["speedup"] >= 5.0, (
+        f"aggregate speedup {results['aggregate']['speedup']:.1f}x "
+        f"regressed below the 5x floor"
+    )
+
+
+def main(argv):
+    unknown = [arg for arg in argv if arg != "--quick"]
+    if unknown:
+        print(f"unknown argument(s): {' '.join(unknown)}\n"
+              f"usage: bench_perf_regression.py [--quick]")
+        return 2
+    quick = "--quick" in argv
+    results = run_perf_regression(quick=quick)
+    print(format_perf(results))
+    path = write_report(results)
+    print(f"\nwrote {path}")
+    if not results["aggregate"]["all_match"]:
+        print("ERROR: fast engines diverged from the oracles")
+        return 1
+    if not quick and results["aggregate"]["speedup"] < 5.0:
+        print("ERROR: aggregate speedup below the 5x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,122 @@
+"""Performance-regression harness for the two simulation fast paths.
+
+Times the *same work* under the slow, authoritative engine and the fast
+engine in one process:
+
+* **Unit simulation** — the JSON-parsing and integer-coding units over
+  their catalog workloads, interpreter (``engine="interp"``) versus the
+  compiled-to-Python engine (``engine="compiled"``); outputs and
+  per-token virtual-cycle traces are compared for exactness.
+* **Memory-system simulation** — the Figure 9 sink-PU ablation points,
+  pure cycle stepping (``event_driven=False``) versus event-driven
+  fast-forwarding; final cycle counts and byte totals are compared.
+
+``run_perf_regression`` returns a plain dict (see
+:func:`repro.bench.report.render_perf_json` for the JSON form written to
+``BENCH_PERF.json``); the ``aggregate.speedup`` entry is total baseline
+seconds over total fast seconds — end-to-end wall clock, not a mean of
+ratios — and is the number the CI smoke check watches.
+"""
+
+import time
+
+from ..interp import make_simulator
+from ..memory import MemoryConfig, SinkPu, simulate_channels
+from .catalog import catalog
+
+#: Unit-simulation cases: (catalog key, stream-pair sizes, repetitions).
+UNIT_CASES = [
+    ("json_parsing", dict(small=1_200, large=12_000), 2),
+    ("integer_coding", dict(small=1_200, large=8_000), 1),
+]
+
+#: Memory cases: Figure 9's ablation points with the sink PU.
+MEMORY_CASES = [
+    ("fig9_none", dict(burst_registers=1, async_addressing=False)),
+    ("fig9_async", dict(burst_registers=1)),
+    ("fig9_full", dict()),
+]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _run_unit_case(key, sizes, reps, quick):
+    spec = catalog()[key]
+    if quick:
+        sizes = dict(small=600, large=2_400)
+        reps = 1
+    streams = [large for _, large in spec.stream_pairs(**sizes)]
+    if quick:
+        streams = streams[:1]
+
+    def run(engine):
+        signatures = []
+        for _ in range(reps):
+            for stream in streams:
+                sim = make_simulator(spec.unit(), engine=engine)
+                sim.run(stream)
+                signatures.append(
+                    (tuple(sim.outputs), tuple(sim.trace.vcycles_per_token))
+                )
+        return signatures
+
+    base_seconds, base_sig = _timed(lambda: run("interp"))
+    fast_seconds, fast_sig = _timed(lambda: run("compiled"))
+    return {
+        "name": f"unit_sim/{key}",
+        "kind": "unit_sim",
+        "baseline": {"engine": "interp", "seconds": base_seconds},
+        "fast": {"engine": "compiled", "seconds": fast_seconds},
+        "speedup": base_seconds / fast_seconds if fast_seconds else 0.0,
+        "match": base_sig == fast_sig,
+    }
+
+
+def _run_memory_case(name, overrides, quick, pus=128, stream_bytes=1 << 16):
+    config = MemoryConfig().replace(**overrides)
+    fixed_cycles = 8_000 if quick else 40_000
+
+    def run(event_driven):
+        stats = simulate_channels(
+            config,
+            lambda i: [SinkPu(stream_bytes) for _ in range(pus)],
+            channels=1, fixed_cycles=fixed_cycles,
+            event_driven=event_driven,
+        )
+        return (stats.cycles, stats.bytes_in, stats.bytes_out)
+
+    base_seconds, base_sig = _timed(lambda: run(False))
+    fast_seconds, fast_sig = _timed(lambda: run(True))
+    return {
+        "name": f"memory_sim/{name}",
+        "kind": "memory_sim",
+        "baseline": {"engine": "stepped", "seconds": base_seconds},
+        "fast": {"engine": "event_driven", "seconds": fast_seconds},
+        "speedup": base_seconds / fast_seconds if fast_seconds else 0.0,
+        "match": base_sig == fast_sig,
+    }
+
+
+def run_perf_regression(quick=False):
+    """Run every case; returns the results dict (see module docstring)."""
+    benchmarks = []
+    for key, sizes, reps in UNIT_CASES:
+        benchmarks.append(_run_unit_case(key, sizes, reps, quick))
+    for name, overrides in MEMORY_CASES:
+        benchmarks.append(_run_memory_case(name, overrides, quick))
+    base_total = sum(b["baseline"]["seconds"] for b in benchmarks)
+    fast_total = sum(b["fast"]["seconds"] for b in benchmarks)
+    return {
+        "quick": quick,
+        "benchmarks": benchmarks,
+        "aggregate": {
+            "baseline_seconds": base_total,
+            "fast_seconds": fast_total,
+            "speedup": base_total / fast_total if fast_total else 0.0,
+            "all_match": all(b["match"] for b in benchmarks),
+        },
+    }

@@ -1,5 +1,7 @@
 """Paper-style table formatting for the experiment harnesses."""
 
+import json
+
 #: The paper's Figure 7 values, for side-by-side reporting:
 #: (PUs, Fleet GB/s, CPU GB/s, GPU GB/s, vs CPU ppw, vs GPU ppw).
 PAPER_FIGURE7 = {
@@ -59,6 +61,49 @@ def format_figure9(results):
         lines.append(
             f"{label:<36}{gbps:>7.2f}{PAPER_FIGURE9[label]:>9.2f}"
         )
+    return "\n".join(lines)
+
+
+def render_perf_json(results):
+    """Serialize :func:`repro.bench.perf_regression.run_perf_regression`
+    results for ``BENCH_PERF.json`` (stable key order, rounded floats)."""
+
+    def fmt(value):
+        if isinstance(value, float):
+            return round(value, 4)
+        if isinstance(value, dict):
+            return {key: fmt(value[key]) for key in sorted(value)}
+        if isinstance(value, list):
+            return [fmt(item) for item in value]
+        return value
+
+    return json.dumps(fmt(results), indent=2, sort_keys=True) + "\n"
+
+
+def format_perf(results):
+    """Render perf-regression results as a table."""
+    lines = [
+        f"{'Benchmark':<28}{'baseline':>10}{'fast':>10}{'speedup':>9}"
+        f"{'exact':>7}",
+        "-" * 64,
+    ]
+    for bench in results["benchmarks"]:
+        lines.append(
+            f"{bench['name']:<28}"
+            f"{bench['baseline']['seconds']:>9.3f}s"
+            f"{bench['fast']['seconds']:>9.3f}s"
+            f"{bench['speedup']:>8.1f}x"
+            f"{'yes' if bench['match'] else 'NO':>7}"
+        )
+    agg = results["aggregate"]
+    lines.append("-" * 64)
+    lines.append(
+        f"{'aggregate (total wall)':<28}"
+        f"{agg['baseline_seconds']:>9.3f}s"
+        f"{agg['fast_seconds']:>9.3f}s"
+        f"{agg['speedup']:>8.1f}x"
+        f"{'yes' if agg['all_match'] else 'NO':>7}"
+    )
     return "\n".join(lines)
 
 

@@ -1,5 +1,13 @@
 """Functional (software) simulation of Fleet processing units."""
 
+from .compile import (
+    CompiledSimulator,
+    CompiledUnit,
+    compile_program,
+    fast_engine_for,
+    make_simulator,
+    try_compile,
+)
 from .simulator import UnitSimulator, VirtualCycle
 from .stream import (
     bytes_from_tokens,
@@ -10,11 +18,17 @@ from .stream import (
 from .trace import StreamTrace
 
 __all__ = [
+    "CompiledSimulator",
+    "CompiledUnit",
     "StreamTrace",
     "UnitSimulator",
     "VirtualCycle",
     "bytes_from_tokens",
+    "compile_program",
+    "fast_engine_for",
+    "make_simulator",
     "tokens_from_bytes",
     "tokens_to_words",
+    "try_compile",
     "words_to_tokens",
 ]

@@ -1,0 +1,804 @@
+"""Compile-to-Python fast engine for Fleet processing units.
+
+The AST-walking interpreter in :mod:`repro.interp.simulator` pays Python
+dispatch on every expression node of every virtual cycle. This module
+lowers a checked :class:`~repro.lang.ast.UnitProgram` *once* into
+specialized Python source — straight-line statements, no per-node
+dispatch — compiles it with :func:`compile`/``exec``, and exposes the
+result as a drop-in engine producing bit-identical outputs and the same
+:class:`~repro.interp.trace.StreamTrace` per-token virtual-cycle counts.
+
+Lowering strategy (mirrors the interpreter's two-pass virtual cycle):
+
+* registers are unpacked into local variables for the whole stream and
+  repacked at the end; vector registers and BRAMs stay Python lists,
+  mutated in place;
+* multiply-referenced expression nodes (wires, shared sub-expressions)
+  are hoisted into per-cycle temporaries, evaluated once in dependency
+  order — the same sharing the RTL simulator exploits, and what keeps
+  deep compare-select chains (Smith-Waterman) from exploding;
+* pass 1 computes ``while_done`` with early-exit guards over only the
+  statements that contain a ``while``;
+* pass 2 is the statement tree rendered as nested ``if``s; writes land
+  in pending variables (sentinel-guarded) and commit at the end of the
+  cycle, preserving the concurrent read-start-of-cycle semantics.
+
+When is the fast engine sound?
+
+* Every BRAM and vector register must have a power-of-two element count:
+  then address truncation guarantees in-range accesses, every expression
+  node is total, and unconditional hoisting plus short-circuit ``Mux``
+  rendering are value-exact and error-free.
+* With ``check_restrictions=False`` the interpreter's conflict semantics
+  are last-write-wins in statement order, which the generated pending
+  variables reproduce exactly, so any supported program qualifies.
+* With ``check_restrictions=True`` the dynamic restriction checks are
+  elided only when the static prover (:func:`repro.lang.prover.
+  prove_program`) shows they can never fire — plus the same exclusivity
+  argument for vector-register assignments, which the prover does not
+  cover.
+
+Set the environment variable ``FLEET_ENGINE=interp`` to disable the fast
+path globally and force the authoritative interpreter oracle.
+"""
+
+import os
+
+from ..lang import analysis, ast
+from ..lang.collect_guards import Guard, GuardInfo
+from ..lang.errors import FleetError, FleetSimulationError
+from ..lang.types import mask
+from ..lang.prover import _exclusive, guard_facts, prove_program
+from .trace import StreamTrace
+
+#: Maximum nesting of a rendered (inline) expression; deeper chains are
+#: hoisted into temporaries so generated source never stresses the parser.
+DEPTH_CAP = 20
+
+_LEAF_NODES = (ast.Const, ast.InputToken, ast.StreamFinished, ast.RegRead)
+
+_SIMPLE_BINOPS = {
+    "add": "+", "mul": "*", "and": "&", "or": "|", "xor": "^",
+    "shl": "<<", "shr": ">>",
+    "eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+}
+
+
+class _Unsupported(Exception):
+    """Raised during lowering when a program can't take the fast path."""
+
+
+class _NoWrite:
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<no-write>"
+
+
+#: Sentinel distinguishing "no pending write this cycle" from any value.
+_NW = _NoWrite()
+
+
+class CompiledUnit:
+    """A Fleet program lowered to specialized Python functions.
+
+    ``run_token(token, sf, regs, vregs, brams, outputs, max_vc)`` runs one
+    input token (or, with ``sf=1``, the post-stream cleanup) against the
+    given state lists and returns ``(vcycles, emits)``.
+
+    ``run_stream(tokens, regs, vregs, brams, outputs, max_vc, vclist,
+    emlist)`` runs a whole stream plus the cleanup cycle, appending one
+    per-token entry to ``vclist``/``emlist`` — the stream-level fast path
+    with the token loop inside generated code.
+    """
+
+    __slots__ = ("program", "run_token", "run_stream", "source")
+
+    def __init__(self, program, run_token, run_stream, source):
+        self.program = program
+        self.run_token = run_token
+        self.run_stream = run_stream
+        self.source = source
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+class _Codegen:
+    def __init__(self, program):
+        self.program = program
+        self.reg_name = {r: f"_r{i}" for i, r in enumerate(program.regs)}
+        self.vreg_name = {v: f"_v{i}" for i, v in enumerate(program.vregs)}
+        self.bram_name = {b: f"_b{i}" for i, b in enumerate(program.brams)}
+        self._temp = {}  # id(node) -> temp variable name
+        # Which state elements are ever written, and how many syntactic
+        # assignment sites each vector register has (one site can commit
+        # through a cheap tuple; several need an append list).
+        self.assigned_regs = []
+        self.vreg_sites = {}
+        self.written_brams = []
+        self.has_emit = False
+        for stmt in ast.walk_statements(program.body):
+            if isinstance(stmt, ast.RegAssign):
+                if stmt.reg not in self.assigned_regs:
+                    self.assigned_regs.append(stmt.reg)
+            elif isinstance(stmt, ast.VectorRegAssign):
+                self.vreg_sites[stmt.vreg] = (
+                    self.vreg_sites.get(stmt.vreg, 0) + 1
+                )
+            elif isinstance(stmt, ast.BramWrite):
+                if stmt.bram not in self.written_brams:
+                    self.written_brams.append(stmt.bram)
+            elif isinstance(stmt, ast.Emit):
+                self.has_emit = True
+        self._while_cache = {}
+
+    # -- structure helpers ---------------------------------------------------
+    def _contains_while(self, stmt):
+        cached = self._while_cache.get(id(stmt))
+        if cached is None:
+            cached = any(
+                isinstance(s, ast.While) for s in ast.walk_statements([stmt])
+            )
+            self._while_cache[id(stmt)] = cached
+        return cached
+
+    # -- expression rendering ------------------------------------------------
+    def _render(self, node):
+        name = self._temp.get(id(node))
+        if name is not None:
+            return name
+        return self._render_body(node)
+
+    def _render_body(self, node):
+        if isinstance(node, ast.Const):
+            return repr(node.value)
+        if isinstance(node, ast.InputToken):
+            return "token"
+        if isinstance(node, ast.StreamFinished):
+            return "sf"
+        if isinstance(node, ast.RegRead):
+            return self.reg_name[node.reg]
+        if isinstance(node, ast.WireRead):
+            return self._render(node.wire.value)
+        if isinstance(node, ast.VectorRegRead):
+            index = self._trunc(node.index, node.vreg.index_width)
+            return f"{self.vreg_name[node.vreg]}[{index}]"
+        if isinstance(node, ast.BramRead):
+            addr = self._trunc(node.addr, node.bram.addr_width)
+            return f"{self.bram_name[node.bram]}[{addr}]"
+        if isinstance(node, ast.BinOp):
+            lhs, rhs = self._render(node.lhs), self._render(node.rhs)
+            op = _SIMPLE_BINOPS.get(node.op)
+            if op is not None:
+                return f"({lhs} {op} {rhs})"
+            if node.op == "sub":
+                return f"(({lhs} - {rhs}) & {hex(mask(node.width))})"
+            raise _Unsupported(node)
+        if isinstance(node, ast.UnOp):
+            a = self._render(node.operand)
+            w = node.operand.width
+            if node.op == "not":
+                return f"((~{a}) & {hex(mask(w))})"
+            if node.op == "lnot":
+                return f"({a} == 0)"
+            if node.op == "orr":
+                return f"({a} != 0)"
+            if node.op == "andr":
+                return f"({a} == {hex(mask(w))})"
+            if node.op == "xorr":
+                return f'(bin({a}).count("1") & 1)'
+            raise _Unsupported(node)
+        if isinstance(node, ast.Mux):
+            # Value-exact short circuit: both arms are pure under the
+            # power-of-two gate, so skipping the untaken arm is safe.
+            cond = self._render(node.cond)
+            then = self._render(node.then)
+            els = self._render(node.els)
+            return f"(({then}) if {cond} else ({els}))"
+        if isinstance(node, ast.Slice):
+            a = self._render(node.operand)
+            if node.lo == 0 and node.width == node.operand.width:
+                return a
+            shifted = a if node.lo == 0 else f"({a} >> {node.lo})"
+            return f"({shifted} & {hex(mask(node.width))})"
+        if isinstance(node, ast.Concat):
+            out = self._render(node.parts[0])
+            for part in node.parts[1:]:
+                out = f"(({out} << {part.width}) | {self._render(part)})"
+            return out
+        raise _Unsupported(node)
+
+    def _trunc(self, node, width):
+        rendered = self._render(node)
+        if node.width > width:
+            return f"({rendered} & {hex(mask(width))})"
+        return rendered
+
+    # -- shared-node hoisting ------------------------------------------------
+    def _collect_roots(self):
+        """Expression roots in the order the generated code references
+        them: pass-1 (while_done) conditions first, then pass 2."""
+        roots = []
+
+        def pass1(body):
+            for stmt in body:
+                if isinstance(stmt, ast.While):
+                    roots.append(stmt.cond)
+                elif isinstance(stmt, ast.If) and self._contains_while(stmt):
+                    for cond, arm_body in stmt.arms:
+                        if cond is not None:
+                            roots.append(cond)
+                        pass1(arm_body)
+
+        def pass2(body):
+            for stmt in body:
+                if isinstance(stmt, ast.If):
+                    for cond, arm_body in stmt.arms:
+                        if cond is not None:
+                            roots.append(cond)
+                        pass2(arm_body)
+                elif isinstance(stmt, ast.While):
+                    roots.append(stmt.cond)
+                    pass2(stmt.body)
+                else:
+                    roots.extend(ast.statement_exprs(stmt))
+
+        pass1(self.program.body)
+        pass2(self.program.body)
+        return roots
+
+    def _hoist_lines(self, roots):
+        """Choose and emit per-cycle temporaries: any node referenced more
+        than once (a DAG share) and any node whose rendered nesting would
+        exceed :data:`DEPTH_CAP`."""
+        counts = {}
+        for root in roots:
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                seen = counts.get(id(node), 0)
+                counts[id(node)] = seen + 1
+                if seen == 0:
+                    stack.extend(node.children())
+        # Deterministic postorder over the DAG (children before parents).
+        post = []
+        visited = set()
+        for root in roots:
+            stack = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    post.append(node)
+                    continue
+                if id(node) in visited:
+                    continue
+                visited.add(id(node))
+                stack.append((node, True))
+                for child in reversed(node.children()):
+                    stack.append((child, False))
+        lines = []
+        depth = {}
+        for node in post:
+            child_depths = [
+                1 if id(c) in self._temp else depth[id(c)]
+                for c in node.children()
+            ]
+            d = 1 + max(child_depths, default=0)
+            if not isinstance(node, _LEAF_NODES) and (
+                counts[id(node)] >= 2 or d > DEPTH_CAP
+            ):
+                body = self._render_body(node)
+                name = f"_t{len(self._temp)}"
+                self._temp[id(node)] = name
+                lines.append(f"{name} = {body}")
+                d = 1
+            depth[id(node)] = d
+        return lines
+
+    # -- statement rendering ------------------------------------------------
+    def _emit_pass1(self, lines, body, indent):
+        """Compute ``_wd`` (while_done) exactly as the interpreter's
+        ``_any_loop_active``: evaluate only statements that can contain an
+        active while, short-circuiting once one is found."""
+        wrote = False
+        for stmt in body:
+            if isinstance(stmt, ast.While):
+                cond = self._render(stmt.cond)
+                lines.append("    " * indent + f"if _wd and {cond}:")
+                lines.append("    " * (indent + 1) + "_wd = False")
+                wrote = True
+            elif isinstance(stmt, ast.If) and self._contains_while(stmt):
+                lines.append("    " * indent + "if _wd:")
+                first = True
+                for cond, arm_body in stmt.arms:
+                    if cond is not None:
+                        kw = "if" if first else "elif"
+                        rendered = self._render(cond)
+                        lines.append(
+                            "    " * (indent + 1) + f"{kw} {rendered}:"
+                        )
+                    else:
+                        lines.append(
+                            "    " * (indent + 1)
+                            + ("if 1:" if first else "else:")
+                        )
+                    first = False
+                    if not self._emit_pass1(lines, arm_body, indent + 2):
+                        lines.append("    " * (indent + 2) + "pass")
+                wrote = True
+        return wrote
+
+    def _leaf_code(self, stmt):
+        if isinstance(stmt, ast.RegAssign):
+            index = self.program.regs.index(stmt.reg)
+            value = self._trunc(stmt.value, stmt.reg.width)
+            return f"_pr{index} = {value}"
+        if isinstance(stmt, ast.VectorRegAssign):
+            index = self.program.vregs.index(stmt.vreg)
+            idx = self._trunc(stmt.index, stmt.vreg.index_width)
+            value = self._trunc(stmt.value, stmt.vreg.width)
+            if self.vreg_sites[stmt.vreg] == 1:
+                return f"_pv{index} = ({idx}, {value})"
+            return f"_pv{index}.append(({idx}, {value}))"
+        if isinstance(stmt, ast.BramWrite):
+            index = self.program.brams.index(stmt.bram)
+            addr = self._trunc(stmt.addr, stmt.bram.addr_width)
+            value = self._trunc(stmt.value, stmt.bram.width)
+            return f"_pb{index} = ({addr}, {value})"
+        if isinstance(stmt, ast.Emit):
+            value = self._trunc(stmt.value, self.program.output_width)
+            return f"_em = {value}"
+        raise _Unsupported(stmt)
+
+    def _emit_pass2(self, lines, body, indent, in_loop):
+        wrote = False
+        pending = []
+
+        def flush():
+            nonlocal wrote
+            if not pending:
+                return
+            if in_loop:
+                for code in pending:
+                    lines.append("    " * indent + code)
+            else:
+                # Leaf statements outside every while fire only on the
+                # while_done virtual cycle (paper Section 3).
+                lines.append("    " * indent + "if _wd:")
+                for code in pending:
+                    lines.append("    " * (indent + 1) + code)
+            pending.clear()
+            wrote = True
+
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                flush()
+                first = True
+                for cond, arm_body in stmt.arms:
+                    if cond is not None:
+                        kw = "if" if first else "elif"
+                        rendered = self._render(cond)
+                        lines.append("    " * indent + f"{kw} {rendered}:")
+                    else:
+                        lines.append(
+                            "    " * indent + ("if 1:" if first else "else:")
+                        )
+                    first = False
+                    if not self._emit_pass2(
+                        lines, arm_body, indent + 1, in_loop
+                    ):
+                        lines.append("    " * (indent + 1) + "pass")
+                wrote = True
+            elif isinstance(stmt, ast.While):
+                flush()
+                cond = self._render(stmt.cond)
+                lines.append("    " * indent + f"if {cond}:")
+                if not self._emit_pass2(lines, stmt.body, indent + 1, True):
+                    lines.append("    " * (indent + 1) + "pass")
+                wrote = True
+            else:
+                pending.append(self._leaf_code(stmt))
+        flush()
+        return wrote
+
+    # -- assembly -----------------------------------------------------------
+    def _cycle_lines(self):
+        """One virtual cycle, as source lines at relative indent 0."""
+        roots = self._collect_roots()
+        lines = list(self._hoist_lines(roots))
+        lines.append("_wd = True")
+        self._emit_pass1(lines, self.program.body, 0)
+        for i, reg in enumerate(self.program.regs):
+            if reg in self.assigned_regs:
+                lines.append(f"_pr{i} = _NW")
+        for i, vreg in enumerate(self.program.vregs):
+            sites = self.vreg_sites.get(vreg, 0)
+            if sites == 1:
+                lines.append(f"_pv{i} = _NW")
+            elif sites > 1:
+                lines.append(f"_pv{i} = []")
+        for i, bram in enumerate(self.program.brams):
+            if bram in self.written_brams:
+                lines.append(f"_pb{i} = _NW")
+        if self.has_emit:
+            lines.append("_em = _NW")
+        self._emit_pass2(lines, self.program.body, 0, False)
+        # Commit: all writes land together at the end of the cycle.
+        for i, reg in enumerate(self.program.regs):
+            if reg in self.assigned_regs:
+                lines.append(f"if _pr{i} is not _NW: _r{i} = _pr{i}")
+        for i, vreg in enumerate(self.program.vregs):
+            sites = self.vreg_sites.get(vreg, 0)
+            if sites == 1:
+                lines.append(
+                    f"if _pv{i} is not _NW: _v{i}[_pv{i}[0]] = _pv{i}[1]"
+                )
+            elif sites > 1:
+                lines.append(f"for _wi, _wx in _pv{i}: _v{i}[_wi] = _wx")
+        for i, bram in enumerate(self.program.brams):
+            if bram in self.written_brams:
+                lines.append(
+                    f"if _pb{i} is not _NW: _b{i}[_pb{i}[0]] = _pb{i}[1]"
+                )
+        if self.has_emit:
+            lines.append("if _em is not _NW:")
+            lines.append("    outputs.append(_em)")
+            lines.append("    emits += 1")
+        return lines
+
+    def _state_unpack(self, lines, indent):
+        pad = "    " * indent
+        for i in range(len(self.program.regs)):
+            lines.append(f"{pad}_r{i} = regs[{i}]")
+        for i in range(len(self.program.vregs)):
+            lines.append(f"{pad}_v{i} = vregs[{i}]")
+        for i in range(len(self.program.brams)):
+            lines.append(f"{pad}_b{i} = brams[{i}]")
+
+    def _state_repack(self, lines, indent):
+        pad = "    " * indent
+        repacked = False
+        for i in range(len(self.program.regs)):
+            lines.append(f"{pad}regs[{i}] = _r{i}")
+            repacked = True
+        if not repacked:
+            lines.append(f"{pad}pass")
+
+    def generate(self):
+        cycle = self._cycle_lines()
+        program = self.program
+        in_mask = mask(program.input_width)
+        vc_error = (
+            '"while loop did not terminate within '
+            '%d virtual cycles" % (max_vc,)'
+        )
+        token_error = (
+            f'"token %r does not fit the declared '
+            f'{program.input_width}-bit input width" % (token,)'
+        )
+
+        lines = []
+        lines.append(
+            "def run_token(token, sf, regs, vregs, brams, outputs, max_vc):"
+        )
+        self._state_unpack(lines, 1)
+        lines.append("    vc = 0")
+        lines.append("    emits = 0")
+        lines.append("    try:")
+        lines.append("        while True:")
+        lines.append("            vc += 1")
+        lines.extend("            " + line for line in cycle)
+        lines.append("            if _wd:")
+        lines.append("                break")
+        lines.append("            if vc >= max_vc:")
+        lines.append(f"                raise _SimError({vc_error})")
+        lines.append("    finally:")
+        self._state_repack(lines, 2)
+        lines.append("    return vc, emits")
+        lines.append("")
+        lines.append(
+            "def run_stream(tokens, regs, vregs, brams, outputs, max_vc, "
+            "vclist, emlist):"
+        )
+        self._state_unpack(lines, 1)
+        lines.append("    _n = len(tokens)")
+        lines.append("    try:")
+        lines.append("        for _ti in range(_n + 1):")
+        lines.append("            if _ti < _n:")
+        lines.append("                token = tokens[_ti]")
+        lines.append("                sf = 0")
+        lines.append(
+            "                if not (isinstance(token, int) and "
+            f"0 <= token <= {in_mask}):"
+        )
+        lines.append(f"                    raise _SimError({token_error})")
+        lines.append("            else:")
+        lines.append("                token = 0")
+        lines.append("                sf = 1")
+        lines.append("            vc = 0")
+        lines.append("            emits = 0")
+        lines.append("            while True:")
+        lines.append("                vc += 1")
+        lines.extend("                " + line for line in cycle)
+        lines.append("                if _wd:")
+        lines.append("                    break")
+        lines.append("                if vc >= max_vc:")
+        lines.append(f"                    raise _SimError({vc_error})")
+        lines.append("            vclist.append(vc)")
+        lines.append("            emlist.append(emits)")
+        lines.append("    finally:")
+        self._state_repack(lines, 2)
+        return "\n".join(lines) + "\n"
+
+
+def _state_shape_ok(program):
+    """Power-of-two element counts make every truncated address in range,
+    so all expression nodes are total — the purity gate for hoisting."""
+    for vreg in program.vregs:
+        if vreg.elements != (1 << vreg.index_width):
+            return False
+    for bram in program.brams:
+        if bram.elements != (1 << bram.addr_width):
+            return False
+    return True
+
+
+def compile_program(program):
+    """Lower ``program`` to a :class:`CompiledUnit`.
+
+    Raises :class:`FleetSimulationError` when the program can't take the
+    fast path (non-power-of-two state element, or an AST node the
+    lowering doesn't know). Use :func:`try_compile` for the optional
+    variant.
+    """
+    if not _state_shape_ok(program):
+        raise FleetSimulationError(
+            f"program {program.name!r} is not compilable: every BRAM and "
+            "vector register needs a power-of-two element count"
+        )
+    try:
+        source = _Codegen(program).generate()
+    except _Unsupported as exc:
+        raise FleetSimulationError(
+            f"program {program.name!r} is not compilable: "
+            f"unsupported node {exc.args[0]!r}"
+        ) from None
+    namespace = {"_NW": _NW, "_SimError": FleetSimulationError}
+    code = compile(source, f"<fleet-compiled:{program.name}>", "exec")
+    exec(code, namespace)
+    return CompiledUnit(
+        program, namespace["run_token"], namespace["run_stream"], source
+    )
+
+
+def try_compile(program):
+    """:func:`compile_program`, returning ``None`` when unsupported.
+
+    The result (including failure) is cached on the program object —
+    programs are immutable once built.
+    """
+    cached = getattr(program, "_fleet_compiled", False)
+    if cached is not False:
+        return cached
+    try:
+        unit = compile_program(program)
+    except FleetSimulationError:
+        unit = None
+    program._fleet_compiled = unit
+    return unit
+
+
+# ---------------------------------------------------------------------------
+# Restriction-elision proof
+# ---------------------------------------------------------------------------
+
+
+def _vreg_assigns_exclusive(program):
+    """The prover covers BRAM/register/emit conflicts but not vector
+    registers; prove those assignment pairs mutually exclusive the same
+    way (the interpreter checks them dynamically)."""
+    sites = {}
+
+    def walk(body, conds, in_loop):
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                negated = []
+                for cond, arm_body in stmt.arms:
+                    arm_conds = conds + tuple(negated)
+                    if cond is not None:
+                        walk(arm_body, arm_conds + ((cond, True),), in_loop)
+                        negated.append((cond, False))
+                    else:
+                        walk(arm_body, arm_conds, in_loop)
+            elif isinstance(stmt, ast.While):
+                walk(stmt.body, conds + ((stmt.cond, True),), True)
+            elif isinstance(stmt, ast.VectorRegAssign):
+                guard = Guard(conds, needs_while_done=not in_loop)
+                info = GuardInfo(guard, in_loop)
+                info.facts = guard_facts(guard)
+                sites.setdefault(stmt.vreg, []).append(info)
+
+    walk(program.body, (), False)
+    for infos in sites.values():
+        for i in range(len(infos)):
+            for j in range(i + 1, len(infos)):
+                if not _exclusive(infos[i], infos[j]):
+                    return False
+    return True
+
+
+def _checks_elidable(program):
+    """Can the compiled engine (which performs no dynamic restriction
+    checks) stand in for the checking interpreter on this program?"""
+    cached = getattr(program, "_fleet_checks_elidable", None)
+    if cached is not None:
+        return cached
+    try:
+        analysis.validate_program(program)
+        ok = prove_program(program).ok and _vreg_assigns_exclusive(program)
+    except FleetError:
+        ok = False
+    program._fleet_checks_elidable = ok
+    return ok
+
+
+def fast_engine_for(program, check_restrictions=True):
+    """The :class:`CompiledUnit` to use for ``program``, or ``None`` when
+    the interpreter must run (unsupported program, restriction checks
+    not provably elidable, or ``FLEET_ENGINE=interp`` in the
+    environment)."""
+    if os.environ.get("FLEET_ENGINE") == "interp":
+        return None
+    unit = try_compile(program)
+    if unit is None:
+        return None
+    if check_restrictions and not _checks_elidable(program):
+        return None
+    return unit
+
+
+# ---------------------------------------------------------------------------
+# Simulator-compatible driver
+# ---------------------------------------------------------------------------
+
+
+class CompiledSimulator:
+    """Drop-in :class:`~repro.interp.simulator.UnitSimulator` replacement
+    driving a :class:`CompiledUnit` (same incremental API, outputs, trace,
+    and peek hooks)."""
+
+    def __init__(self, program, *, check_restrictions=True,
+                 max_vcycles_per_token=1_000_000, unit=None):
+        self.program = program
+        self.check_restrictions = check_restrictions
+        self.max_vcycles_per_token = max_vcycles_per_token
+        self._unit = unit if unit is not None else compile_program(program)
+        self.reset()
+
+    def reset(self):
+        self._reg_values = [r.init for r in self.program.regs]
+        self._vregs = [[v.init] * v.elements for v in self.program.vregs]
+        self._brams = [[0] * b.elements for b in self.program.brams]
+        self._outputs = []
+        self._finished = False
+        self.trace = StreamTrace()
+
+    @property
+    def source(self):
+        """The generated Python source (debugging hook)."""
+        return self._unit.source
+
+    def run(self, tokens):
+        tokens = list(tokens)
+        if self._finished:
+            raise FleetSimulationError(
+                "stream already finished; reset() to reuse the simulator"
+            )
+        vclist, emlist = [], []
+        n = len(tokens)
+        try:
+            self._unit.run_stream(
+                tokens, self._reg_values, self._vregs, self._brams,
+                self._outputs, self.max_vcycles_per_token, vclist, emlist,
+            )
+        finally:
+            for i in range(len(vclist)):
+                self.trace.record_token(vclist[i], emlist[i], i == n)
+            if len(vclist) == n + 1:
+                self._finished = True
+        return self.outputs
+
+    def process_token(self, token):
+        if self._finished:
+            raise FleetSimulationError(
+                "stream already finished; reset() to reuse the simulator"
+            )
+        if not isinstance(token, int) or not (
+            0 <= token <= mask(self.program.input_width)
+        ):
+            raise FleetSimulationError(
+                f"token {token!r} does not fit the declared "
+                f"{self.program.input_width}-bit input width"
+            )
+        before = len(self._outputs)
+        vc, emits = self._unit.run_token(
+            token, 0, self._reg_values, self._vregs, self._brams,
+            self._outputs, self.max_vcycles_per_token,
+        )
+        self.trace.record_token(vc, emits, False)
+        return self._outputs[before:]
+
+    def finish_stream(self):
+        if self._finished:
+            raise FleetSimulationError("stream already finished")
+        before = len(self._outputs)
+        vc, emits = self._unit.run_token(
+            0, 1, self._reg_values, self._vregs, self._brams,
+            self._outputs, self.max_vcycles_per_token,
+        )
+        self.trace.record_token(vc, emits, True)
+        self._finished = True
+        return self._outputs[before:]
+
+    @property
+    def outputs(self):
+        return list(self._outputs)
+
+    def peek_reg(self, name):
+        for reg, value in zip(self.program.regs, self._reg_values):
+            if reg.name == name:
+                return value
+        raise FleetSimulationError(f"no register named {name!r}")
+
+    def peek_bram(self, name):
+        for bram, data in zip(self.program.brams, self._brams):
+            if bram.name == name:
+                return list(data)
+        raise FleetSimulationError(f"no BRAM named {name!r}")
+
+
+def make_simulator(program, *, check_restrictions=True,
+                   max_vcycles_per_token=1_000_000, engine="auto"):
+    """Build the best available simulator for ``program``.
+
+    ``engine`` is ``"auto"`` (compiled when provably equivalent, else the
+    interpreter), ``"interp"`` (force the oracle), or ``"compiled"``
+    (force the fast engine; raises when unsupported).
+    """
+    from .simulator import UnitSimulator
+
+    if engine == "interp":
+        return UnitSimulator(
+            program, check_restrictions=check_restrictions,
+            max_vcycles_per_token=max_vcycles_per_token, engine="interp",
+        )
+    if engine == "compiled":
+        return CompiledSimulator(
+            program, check_restrictions=check_restrictions,
+            max_vcycles_per_token=max_vcycles_per_token,
+        )
+    if engine != "auto":
+        raise FleetSimulationError(f"unknown engine {engine!r}")
+    unit = fast_engine_for(program, check_restrictions)
+    if unit is not None:
+        return CompiledSimulator(
+            program, check_restrictions=check_restrictions,
+            max_vcycles_per_token=max_vcycles_per_token, unit=unit,
+        )
+    return UnitSimulator(
+        program, check_restrictions=check_restrictions,
+        max_vcycles_per_token=max_vcycles_per_token, engine="interp",
+    )
+
+
+__all__ = [
+    "CompiledSimulator",
+    "CompiledUnit",
+    "compile_program",
+    "fast_engine_for",
+    "make_simulator",
+    "try_compile",
+]

@@ -67,13 +67,29 @@ class UnitSimulator:
     and finish with :meth:`finish_stream`, or run a whole stream with
     :meth:`run`. Per-token virtual-cycle counts are recorded in
     :attr:`trace` — the full-system performance simulator replays them.
+
+    ``engine`` selects how :meth:`run` executes a whole stream:
+    ``"auto"`` (the default) uses the compile-to-Python fast engine from
+    :mod:`repro.interp.compile` when it is provably equivalent for this
+    program, falling back to the AST interpreter otherwise; ``"interp"``
+    always walks the AST (the authoritative oracle). The incremental API
+    (:meth:`process_token`) always interprets, since it performs the
+    dynamic restriction checks one token at a time. After :meth:`run`,
+    :attr:`last_run_engine` records which engine executed
+    (``"compiled"`` or ``"interp"``).
     """
 
     def __init__(self, program, *, check_restrictions=True,
-                 max_vcycles_per_token=1_000_000):
+                 max_vcycles_per_token=1_000_000, engine="auto"):
+        if engine not in ("auto", "interp"):
+            raise FleetSimulationError(
+                f"unknown engine {engine!r} (expected 'auto' or 'interp')"
+            )
         self.program = program
         self.check_restrictions = check_restrictions
         self.max_vcycles_per_token = max_vcycles_per_token
+        self.engine = engine
+        self.last_run_engine = None
         self.reset()
 
     def reset(self):
@@ -85,6 +101,7 @@ class UnitSimulator:
         self._brams = {b: [0] * b.elements for b in self.program.brams}
         self._outputs = []
         self._finished = False
+        self._started = False
         self._has_read_cache = {}
         self.trace = StreamTrace()
 
@@ -99,13 +116,49 @@ class UnitSimulator:
     def run(self, tokens):
         """Process an entire stream (then the cleanup cycle); return the
         complete output token list."""
+        tokens = list(tokens)
+        if self.engine == "auto" and not self._started:
+            from .compile import fast_engine_for
+
+            unit = fast_engine_for(self.program, self.check_restrictions)
+            if unit is not None:
+                return self._run_compiled(unit, tokens)
+        self.last_run_engine = "interp"
         for token in tokens:
             self.process_token(token)
         self.finish_stream()
         return self.outputs
 
+    def _run_compiled(self, unit, tokens):
+        """Stream-level fast path: hand the whole stream to the compiled
+        engine, mutating this simulator's state in place so peek hooks
+        and the trace look exactly as if the interpreter had run."""
+        self.last_run_engine = "compiled"
+        self._started = True
+        regs = [self._regs[r] for r in self.program.regs]
+        # Vector-register / BRAM stores are the same list objects held in
+        # the state dicts, so in-place mutation keeps them consistent.
+        vregs = [self._vregs[v] for v in self.program.vregs]
+        brams = [self._brams[b] for b in self.program.brams]
+        vclist, emlist = [], []
+        n = len(tokens)
+        try:
+            unit.run_stream(
+                tokens, regs, vregs, brams, self._outputs,
+                self.max_vcycles_per_token, vclist, emlist,
+            )
+        finally:
+            for reg, value in zip(self.program.regs, regs):
+                self._regs[reg] = value
+            for i in range(len(vclist)):
+                self.trace.record_token(vclist[i], emlist[i], i == n)
+            if len(vclist) == n + 1:
+                self._finished = True
+        return self.outputs
+
     def process_token(self, token):
         """Feed one input token; returns the outputs it produced."""
+        self._started = True
         if self._finished:
             raise FleetSimulationError(
                 "stream already finished; reset() to reuse the simulator"
@@ -122,6 +175,7 @@ class UnitSimulator:
     def finish_stream(self):
         """Run the post-stream cleanup virtual cycles (``stream_finished``
         true, dummy input token); returns the outputs they produced."""
+        self._started = True
         if self._finished:
             raise FleetSimulationError("stream already finished")
         outputs = self._process(0, stream_finished=True)

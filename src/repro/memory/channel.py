@@ -37,12 +37,26 @@ class ChannelStats:
 
 
 class ChannelSystem:
-    """Cycle-steps one channel until the work drains or a horizon hits."""
+    """Cycle-steps one channel until the work drains or a horizon hits.
+
+    With ``event_driven`` (the default) the runners skip provably idle
+    stretches in one jump: whenever a step changes nothing, the system
+    computes the earliest future cycle at which any component's
+    time-gated condition can flip (DRAM refresh/turnaround/bank-gap
+    boundaries, read ``ready_at``, burst-register and PU ``free_at``,
+    output-chunk availability) and warps straight there, emulating the
+    output controller's round-robin walk across the skipped cycles.
+    Results are cycle-exact versus stepped simulation — every state
+    change happens on a threshold cycle, and threshold cycles are never
+    skipped. Pass ``event_driven=False`` to force pure stepping (the
+    differential tests do).
+    """
 
     def __init__(self, config, pus, data=None, stream_bases=None,
-                 out_bases=None):
+                 out_bases=None, event_driven=True):
         self.config = config
         self.pus = pus
+        self.event_driven = event_driven
         self.dram = DramChannel(config, data=data)
         self.input_controller = InputController(
             config, self.dram, pus, stream_bases
@@ -53,19 +67,52 @@ class ChannelSystem:
         self.cycle = 0
 
     def step(self):
+        self._step_acted()
+
+    def _step_acted(self):
+        """One cycle; returns whether any component changed state."""
         now = self.cycle
-        self.input_controller.submit_addresses(now)
-        self.output_controller.submit_addresses(now)
-        self.output_controller.push_data(now)
+        acted = self.input_controller.submit_addresses(now)
+        acted = self.output_controller.submit_addresses(now) or acted
+        acted = self.output_controller.push_data(now) or acted
         accept = self.input_controller.can_accept_beat(now)
         # The channel only transfers a read beat when the controller has a
         # burst register for it (the AXI R-channel ready signal).
         delivered = self.dram.step(read_accept=accept)
+        acted = self.dram.acted or acted
         if delivered is not None:
             tag, beat, last, payload = delivered
             self.input_controller.accept_beat(now, tag, beat, last, payload)
-        self.output_controller.release(now)
+        acted = self.output_controller.release(now) or acted
         self.cycle += 1
+        return acted
+
+    def _fast_forward(self, horizon):
+        """After an idle cycle, jump to the next cycle where anything can
+        happen (capped at ``horizon``), preserving cycle-exactness.
+        Returns the number of cycles skipped."""
+        prev = self.cycle - 1  # the cycle just proven idle
+        rr_step = self.output_controller.idle_jump_info(prev)
+        if rr_step is None:
+            return 0
+        thresholds = [
+            self.dram.next_event_after(prev),
+            self.input_controller.next_event_after(prev),
+            self.output_controller.next_event_after(prev),
+        ]
+        future = [t for t in thresholds if t is not None]
+        # No thresholds at all: nothing can ever act again — warp to the
+        # horizon (stepped simulation would idle its way there).
+        target = min(min(future) if future else horizon, horizon)
+        if target <= self.cycle:
+            return 0
+        skipped = target - self.cycle
+        if rr_step:
+            oc = self.output_controller
+            oc._rr = (oc._rr + rr_step * skipped) % len(self.pus)
+        self.cycle = target
+        self.dram.cycle = target
+        return skipped
 
     def drained(self):
         """All input delivered to PUs, all PU output written back."""
@@ -82,8 +129,27 @@ class ChannelSystem:
 
     def run(self, max_cycles=2_000_000):
         """Run to completion (or the horizon); returns :class:`ChannelStats`."""
+        idle_streak = 0
+        threshold = 2
         while self.cycle < max_cycles and not self.drained():
-            self.step()
+            if self._step_acted():
+                idle_streak = 0
+            elif self.event_driven:
+                # Attempt a jump only once an idle stretch establishes
+                # itself, and back off when jumps come up short: the
+                # threshold scans are O(PUs), so on a channel whose
+                # events are dense they cost more than they save.
+                idle_streak += 1
+                if idle_streak >= threshold:
+                    idle_streak = 0
+                    skipped = self._fast_forward(max_cycles)
+                    if skipped * 8 >= len(self.pus):
+                        threshold = 2
+                    else:
+                        # Cap low: idle windows between bursts are tens of
+                        # cycles, and a cap past that length would lock
+                        # jumping out for good after a few short jumps.
+                        threshold = min(16, threshold * 4)
         return ChannelStats(
             self.cycle,
             self.input_controller.bytes_delivered,
@@ -93,8 +159,21 @@ class ChannelSystem:
 
     def run_for(self, cycles):
         """Run exactly ``cycles`` cycles (throughput measurements)."""
-        for _ in range(cycles):
-            self.step()
+        end = self.cycle + cycles
+        idle_streak = 0
+        threshold = 2
+        while self.cycle < end:
+            if self._step_acted():
+                idle_streak = 0
+            elif self.event_driven:
+                idle_streak += 1
+                if idle_streak >= threshold:
+                    idle_streak = 0
+                    skipped = self._fast_forward(end)
+                    if skipped * 8 >= len(self.pus):
+                        threshold = 2
+                    else:
+                        threshold = min(16, threshold * 4)
         return ChannelStats(
             self.cycle,
             self.input_controller.bytes_delivered,
@@ -104,7 +183,8 @@ class ChannelSystem:
 
 
 def simulate_channels(config, make_pus, channels=4, data=None,
-                      max_cycles=2_000_000, fixed_cycles=None):
+                      max_cycles=2_000_000, fixed_cycles=None,
+                      event_driven=True):
     """Simulate ``channels`` independent channels (the paper's F1 has four)
     and aggregate their throughput.
 
@@ -113,7 +193,9 @@ def simulate_channels(config, make_pus, channels=4, data=None,
     total_in = total_out = 0
     worst_cycles = 0
     for index in range(channels):
-        system = ChannelSystem(config, make_pus(index), data=data)
+        system = ChannelSystem(
+            config, make_pus(index), data=data, event_driven=event_driven
+        )
         if fixed_cycles is not None:
             stats = system.run_for(fixed_cycles)
         else:

@@ -60,6 +60,10 @@ class DramChannel:
         self._turnaround_until = 0
         self._requests_seen = 0
         self._bank_gap_until = 0
+        #: Whether the last :meth:`step` changed any state beyond the
+        #: cycle counter (a beat transferred or the bus turned around) —
+        #: the event-driven runner's idle detector.
+        self.acted = False
         # Statistics.
         self.read_beats = 0
         self.write_beats = 0
@@ -136,6 +140,7 @@ class DramChannel:
         false, read beats are withheld this cycle (writes may proceed).
         """
         delivered = None
+        self.acted = False
         if (
             not self._refreshing()
             and self.cycle >= self._turnaround_until
@@ -162,10 +167,38 @@ class DramChannel:
                 self._turnaround_until = (
                     self.cycle + self.config.turnaround_cycles
                 )
+                self.acted = True
             elif current_ready:
                 delivered = self._transfer_beat()
+                self.acted = True
         self.cycle += 1
         return delivered
+
+    def next_event_after(self, now):
+        """Earliest cycle after ``now`` at which an idle bus could become
+        able to act, or ``None`` when no such time is implied by current
+        state.
+
+        Only *enabling* boundaries matter: the end of a refresh period or
+        of a turnaround/bank-gap penalty, and the ``ready_at`` of the head
+        read request. Everything else that could wake the bus (write data
+        pushed, a burst register freeing up) is an action of another
+        component with its own computable next-event time — the
+        event-driven runner takes the minimum across components.
+        """
+        candidates = []
+        interval = self.config.refresh_interval
+        if interval and now % interval < self.config.refresh_cycles:
+            candidates.append(
+                now - now % interval + self.config.refresh_cycles
+            )
+        if self._turnaround_until > now:
+            candidates.append(self._turnaround_until)
+        if self._bank_gap_until > now:
+            candidates.append(self._bank_gap_until)
+        if self._reads and self._reads[0].ready_at > now:
+            candidates.append(self._reads[0].ready_at)
+        return min(candidates) if candidates else None
 
     def _transfer_beat(self):
         self.busy_cycles += 1

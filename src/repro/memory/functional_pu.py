@@ -9,7 +9,7 @@ cycle timing, with the PU's latency taken from its own virtual-cycle
 counts (the compiler's one-virtual-cycle-per-cycle guarantee).
 """
 
-from ..interp import UnitSimulator
+from ..interp import make_simulator
 from ..lang.errors import FleetSimulationError
 from .pu_model import BasePu
 
@@ -17,14 +17,14 @@ from .pu_model import BasePu
 class FunctionalPu(BasePu):
     """Runs one unit on one stream inside the channel simulation."""
 
-    def __init__(self, unit, stream_bytes):
+    def __init__(self, unit, stream_bytes, *, engine="auto"):
         super().__init__(stream_bytes)
         if unit.input_width != 8:
             raise FleetSimulationError(
                 "FunctionalPu feeds 8-bit tokens (byte-stream units)"
             )
         self.unit = unit
-        self.sim = UnitSimulator(unit)
+        self.sim = make_simulator(unit, engine=engine)
         self._finished_run = False
 
     def _consume(self, drain_start, drain_end, nbytes, payload):

@@ -97,12 +97,13 @@ class InputController:
         return all(reg.free_at <= now for reg in self._registers)
 
     def submit_addresses(self, now):
-        """Give the addressing unit a chance to issue one read."""
+        """Give the addressing unit a chance to issue one read; returns
+        whether a request was submitted."""
         if not self._may_submit(now):
-            return
+            return False
         idx = self._next_pu(now)
         if idx is None:
-            return
+            return False
         pu = self.pus[idx]
         remaining = pu.stream_bytes - self._requested[idx]
         nbytes = min(self.config.burst_bytes, remaining)
@@ -114,6 +115,28 @@ class InputController:
         self._requested[idx] += nbytes
         self._outstanding[idx] += 1
         self._rr = (idx + 1) % len(self.pus)
+        return True
+
+    def next_event_after(self, now):
+        """Earliest cycle after ``now`` at which this controller's (or its
+        PUs') time-gated conditions can change, or ``None``.
+
+        A burst register's ``free_at`` gates both address submission (the
+        synchronous ablation) and beat acceptance; a PU's ``free_at`` gates
+        the prefetch-cap test in :meth:`_next_pu` (which compares against
+        ``free_at - slack``) and the drain scheduling.
+        """
+        candidates = []
+        for register in self._registers:
+            if register.free_at > now:
+                candidates.append(register.free_at)
+        slack = PREFETCH_PER_PU * self.config.drain_cycles
+        for pu in self.pus:
+            if pu.free_at > now:
+                candidates.append(pu.free_at)
+                if pu.free_at - slack > now:
+                    candidates.append(pu.free_at - slack)
+        return min(candidates) if candidates else None
 
     # -- data transfer unit ------------------------------------------------------------
     def can_accept_beat(self, now):

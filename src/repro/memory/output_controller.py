@@ -64,12 +64,13 @@ class OutputController:
         return None
 
     def submit_addresses(self, now):
-        """Issue one write address and start filling a burst register."""
+        """Issue one write address and start filling a burst register;
+        returns whether a write was submitted."""
         if not self.dram.write_addr_ready():
-            return
+            return False
         register = self._free_register(now)
         if register is None:
-            return
+            return False
         n = len(self.pus)
         # The addressing unit checks PUs round-robin, a few per cycle (the
         # hardware checks one; allowing a small factor keeps the model from
@@ -81,10 +82,10 @@ class OutputController:
                 break
             if self.config.output_blocking and not self._skippable(idx, now):
                 # Blocking ablation: wait for this PU, don't look further.
-                return
+                return False
             self._rr = (self._rr + 1) % n
         else:
-            return
+            return False
         pu = self.pus[idx]
         payload = pu.take_output(now, nbytes)
         beats = (nbytes + self.config.bus_bytes - 1) // self.config.bus_bytes
@@ -102,6 +103,7 @@ class OutputController:
         register.busy_until = None  # until its beats are transferred
         self._order.append(register)
         self._rr = (idx + 1) % len(self.pus)
+        return True
 
     def _skippable(self, idx, now):
         """In blocking mode, a PU is only skipped once it can produce no
@@ -120,11 +122,13 @@ class OutputController:
     # -- data push ------------------------------------------------------------------------
     def push_data(self, now):
         """Once the head register (in address order) has finished filling,
-        hand its beats to the AXI write data channel."""
+        hand its beats to the AXI write data channel; returns whether any
+        register's beats were pushed."""
+        pushed_any = False
         while self._order:
             register = self._order[0]
             if register.pushed or register.fill_end > now:
-                return
+                return pushed_any
             idx, nbytes, beats = register.tag
             for beat in range(beats):
                 payload = None
@@ -139,15 +143,76 @@ class OutputController:
             self._pushed_beats_total += beats
             self._watched.append((register, self._pushed_beats_total))
             self._order.popleft()
+            pushed_any = True
+        return pushed_any
 
     def release(self, now):
-        """Free registers whose beats the bus has transferred."""
+        """Free registers whose beats the bus has transferred; returns
+        whether any register was released."""
+        released = False
         while self._watched and self.dram.write_beats >= self._watched[0][1]:
             register, _ = self._watched.popleft()
             register.tag = None
             register.payload = None
             register.fill_end = None
             register.busy_until = now
+            released = True
+        return released
+
+    # -- event-driven support -------------------------------------------------
+    def idle_jump_info(self, now):
+        """Assuming :meth:`submit_addresses` just did nothing at ``now``,
+        how far does ``_rr`` advance on each idle cycle?
+
+        Unlike the input controller, the output scan mutates state even
+        when it submits nothing — it walks the round-robin pointer past
+        ineligible PUs — so an idle cycle is not state-free and skipping
+        it must reproduce the walk. Returns the per-cycle ``_rr`` delta
+        (constant across the idle window), or ``None`` when idle cycles
+        are not uniform and fast-forwarding is unsafe.
+        """
+        if not self.dram.write_addr_ready() or self._free_register(
+            now
+        ) is None:
+            return 0  # the scan does not run at all
+        n = len(self.pus)
+        # The scan runs every cycle. If any PU anywhere is eligible, a
+        # later scan position could reach it mid-window and submit — the
+        # window is not provably idle.
+        for idx, pu in enumerate(self.pus):
+            if pu.output_bytes_total == pu.output_taken:
+                continue  # no output pending anywhere, now or later
+            if self._eligible(idx, now) is not None:
+                return None
+        if self.config.output_blocking:
+            if self._skippable(self._rr, now):
+                # Still stepping past skippable PUs; the per-cycle walk
+                # length changes as it goes, so don't jump yet.
+                return None
+            return 0  # parked at a non-skippable PU
+        return min(n, self.SCAN_PER_CYCLE)
+
+    def next_event_after(self, now):
+        """Earliest cycle after ``now`` at which this controller's (or its
+        PUs') time-gated conditions can change, or ``None``.
+
+        Register ``fill_end``/``busy_until`` gate pushing and reuse; a
+        PU's ``free_at`` gates ``output_finished`` and each output
+        chunk's availability time gates ``output_available``.
+        """
+        candidates = []
+        for register in self._registers:
+            if register.busy_until is not None and register.busy_until > now:
+                candidates.append(register.busy_until)
+            if register.fill_end is not None and register.fill_end > now:
+                candidates.append(register.fill_end)
+        for pu in self.pus:
+            if pu.free_at > now:
+                candidates.append(pu.free_at)
+            chunk_at = pu.next_output_at(now)
+            if chunk_at is not None:
+                candidates.append(chunk_at)
+        return min(candidates) if candidates else None
 
     @property
     def finished(self):

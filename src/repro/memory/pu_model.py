@@ -32,10 +32,18 @@ class BasePu:
         self.input_delivered = 0  # bytes handed to the PU so far
         self.free_at = 0  # cycle when the input buffer is next empty
         self.received = bytearray()  # real data (when carried)
-        # Output side: (available_at_cycle, bytes, payload-or-None) chunks.
+        # Output side: (available_at_cycle, bytes, payload-or-None) chunks,
+        # appended in nondecreasing availability order (completion times
+        # never go backwards). That ordering lets availability queries
+        # keep an incremental ready-prefix cache instead of re-summing
+        # the queue: ``output_chunks[:_ready_count]`` are the chunks with
+        # ``at <= _ready_now`` and ``_ready_bytes`` their byte total.
         self.output_chunks = []
         self.output_bytes_total = 0
         self.output_taken = 0
+        self._ready_bytes = 0
+        self._ready_count = 0
+        self._ready_now = -1
 
     # -- input side ------------------------------------------------------------
     @property
@@ -57,16 +65,41 @@ class BasePu:
     # -- output side -------------------------------------------------------------
     def output_available(self, now):
         """Bytes sitting in the output buffer at ``now``."""
-        return sum(
-            nbytes for at, nbytes, _ in self.output_chunks if at <= now
-        ) - self._output_consumed_offset(now)
+        if now < self._ready_now:
+            # Non-monotone query (tests peeking into the past): pure sum.
+            return sum(
+                nbytes for at, nbytes, _ in self.output_chunks if at <= now
+            ) - self._output_consumed_offset(now)
+        chunks = self.output_chunks
+        while self._ready_count < len(chunks) and (
+            chunks[self._ready_count][0] <= now
+        ):
+            self._ready_bytes += chunks[self._ready_count][1]
+            self._ready_count += 1
+        self._ready_now = now
+        return self._ready_bytes - self._output_consumed_offset(now)
 
     def _output_consumed_offset(self, now):
         return 0  # chunks are removed as they are taken
 
+    def next_output_at(self, now):
+        """The cycle at which output beyond what is available at ``now``
+        first appears, or ``None`` (event-driven simulation hook)."""
+        self.output_available(now)
+        if self._ready_count < len(self.output_chunks):
+            return self.output_chunks[self._ready_count][0]
+        return None
+
     def take_output(self, now, nbytes):
         """Remove ``nbytes`` from the output buffer; returns the payload
         bytes when data is carried (else ``None``)."""
+        if now < self._ready_now:
+            # Rewinding invalidates the ready-prefix cache; rebuild lazily.
+            self._ready_bytes = 0
+            self._ready_count = 0
+            self._ready_now = -1
+        else:
+            self.output_available(now)  # sync the ready prefix to now
         payload = bytearray()
         carried = False
         need = nbytes
@@ -80,8 +113,12 @@ class BasePu:
                 chunk = chunk[take:]
             if take == avail:
                 self.output_chunks.pop(0)
+                if self._ready_count:
+                    self._ready_count -= 1
             else:
                 self.output_chunks[0] = (at, avail - take, chunk)
+            if self._ready_now >= 0:
+                self._ready_bytes -= take
             need -= take
         self.output_taken += nbytes
         return bytes(payload) if carried else None

@@ -30,30 +30,43 @@ from . import ir
 
 
 def _topo_sort_wires(module):
-    """Order wires so every wire is evaluated after the wires it reads."""
+    """Order wires so every wire is evaluated after the wires it reads.
+
+    Iterative DFS: compiled units routinely produce wire chains thousands
+    deep (forwarding networks), which would blow the recursion limit."""
     wire_value = {sig.index: value for sig, value in module.wires}
     order = []
     state = {}  # index -> 1 visiting, 2 done
-
-    def visit(sig, value):
-        state[sig.index] = 1
-        for dep in ir.referenced_signals(value):
-            if dep.kind != ir.WIRE:
-                continue
-            dep_state = state.get(dep.index)
-            if dep_state == 1:
-                raise FleetSyntaxError(
-                    f"combinational cycle through wire {dep.name!r} in "
-                    f"module {module.name!r}"
-                )
-            if dep_state is None:
-                visit(dep, wire_value[dep.index])
-        state[sig.index] = 2
-        order.append((sig, value))
-
-    for sig, value in module.wires:
-        if state.get(sig.index) is None:
-            visit(sig, value)
+    for root_sig, root_value in module.wires:
+        if state.get(root_sig.index) is not None:
+            continue
+        # Stack frames: (sig, value, iterator over wire dependencies).
+        stack = [(root_sig, root_value, None)]
+        state[root_sig.index] = 1
+        while stack:
+            sig, value, deps = stack[-1]
+            if deps is None:
+                deps = iter(ir.referenced_signals(value))
+                stack[-1] = (sig, value, deps)
+            advanced = False
+            for dep in deps:
+                if dep.kind != ir.WIRE:
+                    continue
+                dep_state = state.get(dep.index)
+                if dep_state == 1:
+                    raise FleetSyntaxError(
+                        f"combinational cycle through wire {dep.name!r} in "
+                        f"module {module.name!r}"
+                    )
+                if dep_state is None:
+                    state[dep.index] = 1
+                    stack.append((dep, wire_value[dep.index], None))
+                    advanced = True
+                    break
+            if not advanced:
+                state[sig.index] = 2
+                order.append((sig, value))
+                stack.pop()
     return order
 
 

@@ -37,7 +37,7 @@ class FullSystemResult:
 
 def run_full_system(unit, streams, *, header=b"", config=None,
                     max_cycles=5_000_000, out_region_bytes=None,
-                    channels=1):
+                    channels=1, event_driven=True):
     """Process ``streams`` on ``channels`` simulated channels of
     replicated ``unit`` PUs; returns a :class:`FullSystemResult`.
 
@@ -47,6 +47,8 @@ def run_full_system(unit, streams, *, header=b"", config=None,
     divided round-robin among independent channels (the paper's F1 layout
     — no cross-channel coordination) and results are reassembled in
     stream order; the cycle count is the slowest channel's.
+    ``event_driven=False`` forces pure cycle stepping (results are
+    identical either way; see :class:`~repro.memory.ChannelSystem`).
     """
     if not streams:
         raise FleetSimulationError("no streams to process")
@@ -55,7 +57,7 @@ def run_full_system(unit, streams, *, header=b"", config=None,
         return _run_multi_channel(
             unit, streams, header=header, config=config,
             max_cycles=max_cycles, out_region_bytes=out_region_bytes,
-            channels=channels,
+            channels=channels, event_driven=event_driven,
         )
     full_streams = [bytes(header) + bytes(s) for s in streams]
     buffer, offsets, lengths = pack_streams(full_streams)
@@ -73,7 +75,8 @@ def run_full_system(unit, streams, *, header=b"", config=None,
         FunctionalPu(unit, length) for length in lengths
     ]
     system = ChannelSystem(
-        config, pus, data=data, stream_bases=offsets, out_bases=out_bases
+        config, pus, data=data, stream_bases=offsets,
+        out_bases=out_bases, event_driven=event_driven,
     )
     stats = system.run(max_cycles=max_cycles)
     if not system.drained():
@@ -94,7 +97,7 @@ def run_full_system(unit, streams, *, header=b"", config=None,
 
 
 def _run_multi_channel(unit, streams, *, header, config, max_cycles,
-                       out_region_bytes, channels):
+                       out_region_bytes, channels, event_driven):
     assignments = [list() for _ in range(channels)]
     for index, stream in enumerate(streams):
         assignments[index % channels].append((index, stream))
@@ -109,6 +112,7 @@ def _run_multi_channel(unit, streams, *, header, config, max_cycles,
             unit, [stream for _, stream in group], header=header,
             config=config, max_cycles=max_cycles,
             out_region_bytes=out_region_bytes, channels=1,
+            event_driven=event_driven,
         )
         for (index, _), tokens, region in zip(
             group, result.outputs, result.output_bytes

@@ -1,0 +1,32 @@
+"""The perf-regression harness: structure, exactness flags, and JSON
+rendering (quick mode — CI smoke; the full run lives in benchmarks/)."""
+
+import json
+
+from repro.bench import format_perf, render_perf_json, run_perf_regression
+
+
+def test_quick_run_structure_and_exactness():
+    results = run_perf_regression(quick=True)
+    assert results["quick"] is True
+    names = [bench["name"] for bench in results["benchmarks"]]
+    assert "unit_sim/json_parsing" in names
+    assert "unit_sim/integer_coding" in names
+    assert any(name.startswith("memory_sim/fig9") for name in names)
+    for bench in results["benchmarks"]:
+        # Exactness is deterministic and must always hold; the timing
+        # floor is only asserted by the full benchmark run.
+        assert bench["match"], bench["name"]
+        assert bench["baseline"]["seconds"] > 0
+        assert bench["fast"]["seconds"] > 0
+    agg = results["aggregate"]
+    assert agg["all_match"]
+    assert agg["speedup"] > 0
+
+    rendered = render_perf_json(results)
+    parsed = json.loads(rendered)
+    assert parsed["aggregate"]["all_match"] is True
+
+    table = format_perf(results)
+    assert "unit_sim/json_parsing" in table
+    assert "aggregate" in table
