@@ -35,6 +35,11 @@ def test_perf_regression(once):
         f"aggregate speedup {results['aggregate']['speedup']:.1f}x "
         f"regressed below the 5x floor"
     )
+    assert results["obs_overhead"]["disabled_faster"], (
+        "observability-disabled simulation is not faster than the "
+        "instrumented one — instrumentation cost leaked into the "
+        "disabled path"
+    )
 
 
 def main(argv):
@@ -53,6 +58,9 @@ def main(argv):
         return 1
     if not quick and results["aggregate"]["speedup"] < 5.0:
         print("ERROR: aggregate speedup below the 5x floor")
+        return 1
+    if not quick and not results["obs_overhead"]["disabled_faster"]:
+        print("ERROR: obs-disabled run not faster than instrumented")
         return 1
     return 0
 

@@ -8,7 +8,7 @@ from .harness import (
     run_sec73_memory,
 )
 from .loc import count_source_lines, figure8_rows
-from .perf_regression import run_perf_regression
+from .perf_regression import run_obs_overhead, run_perf_regression
 from .report import (
     PAPER_FIGURE7,
     PAPER_FIGURE8,
@@ -16,6 +16,7 @@ from .report import (
     format_figure7,
     format_figure8,
     format_figure9,
+    format_figure9_attribution,
     format_perf,
     render_perf_json,
 )
@@ -32,10 +33,12 @@ __all__ = [
     "format_figure7",
     "format_figure8",
     "format_figure9",
+    "format_figure9_attribution",
     "format_perf",
     "render_perf_json",
     "run_figure7",
     "run_figure9",
+    "run_obs_overhead",
     "run_perf_regression",
     "run_sec73_memory",
 ]

@@ -76,9 +76,20 @@ def run_figure7(apps=None, *, sim_cycles=30_000, gpu_lanes=32):
 
 
 def run_figure9(*, channels=4, pus_per_channel=128, stream_bytes=1 << 16,
-                fixed_cycles=40_000):
+                fixed_cycles=40_000, attribution=False):
     """Figure 9: the memory-controller optimization ablation, using the
-    token-dropping sink unit to isolate the input path."""
+    token-dropping sink unit to isolate the input path.
+
+    With ``attribution=True`` each row becomes ``(label, gbps,
+    attribution_dict)`` — the per-category cycle counts
+    (:mod:`repro.obs`) that explain *why* each optimization changes
+    throughput: synchronous addressing shows up as ``idle`` (no address
+    supplied ahead of the data), the ``r = 1`` register ablation as
+    ``no_burst_register``, and the full controller as ``data_beat_in``
+    dominating.
+    """
+    from ..obs import Observation
+
     base = MemoryConfig()
     variants = [
         ("None", base.replace(burst_registers=1, async_addressing=False)),
@@ -87,13 +98,19 @@ def run_figure9(*, channels=4, pus_per_channel=128, stream_bytes=1 << 16,
     ]
     results = []
     for label, config in variants:
+        obs = Observation() if attribution else None
         stats = simulate_channels(
             config,
             lambda i: [SinkPu(stream_bytes) for _ in range(pus_per_channel)],
             channels=1,
             fixed_cycles=fixed_cycles,
+            obs=obs,
         )
-        results.append((label, channels * stats.input_gbps))
+        if attribution:
+            results.append((label, channels * stats.input_gbps,
+                            stats.attribution))
+        else:
+            results.append((label, channels * stats.input_gbps))
     return results
 
 

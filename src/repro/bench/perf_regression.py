@@ -16,12 +16,18 @@ engine in one process:
 ``BENCH_PERF.json``); the ``aggregate.speedup`` entry is total baseline
 seconds over total fast seconds — end-to-end wall clock, not a mean of
 ratios — and is the number the CI smoke check watches.
+
+The results also carry an ``obs_overhead`` section
+(:func:`run_obs_overhead`): the same memory simulation timed with
+observability (:mod:`repro.obs`) disabled and enabled, guarding that the
+disabled path never inherits instrumentation cost.
 """
 
 import time
 
 from ..interp import make_simulator
 from ..memory import MemoryConfig, SinkPu, simulate_channels
+from ..obs import Observation
 from .catalog import catalog
 
 #: Unit-simulation cases: (catalog key, stream-pair sizes, repetitions).
@@ -101,6 +107,36 @@ def _run_memory_case(name, overrides, quick, pus=128, stream_bytes=1 << 16):
     }
 
 
+def run_obs_overhead(quick=False, pus=128, stream_bytes=1 << 16,
+                     rounds=3):
+    """Guard that observability (:mod:`repro.obs`) is pay-for-what-you-
+    use: time the same event-driven memory simulation with observation
+    disabled and enabled. The disabled run must stay faster — if
+    instrumentation cost ever leaks into the uninstrumented path, the
+    ``disabled_faster`` flag (asserted by the bench and CI) trips."""
+    config = MemoryConfig()
+    fixed_cycles = 6_000 if quick else 20_000
+
+    def run(obs):
+        simulate_channels(
+            config,
+            lambda i: [SinkPu(stream_bytes) for _ in range(pus)],
+            channels=1, fixed_cycles=fixed_cycles, obs=obs,
+        )
+
+    run(None)  # warm up
+    disabled = min(_timed(lambda: run(None))[0] for _ in range(rounds))
+    enabled = min(
+        _timed(lambda: run(Observation()))[0] for _ in range(rounds)
+    )
+    return {
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_ratio": enabled / disabled if disabled else 0.0,
+        "disabled_faster": disabled < enabled,
+    }
+
+
 def run_perf_regression(quick=False):
     """Run every case; returns the results dict (see module docstring)."""
     benchmarks = []
@@ -119,4 +155,5 @@ def run_perf_regression(quick=False):
             "speedup": base_total / fast_total if fast_total else 0.0,
             "all_match": all(b["match"] for b in benchmarks),
         },
+        "obs_overhead": run_obs_overhead(quick),
     }

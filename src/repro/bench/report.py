@@ -54,13 +54,37 @@ def format_figure7(rows):
 
 
 def format_figure9(results):
+    """Render Figure 9 rows; accepts ``(label, gbps)`` pairs or the
+    ``(label, gbps, attribution)`` triples of
+    ``run_figure9(attribution=True)``."""
     lines = [f"{'Memory Controller Optimizations':<36}{'GB/s':>7}"
              f"{'(paper)':>9}",
              "-" * 52]
-    for label, gbps in results:
+    for label, gbps, *_rest in results:
         lines.append(
             f"{label:<36}{gbps:>7.2f}{PAPER_FIGURE9[label]:>9.2f}"
         )
+    return "\n".join(lines)
+
+
+def format_figure9_attribution(results):
+    """Render the cycle-attribution breakdown next to each Figure 9
+    ablation point — the causal story behind the throughput deltas."""
+    from ..obs.attribution import CATEGORIES
+
+    lines = [f"{'category':<20}" + "".join(
+        f"{label[:14]:>16}" for label, _, _ in results
+    )]
+    lines.append("-" * (20 + 16 * len(results)))
+    totals = [sum(attr.values()) for _, _, attr in results]
+    for category in CATEGORIES:
+        if not any(attr.get(category) for _, _, attr in results):
+            continue
+        cells = []
+        for (_, _, attr), total in zip(results, totals):
+            share = 100.0 * attr.get(category, 0) / total if total else 0.0
+            cells.append(f"{share:>15.1f}%")
+        lines.append(f"{category:<20}" + "".join(cells))
     return "\n".join(lines)
 
 
@@ -104,6 +128,17 @@ def format_perf(results):
         f"{agg['speedup']:>8.1f}x"
         f"{'yes' if agg['all_match'] else 'NO':>7}"
     )
+    overhead = results.get("obs_overhead")
+    if overhead:
+        # Columns read: obs-disabled time, obs-enabled time, enabled/
+        # disabled ratio, and whether the disabled run stayed faster.
+        lines.append(
+            f"{'obs disabled vs enabled':<28}"
+            f"{overhead['disabled_seconds']:>9.3f}s"
+            f"{overhead['enabled_seconds']:>9.3f}s"
+            f"{overhead['overhead_ratio']:>8.2f}x"
+            f"{'yes' if overhead['disabled_faster'] else 'NO':>7}"
+        )
     return "\n".join(lines)
 
 

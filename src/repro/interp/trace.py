@@ -39,10 +39,33 @@ class StreamTrace:
         return sum(self.vcycles_per_token)
 
     @property
+    def cleanup_vcycles(self):
+        """Virtual cycles of the post-stream cleanup cycle (0 when it has
+        not run)."""
+        if not self._cleanup_recorded:
+            return 0
+        return self.vcycles_per_token[-1]
+
+    @property
+    def payload_vcycles(self):
+        """Virtual cycles attributable to real input tokens (total minus
+        cleanup)."""
+        return self.total_vcycles - self.cleanup_vcycles
+
+    @property
     def mean_vcycles_per_token(self):
         """Average virtual cycles per input token — the reciprocal of PU
-        throughput in tokens/cycle."""
-        if not self.tokens_in:
+        throughput in tokens/cycle. The cleanup cycle's virtual cycles
+        are amortized into the mean (numerator only).
+
+        Header-only / empty streams have no input tokens; the mean is
+        defined as ``0.0`` for them (never a ZeroDivisionError), and the
+        cleanup cycles they *did* spend remain visible via
+        :attr:`cleanup_vcycles` — the run report
+        (:mod:`repro.obs.report`) carries them per PU, so
+        ``profile_unit`` on empty streams stays well-defined.
+        """
+        if self.tokens_in <= 0:
             return 0.0
         return self.total_vcycles / self.tokens_in
 

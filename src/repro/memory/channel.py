@@ -13,13 +13,23 @@ from .output_controller import OutputController
 
 
 class ChannelStats:
-    """Results of one channel simulation."""
+    """Results of one channel simulation.
 
-    def __init__(self, cycles, bytes_in, bytes_out, config):
+    ``attribution`` is ``None`` unless the run was observed
+    (:mod:`repro.obs`): then it maps each cycle-attribution category to
+    its cycle count, summing to :attr:`cycles` (summing to the *total*
+    across channels for aggregated stats; see :func:`simulate_channels`).
+    Existing callers — including the pickled/JSON bench outputs, which
+    only consume the numeric fields — are unaffected.
+    """
+
+    def __init__(self, cycles, bytes_in, bytes_out, config,
+                 attribution=None):
         self.cycles = cycles
         self.bytes_in = bytes_in
         self.bytes_out = bytes_out
         self.config = config
+        self.attribution = attribution
 
     @property
     def input_gbps(self):
@@ -29,11 +39,27 @@ class ChannelStats:
     def output_gbps(self):
         return self.config.gbps(self.bytes_out, self.cycles)
 
+    def summary(self):
+        """Multi-line text: throughput plus (when observed) the percent
+        of cycles spent in each attribution category."""
+        lines = [repr(self)]
+        if self.attribution:
+            from ..obs.attribution import summarize_attribution
+            lines.append(summarize_attribution(self.attribution,
+                                               indent="  "))
+        return "\n".join(lines)
+
     def __repr__(self):
-        return (
+        base = (
             f"ChannelStats(cycles={self.cycles}, in={self.input_gbps:.2f} "
-            f"GB/s, out={self.output_gbps:.2f} GB/s)"
+            f"GB/s, out={self.output_gbps:.2f} GB/s"
         )
+        if self.attribution:
+            total = sum(self.attribution.values())
+            top = max(self.attribution, key=self.attribution.get)
+            share = 100.0 * self.attribution[top] / total if total else 0.0
+            base += f", top={top} {share:.0f}%"
+        return base + ")"
 
 
 class ChannelSystem:
@@ -53,18 +79,29 @@ class ChannelSystem:
     """
 
     def __init__(self, config, pus, data=None, stream_bases=None,
-                 out_bases=None, event_driven=True):
+                 out_bases=None, event_driven=True, obs=None):
         self.config = config
         self.pus = pus
         self.event_driven = event_driven
         self.dram = DramChannel(config, data=data)
+        # Observability (repro.obs): attach a per-channel scope when an
+        # Observation is supplied; with None every hook below reduces to
+        # one predicate check per cycle.
+        self._obs = obs.channel(config, len(pus)) if obs is not None \
+            else None
         self.input_controller = InputController(
-            config, self.dram, pus, stream_bases
+            config, self.dram, pus, stream_bases, obs=self._obs
         )
         self.output_controller = OutputController(
-            config, self.dram, pus, out_bases
+            config, self.dram, pus, out_bases, obs=self._obs
         )
         self.cycle = 0
+
+    @property
+    def observation(self):
+        """This channel's :class:`~repro.obs.ChannelObservation` (or
+        ``None`` when the run is not observed)."""
+        return self._obs
 
     def step(self):
         self._step_acted()
@@ -72,18 +109,28 @@ class ChannelSystem:
     def _step_acted(self):
         """One cycle; returns whether any component changed state."""
         now = self.cycle
+        obs = self._obs
         acted = self.input_controller.submit_addresses(now)
         acted = self.output_controller.submit_addresses(now) or acted
         acted = self.output_controller.push_data(now) or acted
         accept = self.input_controller.can_accept_beat(now)
         # The channel only transfers a read beat when the controller has a
         # burst register for it (the AXI R-channel ready signal).
-        delivered = self.dram.step(read_accept=accept)
+        if obs is None:
+            delivered = self.dram.step(read_accept=accept)
+        else:
+            write_beats = self.dram.write_beats
+            delivered = self.dram.step(read_accept=accept)
         acted = self.dram.acted or acted
         if delivered is not None:
             tag, beat, last, payload = delivered
             self.input_controller.accept_beat(now, tag, beat, last, payload)
         acted = self.output_controller.release(now) or acted
+        if obs is not None:
+            obs.on_cycle(
+                now, self, delivered,
+                self.dram.write_beats - write_beats, accept,
+            )
         self.cycle += 1
         return acted
 
@@ -110,6 +157,12 @@ class ChannelSystem:
         if rr_step:
             oc = self.output_controller
             oc._rr = (oc._rr + rr_step * skipped) % len(self.pus)
+        if self._obs is not None:
+            # Attribute the skipped window exactly as stepping would:
+            # all classifier inputs are frozen inside it (every
+            # threshold lies at or beyond ``target``) except the refresh
+            # phase, which record_window counts in closed form.
+            self._obs.on_window(self.cycle, target, self)
         self.cycle = target
         self.dram.cycle = target
         return skipped
@@ -150,12 +203,7 @@ class ChannelSystem:
                         # cycles, and a cap past that length would lock
                         # jumping out for good after a few short jumps.
                         threshold = min(16, threshold * 4)
-        return ChannelStats(
-            self.cycle,
-            self.input_controller.bytes_delivered,
-            self.output_controller.bytes_accepted,
-            self.config,
-        )
+        return self._finish_stats()
 
     def run_for(self, cycles):
         """Run exactly ``cycles`` cycles (throughput measurements)."""
@@ -174,27 +222,45 @@ class ChannelSystem:
                         threshold = 2
                     else:
                         threshold = min(16, threshold * 4)
-        return ChannelStats(
+        return self._finish_stats()
+
+    def _finish_stats(self):
+        """Build the run's :class:`ChannelStats` (with attribution when
+        observed) and finalize the observation scope."""
+        attribution = (
+            self._obs.attribution.as_dict() if self._obs is not None
+            else None
+        )
+        stats = ChannelStats(
             self.cycle,
             self.input_controller.bytes_delivered,
             self.output_controller.bytes_accepted,
             self.config,
+            attribution=attribution,
         )
+        if self._obs is not None:
+            self._obs.finalize(stats, self)
+        return stats
 
 
 def simulate_channels(config, make_pus, channels=4, data=None,
                       max_cycles=2_000_000, fixed_cycles=None,
-                      event_driven=True):
+                      event_driven=True, obs=None):
     """Simulate ``channels`` independent channels (the paper's F1 has four)
     and aggregate their throughput.
 
     ``make_pus(channel_index)`` returns the PU list for one channel.
+    ``obs`` (a :class:`repro.obs.Observation`) attaches one observation
+    scope per channel; the aggregate stats then carry the summed
+    attribution (each per-channel scope still sums to its own cycles).
     """
     total_in = total_out = 0
     worst_cycles = 0
+    aggregate = None
     for index in range(channels):
         system = ChannelSystem(
-            config, make_pus(index), data=data, event_driven=event_driven
+            config, make_pus(index), data=data, event_driven=event_driven,
+            obs=obs,
         )
         if fixed_cycles is not None:
             stats = system.run_for(fixed_cycles)
@@ -203,4 +269,11 @@ def simulate_channels(config, make_pus, channels=4, data=None,
         total_in += stats.bytes_in
         total_out += stats.bytes_out
         worst_cycles = max(worst_cycles, stats.cycles)
-    return ChannelStats(worst_cycles, total_in, total_out, config)
+        if stats.attribution is not None:
+            if aggregate is None:
+                aggregate = dict(stats.attribution)
+            else:
+                for category, n in stats.attribution.items():
+                    aggregate[category] += n
+    return ChannelStats(worst_cycles, total_in, total_out, config,
+                        attribution=aggregate)

@@ -115,10 +115,29 @@ class DramChannel:
 
     # -- per-cycle bus scheduling ----------------------------------------------
     def _refreshing(self):
+        return self.refreshing_at(self.cycle)
+
+    def refreshing_at(self, now):
+        """Whether the periodic refresh window covers cycle ``now``."""
         interval = self.config.refresh_interval
         if not interval:
             return False
-        return self.cycle % interval < self.config.refresh_cycles
+        return now % interval < self.config.refresh_cycles
+
+    def read_head_ready(self, now):
+        """Whether the head read request has data ready for the bus at
+        ``now`` (the cycle-attribution classifier's stall predicate)."""
+        return bool(self._reads) and self._reads[0].ready_at <= now
+
+    @property
+    def turnaround_until(self):
+        """First cycle after the current bus-turnaround penalty."""
+        return self._turnaround_until
+
+    @property
+    def bank_gap_until(self):
+        """First cycle after the current bank-management penalty."""
+        return self._bank_gap_until
 
     def _read_beat_ready(self):
         if not self._reads:

@@ -26,26 +26,33 @@ when that assumption matters.
 
 from collections import deque
 
+from ..obs.attribution import NO_BURST_REGISTER, PU_BACKPRESSURE
+
 #: Bursts the addressing unit may run ahead of one PU's consumption.
 PREFETCH_PER_PU = 2
 
 
 class _Register:
-    __slots__ = ("free_at", "filling", "payload")
+    __slots__ = ("free_at", "filling", "payload", "pu_deferred")
 
     def __init__(self):
         self.free_at = 0
         self.filling = None  # in-flight tag currently landing here
         self.payload = None
+        # Whether the drain occupying this register had to wait for its
+        # PU's buffer (cycle attribution: pu_backpressure vs
+        # no_burst_register).
+        self.pu_deferred = False
 
 
 class InputController:
     """Feeds every PU its own stream from one DRAM channel."""
 
-    def __init__(self, config, dram, pus, stream_bases=None):
+    def __init__(self, config, dram, pus, stream_bases=None, obs=None):
         self.config = config
         self.dram = dram
         self.pus = pus
+        self._obs = obs  # ChannelObservation or None (hooks skipped)
         # Where each PU's stream lives in channel memory (data mode).
         self.stream_bases = stream_bases or [0] * len(pus)
         self._requested = [0] * len(pus)  # bytes requested so far per PU
@@ -115,6 +122,8 @@ class InputController:
         self._requested[idx] += nbytes
         self._outstanding[idx] += 1
         self._rr = (idx + 1) % len(self.pus)
+        if self._obs is not None:
+            self._obs.read_submitted(now)
         return True
 
     def next_event_after(self, now):
@@ -171,6 +180,8 @@ class InputController:
         if last:
             self._inflight.popleft()
             del self._fill[tag]
+            if self._obs is not None:
+                self._obs.read_burst_done(tag[0], tag[1], now)
             self._start_drain(now, fill, tag)
 
     def _start_drain(self, now, register, tag):
@@ -185,12 +196,36 @@ class InputController:
         drain_end = drain_start + drain_cycles
         payload = bytes(register.payload) if register.payload is not None \
             else None
-        pu.deliver_burst(drain_start, drain_end, nbytes, payload)
+        prev_free = pu.free_at
+        done = pu.deliver_burst(drain_start, drain_end, nbytes, payload)
         register.filling = None
         register.payload = None
         register.free_at = drain_end
+        register.pu_deferred = drain_start > now + 1
         self._outstanding[idx] -= 1
         self.bytes_delivered += nbytes
+        if self._obs is not None:
+            self._obs.pu_burst(idx, drain_start, done, prev_free, nbytes)
+
+    # -- observability -------------------------------------------------------
+    def occupied_registers(self, now):
+        """How many burst registers are occupied at ``now`` (filling, or
+        holding a burst whose drain has not completed)."""
+        occupied = 0
+        for register in self._registers:
+            if register.filling is not None or register.free_at > now:
+                occupied += 1
+        return occupied
+
+    def stall_category(self, now):
+        """Why a ready read beat cannot be accepted at ``now``: every
+        register is occupied — by PU-deferred drains
+        (``pu_backpressure``) or purely by drains in progress
+        (``no_burst_register``)."""
+        for register in self._registers:
+            if register.free_at > now and register.pu_deferred:
+                return PU_BACKPRESSURE
+        return NO_BURST_REGISTER
 
     @property
     def finished(self):

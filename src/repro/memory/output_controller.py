@@ -20,7 +20,8 @@ from collections import deque
 
 
 class _OutRegister:
-    __slots__ = ("busy_until", "fill_end", "tag", "payload", "pushed")
+    __slots__ = ("busy_until", "fill_end", "tag", "payload", "pushed",
+                 "submit_cycle")
 
     def __init__(self):
         self.busy_until = 0
@@ -28,6 +29,7 @@ class _OutRegister:
         self.tag = None
         self.payload = None
         self.pushed = False
+        self.submit_cycle = 0  # when this burst's write address was issued
 
 
 class OutputController:
@@ -37,10 +39,11 @@ class OutputController:
     SCAN_PER_CYCLE = 8
 
     def __init__(self, config, dram, pus, region_bases=None,
-                 region_bytes=None):
+                 region_bytes=None, obs=None):
         self.config = config
         self.dram = dram
         self.pus = pus
+        self._obs = obs  # ChannelObservation or None (hooks skipped)
         self.region_bases = region_bases or [0] * len(pus)
         self.bytes_written = [0] * len(pus)  # per-PU output cursor
         self._rr = 0
@@ -101,8 +104,11 @@ class OutputController:
         register.payload = payload
         register.pushed = False
         register.busy_until = None  # until its beats are transferred
+        register.submit_cycle = now
         self._order.append(register)
         self._rr = (idx + 1) % len(self.pus)
+        if self._obs is not None:
+            self._obs.pu_output(idx, nbytes)
         return True
 
     def _skippable(self, idx, now):
@@ -152,6 +158,11 @@ class OutputController:
         released = False
         while self._watched and self.dram.write_beats >= self._watched[0][1]:
             register, _ = self._watched.popleft()
+            if self._obs is not None:
+                idx, nbytes, _beats = register.tag
+                self._obs.write_burst_done(
+                    idx, nbytes, register.submit_cycle, now
+                )
             register.tag = None
             register.payload = None
             register.fill_end = None

@@ -1,0 +1,64 @@
+"""``repro.obs`` — opt-in, zero-cost-when-disabled observability for the
+memory/system simulators: cycle attribution (where every channel cycle
+goes), counters and histograms, per-PU stall/utilization accounting, and
+Chrome trace-event export (Perfetto-loadable).
+
+Quick start::
+
+    from repro.obs import Observation
+    from repro.system import run_full_system
+
+    obs = Observation(trace=True)
+    result = run_full_system(unit, streams, obs=obs)
+    print(obs.summary())            # human-readable breakdown
+    report = obs.report()           # machine JSON
+    obs.write_trace("trace.json")   # open in https://ui.perfetto.dev
+
+or set ``FLEET_TRACE=trace.json`` to auto-instrument
+``run_full_system``. See ``docs/observability.md``.
+"""
+
+from .attribution import (
+    BANK_GAP,
+    BUS_TURNAROUND,
+    CATEGORIES,
+    DATA_BEAT_IN,
+    DATA_BEAT_OUT,
+    IDLE,
+    NO_BURST_REGISTER,
+    PU_BACKPRESSURE,
+    REFRESH,
+    ChannelAttribution,
+    refresh_cycles_between,
+    summarize_attribution,
+)
+from .counters import Counter, Histogram, Registry
+from .observe import ChannelObservation, Observation, PuStats
+from .report import REPORT_SCHEMA, build_report, format_report, validate_report
+from .tracer import TraceRecorder
+
+__all__ = [
+    "BANK_GAP",
+    "BUS_TURNAROUND",
+    "CATEGORIES",
+    "DATA_BEAT_IN",
+    "DATA_BEAT_OUT",
+    "IDLE",
+    "NO_BURST_REGISTER",
+    "PU_BACKPRESSURE",
+    "REFRESH",
+    "REPORT_SCHEMA",
+    "ChannelAttribution",
+    "ChannelObservation",
+    "Counter",
+    "Histogram",
+    "Observation",
+    "PuStats",
+    "Registry",
+    "TraceRecorder",
+    "build_report",
+    "format_report",
+    "refresh_cycles_between",
+    "summarize_attribution",
+    "validate_report",
+]

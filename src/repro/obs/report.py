@@ -1,0 +1,126 @@
+"""Structured run reports built from an :class:`~repro.obs.Observation`.
+
+``build_report`` produces plain JSON-serializable data (the machine
+form); ``format_report`` renders the human-readable breakdown table the
+``python -m repro.report`` CLI prints. The aggregate section sums cycle
+attribution across channels (each channel's attribution still sums to
+that channel's own cycle count — the per-channel invariant the tests
+enforce).
+"""
+
+from .attribution import CATEGORIES, summarize_attribution
+
+#: Bumped when the report layout changes incompatibly.
+REPORT_SCHEMA = "repro.obs.report/v1"
+
+
+def build_report(observation):
+    """The structured run report for one observation."""
+    channels = [channel.as_dict() for channel in observation.channels]
+    aggregate = {category: 0 for category in CATEGORIES}
+    total_cycles = total_in = total_out = 0
+    busy = starved = 0
+    for channel in channels:
+        for category, cycles in channel["attribution"].items():
+            aggregate[category] += cycles
+        total_cycles += channel["cycles"]
+        total_in += channel["bytes_in"]
+        total_out += channel["bytes_out"]
+        for pu in channel["pus"]:
+            busy += pu["busy_cycles"]
+            starved += pu["starved_cycles"]
+    agg_total = sum(aggregate.values())
+    return {
+        "schema": REPORT_SCHEMA,
+        "frequency_hz": observation.frequency_hz,
+        "traced": observation.tracer is not None,
+        "channels": channels,
+        "aggregate": {
+            "channels": len(channels),
+            "cycles": total_cycles,
+            "bytes_in": total_in,
+            "bytes_out": total_out,
+            "attribution": aggregate,
+            "attribution_pct": {
+                category: round(100.0 * n / agg_total, 2) if agg_total
+                else 0.0
+                for category, n in aggregate.items()
+            },
+            "pu_busy_cycles": busy,
+            "pu_starved_cycles": starved,
+        },
+    }
+
+
+def format_report(report):
+    """Render a report dict as the human-readable breakdown."""
+    lines = []
+    for channel in report["channels"]:
+        lines.append(
+            f"channel {channel['index']}: {channel['cycles']} cycles, "
+            f"in {channel['input_gbps']:.2f} GB/s, "
+            f"out {channel['output_gbps']:.2f} GB/s"
+        )
+        lines.append(f"{'  category':<20}{'cycles':>12}  {'share':>7}")
+        lines.append("  " + "-" * 40)
+        lines.append(summarize_attribution(channel["attribution"],
+                                           indent="  "))
+        lines.append(
+            f"  burst-register occupancy mean "
+            f"{channel['reg_occupancy_mean']:.2f}, "
+            f"address->data lead mean {channel['addr_lead_mean']:.1f} "
+            f"cycles"
+        )
+        pus = channel["pus"]
+        if pus:
+            utils = [pu.get("utilization", 0.0) for pu in pus]
+            starved = sum(pu["starved_cycles"] for pu in pus)
+            lines.append(
+                f"  {len(pus)} PUs: utilization min "
+                f"{min(utils):.2f} / mean "
+                f"{sum(utils) / len(utils):.2f} / max {max(utils):.2f}, "
+                f"starved {starved} PU-cycles total"
+            )
+        lines.append("")
+    agg = report["aggregate"]
+    lines.append(
+        f"aggregate ({agg['channels']} channel"
+        f"{'s' if agg['channels'] != 1 else ''}): "
+        f"{agg['cycles']} cycles, {agg['bytes_in']} bytes in, "
+        f"{agg['bytes_out']} bytes out"
+    )
+    lines.append(summarize_attribution(agg["attribution"], indent="  "))
+    return "\n".join(lines)
+
+
+def validate_report(report):
+    """Assert the report's internal invariants (used by the CLI
+    selftest and CI): per-channel attribution sums to the channel's
+    cycles and the aggregate is the channel sum. Returns the report."""
+    for channel in report["channels"]:
+        total = sum(channel["attribution"].values())
+        if total != channel["cycles"]:
+            raise AssertionError(
+                f"channel {channel['index']}: attribution sums to "
+                f"{total}, expected {channel['cycles']} cycles"
+            )
+        occupancy = sum(
+            channel["counters"]["reg_occupancy"].values()
+        )
+        if occupancy != channel["cycles"]:
+            raise AssertionError(
+                f"channel {channel['index']}: occupancy histogram covers "
+                f"{occupancy} cycles, expected {channel['cycles']}"
+            )
+    agg = report["aggregate"]
+    for category in CATEGORIES:
+        expected = sum(
+            channel["attribution"][category]
+            for channel in report["channels"]
+        )
+        if agg["attribution"][category] != expected:
+            raise AssertionError(
+                f"aggregate attribution for {category} is not the "
+                f"channel sum"
+            )
+    return report

@@ -1,0 +1,184 @@
+"""``python -m repro.report`` — run an instrumented full-system
+simulation and render its observability report.
+
+Prints the human-readable cycle-attribution breakdown (and optionally
+writes machine JSON and a Perfetto-loadable Chrome trace)::
+
+    PYTHONPATH=src python -m repro.report --app identity --streams 8 \\
+        --stream-bytes 4096 --json report.json --trace trace.json
+
+``--selftest`` additionally validates every report/trace invariant and
+runs the observability overhead guard (instrumentation must be pay-for-
+what-you-use: the obs-disabled simulation must be measurably faster than
+the instrumented one) — the CI smoke step runs this mode.
+
+See ``docs/observability.md`` for the counter taxonomy and how to read
+the breakdown.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from .apps import identity_unit, sink_unit
+from .obs import Observation, build_report, format_report, validate_report
+from .system import run_full_system
+
+#: Units the CLI can run end-to-end on raw byte streams.
+APPS = {
+    "identity": identity_unit,
+    "sink": sink_unit,
+}
+
+
+def make_streams(count, stream_bytes, seed=1234):
+    """Deterministic pseudo-random byte streams (seeded LCG, no RNG
+    dependency)."""
+    streams = []
+    state = seed & 0xFFFFFFFF
+    for _ in range(count):
+        data = bytearray()
+        for _ in range(stream_bytes):
+            state = (1103515245 * state + 12345) & 0xFFFFFFFF
+            data.append((state >> 16) & 0xFF)
+        streams.append(bytes(data))
+    return streams
+
+
+def run_instrumented(app="identity", streams=4, stream_bytes=2048,
+                     channels=1, event_driven=True, trace=False,
+                     seed=1234):
+    """One observed full-system run; returns (result, observation)."""
+    unit = APPS[app]()
+    obs = Observation(trace=trace)
+    result = run_full_system(
+        unit, make_streams(streams, stream_bytes, seed=seed),
+        channels=channels, event_driven=event_driven, obs=obs,
+    )
+    return result, obs
+
+
+def _validate_trace(trace):
+    """Schema checks for an exported Chrome trace object (also used by
+    the test suite): required fields present, timestamps sorted."""
+    events = trace["traceEvents"]
+    assert events, "trace has no events"
+    for event in events:
+        for field in ("ph", "ts", "pid", "tid", "name"):
+            assert field in event, f"trace event missing {field!r}: {event}"
+    timed = [e["ts"] for e in events if e["ph"] != "M"]
+    assert timed == sorted(timed), "trace timestamps are not sorted"
+    spans = [e for e in events if e["ph"] == "X"]
+    assert spans, "trace has no complete spans"
+    for span in spans:
+        assert span["dur"] >= 0, f"negative span duration: {span}"
+    return trace
+
+
+def _selftest(args):
+    """Instrumented smoke run + invariant validation + overhead guard."""
+    result, obs = run_instrumented(
+        app=args.app, streams=args.streams, stream_bytes=args.stream_bytes,
+        channels=args.channels, trace=True, seed=args.seed,
+    )
+    report = validate_report(build_report(obs))
+    _validate_trace(obs.tracer.to_chrome(obs.frequency_hz))
+    # Differential: the stepped engine must attribute identically.
+    stepped_result, stepped_obs = run_instrumented(
+        app=args.app, streams=args.streams, stream_bytes=args.stream_bytes,
+        channels=args.channels, event_driven=False, seed=args.seed,
+    )
+    assert stepped_result.cycles == result.cycles
+    for fast, slow in zip(obs.channels, stepped_obs.channels):
+        assert fast.attribution == slow.attribution, (
+            "stepped vs event-driven attribution diverged"
+        )
+    print("selftest: report + trace invariants OK "
+          f"({result.cycles} cycles, "
+          f"{len(obs.tracer.events)} trace events)")
+
+    # Overhead guard: with observability disabled the simulation must be
+    # faster than instrumented — i.e. instrumentation is genuinely
+    # conditional, not always-on.
+    from .memory import MemoryConfig, SinkPu, simulate_channels
+
+    def timed_sim(observation):
+        start = time.perf_counter()
+        simulate_channels(
+            MemoryConfig(),
+            lambda i: [SinkPu(1 << 14) for _ in range(128)],
+            channels=1, fixed_cycles=12_000, obs=observation,
+        )
+        return time.perf_counter() - start
+
+    timed_sim(None)  # warm up
+    disabled = min(timed_sim(None) for _ in range(3))
+    enabled = min(timed_sim(Observation()) for _ in range(3))
+    print(f"selftest: obs disabled {disabled * 1e3:.1f} ms, "
+          f"enabled {enabled * 1e3:.1f} ms "
+          f"(overhead {enabled / disabled:.2f}x)")
+    assert disabled < enabled, (
+        "observability-disabled run is not faster than instrumented — "
+        "instrumentation cost leaked into the disabled path"
+    )
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Run an instrumented full-system simulation and "
+                    "print its cycle-attribution report.",
+    )
+    parser.add_argument("--app", choices=sorted(APPS), default="identity")
+    parser.add_argument("--streams", type=int, default=4,
+                        help="number of streams / processing units")
+    parser.add_argument("--stream-bytes", type=int, default=2048)
+    parser.add_argument("--channels", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--engine", choices=("event", "stepped"),
+                        default="event")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable report JSON "
+                             "('-' for stdout)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace-event file "
+                             "(open in https://ui.perfetto.dev)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="validate report/trace invariants and the "
+                             "zero-overhead-when-disabled guard (CI)")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        _selftest(args)
+        return 0
+
+    result, obs = run_instrumented(
+        app=args.app, streams=args.streams,
+        stream_bytes=args.stream_bytes, channels=args.channels,
+        event_driven=args.engine == "event", trace=bool(args.trace),
+        seed=args.seed,
+    )
+    report = build_report(obs)
+    print(f"{args.app}: {len(result.outputs)} streams x "
+          f"{args.stream_bytes} bytes on {args.channels} channel(s), "
+          f"{result.cycles} cycles\n")
+    print(format_report(report))
+    if args.json:
+        if args.json == "-":
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            with open(args.json, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"\nwrote report JSON to {args.json}")
+    if args.trace:
+        obs.write_trace(args.trace)
+        print(f"wrote Chrome trace to {args.trace} "
+              f"(open in https://ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

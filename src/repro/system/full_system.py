@@ -11,6 +11,8 @@ the processing units compose correctly (no lost, duplicated, or
 reordered bytes under real backpressure).
 """
 
+import os
+
 from ..lang.errors import FleetSimulationError
 from ..memory import ChannelSystem, MemoryConfig
 from ..memory.functional_pu import FunctionalPu
@@ -20,13 +22,16 @@ from .runtime import pack_streams
 class FullSystemResult:
     """Outputs and timing of one full-system run."""
 
-    def __init__(self, outputs, output_bytes, cycles, stats):
+    def __init__(self, outputs, output_bytes, cycles, stats,
+                 observation=None):
         #: per-stream output token lists (from the units themselves)
         self.outputs = outputs
         #: per-stream output regions as read back from DRAM
         self.output_bytes = output_bytes
         self.cycles = cycles
         self.stats = stats
+        #: the :class:`repro.obs.Observation` of the run, or ``None``
+        self.observation = observation
 
     def __repr__(self):
         return (
@@ -37,7 +42,7 @@ class FullSystemResult:
 
 def run_full_system(unit, streams, *, header=b"", config=None,
                     max_cycles=5_000_000, out_region_bytes=None,
-                    channels=1, event_driven=True):
+                    channels=1, event_driven=True, obs=None):
     """Process ``streams`` on ``channels`` simulated channels of
     replicated ``unit`` PUs; returns a :class:`FullSystemResult`.
 
@@ -49,16 +54,32 @@ def run_full_system(unit, streams, *, header=b"", config=None,
     stream order; the cycle count is the slowest channel's.
     ``event_driven=False`` forces pure cycle stepping (results are
     identical either way; see :class:`~repro.memory.ChannelSystem`).
+
+    ``obs`` (a :class:`repro.obs.Observation`) instruments the run with
+    cycle attribution, per-PU accounting, and — with ``trace=True`` —
+    Chrome trace events. When ``obs`` is omitted and the ``FLEET_TRACE``
+    environment variable names a path, a tracing observation is created
+    automatically and the trace is written there; either way the
+    observation is returned on ``result.observation``.
     """
     if not streams:
         raise FleetSimulationError("no streams to process")
     config = config or MemoryConfig()
+    env_trace_path = None
+    if obs is None:
+        env_trace_path = os.environ.get("FLEET_TRACE")
+        if env_trace_path:
+            from ..obs import Observation
+            obs = Observation(trace=True)
     if channels > 1:
-        return _run_multi_channel(
+        result = _run_multi_channel(
             unit, streams, header=header, config=config,
             max_cycles=max_cycles, out_region_bytes=out_region_bytes,
-            channels=channels, event_driven=event_driven,
+            channels=channels, event_driven=event_driven, obs=obs,
         )
+        if env_trace_path:
+            obs.write_trace(env_trace_path)
+        return result
     full_streams = [bytes(header) + bytes(s) for s in streams]
     buffer, offsets, lengths = pack_streams(full_streams)
 
@@ -76,7 +97,7 @@ def run_full_system(unit, streams, *, header=b"", config=None,
     ]
     system = ChannelSystem(
         config, pus, data=data, stream_bases=offsets,
-        out_bases=out_bases, event_driven=event_driven,
+        out_bases=out_bases, event_driven=event_driven, obs=obs,
     )
     stats = system.run(max_cycles=max_cycles)
     if not system.drained():
@@ -93,11 +114,14 @@ def run_full_system(unit, streams, *, header=b"", config=None,
                 f"stream {index} overflowed its output region"
             )
         output_bytes.append(bytes(data[base:base + written]))
-    return FullSystemResult(outputs, output_bytes, stats.cycles, stats)
+    if env_trace_path:
+        obs.write_trace(env_trace_path)
+    return FullSystemResult(outputs, output_bytes, stats.cycles, stats,
+                            observation=obs)
 
 
 def _run_multi_channel(unit, streams, *, header, config, max_cycles,
-                       out_region_bytes, channels, event_driven):
+                       out_region_bytes, channels, event_driven, obs):
     assignments = [list() for _ in range(channels)]
     for index, stream in enumerate(streams):
         assignments[index % channels].append((index, stream))
@@ -112,7 +136,7 @@ def _run_multi_channel(unit, streams, *, header, config, max_cycles,
             unit, [stream for _, stream in group], header=header,
             config=config, max_cycles=max_cycles,
             out_region_bytes=out_region_bytes, channels=1,
-            event_driven=event_driven,
+            event_driven=event_driven, obs=obs,
         )
         for (index, _), tokens, region in zip(
             group, result.outputs, result.output_bytes
@@ -122,4 +146,4 @@ def _run_multi_channel(unit, streams, *, header, config, max_cycles,
         worst_cycles = max(worst_cycles, result.cycles)
         last_stats = result.stats
     return FullSystemResult(outputs, output_bytes, worst_cycles,
-                            last_stats)
+                            last_stats, observation=obs)

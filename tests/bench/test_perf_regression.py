@@ -23,6 +23,15 @@ def test_quick_run_structure_and_exactness():
     assert agg["all_match"]
     assert agg["speedup"] > 0
 
+    # Observability overhead section is present and well-formed; the
+    # disabled-faster flag itself is only asserted by the full run
+    # (quick-mode timings are too short to be stable).
+    overhead = results["obs_overhead"]
+    assert overhead["disabled_seconds"] > 0
+    assert overhead["enabled_seconds"] > 0
+    assert overhead["overhead_ratio"] > 0
+    assert isinstance(overhead["disabled_faster"], bool)
+
     rendered = render_perf_json(results)
     parsed = json.loads(rendered)
     assert parsed["aggregate"]["all_match"] is True

@@ -33,3 +33,41 @@ def test_total_vcycles_consistent():
     sim = UnitSimulator(block_frequencies_unit(block_size=2))
     sim.run([1, 2, 3, 4])
     assert sim.trace.total_vcycles == sum(sim.trace.vcycles_per_token)
+
+
+def test_cleanup_and_payload_vcycles_split_the_total():
+    sim = UnitSimulator(identity_unit())
+    sim.run([1, 2, 3])
+    trace = sim.trace
+    assert trace.cleanup_vcycles == trace.vcycles_per_token[-1]
+    assert trace.payload_vcycles == trace.total_vcycles - \
+        trace.cleanup_vcycles
+    assert trace.payload_vcycles == sum(trace.vcycles_per_token[:-1])
+
+    # Before any cleanup has run, the split is trivial.
+    fresh = StreamTrace()
+    fresh.record_token(2, 0, stream_finished=False)
+    assert fresh.cleanup_vcycles == 0
+    assert fresh.payload_vcycles == 2
+
+
+def test_empty_stream_mean_is_zero_not_an_error():
+    sim = UnitSimulator(identity_unit())
+    sim.run([])
+    trace = sim.trace
+    assert trace.tokens_in == 0
+    # The cleanup cycle still ran and stays visible...
+    assert trace.cleanup_vcycles >= 1
+    assert trace.payload_vcycles == 0
+    # ...but the per-token mean is defined as 0.0, never a division
+    # error (header-only streams reach this path via profile_unit).
+    assert trace.mean_vcycles_per_token == 0.0
+
+
+def test_profile_unit_on_empty_stream():
+    from repro.system import profile_unit
+
+    profile = profile_unit(identity_unit(), b"")
+    assert profile.vcycles_per_token == 0.0
+    assert profile.output_ratio == 0.0
+    assert profile.tokens_in == 0
