@@ -95,7 +95,15 @@ class _Env:
         raise FleetSyntaxError(f"cannot translate {node!r}")
 
     def _vreg_mux(self, vreg, index_ir):
-        """Random access into a register bank = a mux tree."""
+        """Random access into a register bank = a mux tree.
+
+        The index is truncated to the bank's index width first, matching
+        the simulators and the write-port comparison below — without
+        this, an index expression wider than ``index_width`` never
+        matches any element constant and the mux falls through to the
+        last element (found by the differential fuzzer).
+        """
+        index_ir = ir.truncate(index_ir, vreg.index_width)
         value = self.vreg_elem_value(vreg, vreg.elements - 1)
         for k in range(vreg.elements - 2, -1, -1):
             value = ir.Mux(

@@ -46,7 +46,11 @@ import os
 
 from ..lang import analysis, ast
 from ..lang.collect_guards import Guard, GuardInfo
-from ..lang.errors import FleetError, FleetSimulationError
+from ..lang.errors import (
+    FleetError,
+    FleetLoopLimitError,
+    FleetSimulationError,
+)
 from ..lang.types import mask
 from ..lang.prover import _exclusive, guard_facts, prove_program
 from .trace import StreamTrace
@@ -494,7 +498,7 @@ class _Codegen:
         lines.append("            if _wd:")
         lines.append("                break")
         lines.append("            if vc >= max_vc:")
-        lines.append(f"                raise _SimError({vc_error})")
+        lines.append(f"                raise _LoopError({vc_error})")
         lines.append("    finally:")
         self._state_repack(lines, 2)
         lines.append("    return vc, emits")
@@ -526,7 +530,7 @@ class _Codegen:
         lines.append("                if _wd:")
         lines.append("                    break")
         lines.append("                if vc >= max_vc:")
-        lines.append(f"                    raise _SimError({vc_error})")
+        lines.append(f"                    raise _LoopError({vc_error})")
         lines.append("            vclist.append(vc)")
         lines.append("            emlist.append(emits)")
         lines.append("    finally:")
@@ -566,7 +570,11 @@ def compile_program(program):
             f"program {program.name!r} is not compilable: "
             f"unsupported node {exc.args[0]!r}"
         ) from None
-    namespace = {"_NW": _NW, "_SimError": FleetSimulationError}
+    namespace = {
+        "_NW": _NW,
+        "_SimError": FleetSimulationError,
+        "_LoopError": FleetLoopLimitError,
+    }
     code = compile(source, f"<fleet-compiled:{program.name}>", "exec")
     exec(code, namespace)
     return CompiledUnit(

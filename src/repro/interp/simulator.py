@@ -29,8 +29,14 @@ the test suite):
 
 from ..lang import ast
 from ..lang.errors import (
-    FleetRestrictionError,
+    FleetAddressError,
+    FleetAssignConflictError,
+    FleetDependentReadError,
+    FleetEmitConflictError,
+    FleetLoopLimitError,
+    FleetReadPortError,
     FleetSimulationError,
+    FleetWritePortError,
 )
 from ..lang.types import fits, mask, truncate
 from ..ops import eval_binop, eval_unop
@@ -213,7 +219,7 @@ class UnitSimulator:
             if cycle.while_done:
                 break
             if vcycles >= self.max_vcycles_per_token:
-                raise FleetSimulationError(
+                raise FleetLoopLimitError(
                     f"while loop did not terminate within "
                     f"{self.max_vcycles_per_token} virtual cycles"
                 )
@@ -333,7 +339,7 @@ class UnitSimulator:
         if isinstance(stmt, ast.RegAssign):
             value = truncate(ev(stmt.value), stmt.reg.width)
             if self.check_restrictions and stmt.reg in actions.reg_writes:
-                raise FleetRestrictionError(
+                raise FleetAssignConflictError(
                     f"register {stmt.reg.name!r} assigned twice in one "
                     "virtual cycle (assignment conditions must be mutually "
                     "exclusive)"
@@ -344,7 +350,7 @@ class UnitSimulator:
             value = truncate(ev(stmt.value), stmt.vreg.width)
             writes = actions.vreg_writes.setdefault(stmt.vreg, {})
             if self.check_restrictions and index in writes:
-                raise FleetRestrictionError(
+                raise FleetAssignConflictError(
                     f"vector register {stmt.vreg.name!r}[{index}] assigned "
                     "twice in one virtual cycle"
                 )
@@ -353,7 +359,7 @@ class UnitSimulator:
             addr = self._bram_addr(stmt.bram, ev(stmt.addr))
             value = truncate(ev(stmt.value), stmt.bram.width)
             if self.check_restrictions and stmt.bram in actions.bram_writes:
-                raise FleetRestrictionError(
+                raise FleetWritePortError(
                     f"BRAM {stmt.bram.name!r} written twice in one virtual "
                     "cycle (one write port per virtual cycle)"
                 )
@@ -362,7 +368,7 @@ class UnitSimulator:
             value = truncate(ev(stmt.value), self.program.output_width)
             actions.emit_count += 1
             if self.check_restrictions and actions.emit_count > 1:
-                raise FleetRestrictionError(
+                raise FleetEmitConflictError(
                     "more than one emit in a single virtual cycle (output "
                     "tokens would have no defined order)"
                 )
@@ -409,12 +415,12 @@ class UnitSimulator:
         if isinstance(node, ast.BramRead):
             if self.check_restrictions and actions is not None:
                 if in_read_addr:
-                    raise FleetRestrictionError(
+                    raise FleetDependentReadError(
                         f"dependent BRAM read: address of a read of "
                         f"{node.bram.name!r} contains another BRAM read"
                     )
                 if guard_has_read:
-                    raise FleetRestrictionError(
+                    raise FleetDependentReadError(
                         f"dependent BRAM read of {node.bram.name!r}: gated "
                         "by a condition that reads a BRAM"
                     )
@@ -423,7 +429,7 @@ class UnitSimulator:
                 addrs = actions.bram_reads.setdefault(node.bram, set())
                 addrs.add(addr)
                 if len(addrs) > 1:
-                    raise FleetRestrictionError(
+                    raise FleetReadPortError(
                         f"BRAM {node.bram.name!r} read at two addresses "
                         f"{sorted(addrs)} in one virtual cycle (one read "
                         "port per virtual cycle)"
@@ -456,7 +462,7 @@ class UnitSimulator:
     def _bram_addr(self, bram, raw):
         addr = truncate(raw, bram.addr_width)
         if addr >= bram.elements:
-            raise FleetSimulationError(
+            raise FleetAddressError(
                 f"BRAM {bram.name!r} address {addr} out of range "
                 f"(elements={bram.elements})"
             )
@@ -465,7 +471,7 @@ class UnitSimulator:
     def _vreg_index(self, vreg, raw):
         index = truncate(raw, vreg.index_width)
         if index >= vreg.elements:
-            raise FleetSimulationError(
+            raise FleetAddressError(
                 f"vector register {vreg.name!r} index {index} out of range "
                 f"(elements={vreg.elements})"
             )

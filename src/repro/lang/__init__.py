@@ -13,22 +13,36 @@ from .ast import (
 from .builder import BramHandle, Expr, RegHandle, UnitBuilder, VectorRegHandle
 from .prover import ProofReport, prove_program
 from .errors import (
+    FleetAddressError,
+    FleetAssignConflictError,
+    FleetDependentReadError,
+    FleetEmitConflictError,
     FleetError,
+    FleetLoopLimitError,
+    FleetReadPortError,
     FleetRestrictionError,
     FleetSimulationError,
     FleetSyntaxError,
     FleetWidthError,
+    FleetWritePortError,
 )
 
 __all__ = [
     "BramDecl",
     "BramHandle",
     "Expr",
+    "FleetAddressError",
+    "FleetAssignConflictError",
+    "FleetDependentReadError",
+    "FleetEmitConflictError",
     "FleetError",
+    "FleetLoopLimitError",
+    "FleetReadPortError",
     "FleetRestrictionError",
     "FleetSimulationError",
     "FleetSyntaxError",
     "FleetWidthError",
+    "FleetWritePortError",
     "ProofReport",
     "RegDecl",
     "RegHandle",

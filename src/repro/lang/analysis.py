@@ -17,7 +17,7 @@ true at runtime and stay in the simulator, exactly as in the paper.
 """
 
 from . import ast
-from .errors import FleetRestrictionError, FleetSyntaxError
+from .errors import FleetDependentReadError, FleetSyntaxError
 
 
 def validate_program(program):
@@ -55,7 +55,7 @@ def _check_dependent_reads(program):
         for e in ast.statement_exprs(stmt)
     )
     if while_cond_reads and program_has_reads:
-        raise FleetRestrictionError(
+        raise FleetDependentReadError(
             "a while condition reads a BRAM; this makes every BRAM read "
             "address in the program depend on same-cycle read data "
             "(dependent reads are not allowed)"
@@ -85,13 +85,13 @@ def _check_expr(expr, guarded_by_read, context):
     for node in ast.walk_expr(expr):
         if isinstance(node, ast.BramRead):
             if guarded_by_read:
-                raise FleetRestrictionError(
+                raise FleetDependentReadError(
                     f"dependent BRAM read of {node.bram.name!r}: the {context}"
                     " is gated by a condition that itself reads a BRAM, so "
                     "its read address would depend on same-cycle read data"
                 )
             if ast.contains_bram_read(node.addr):
-                raise FleetRestrictionError(
+                raise FleetDependentReadError(
                     f"dependent BRAM read: the address of a read of "
                     f"{node.bram.name!r} contains another BRAM read "
                     "(e.g. a[b[0]] is not allowed)"

@@ -27,9 +27,48 @@ class FleetRestrictionError(FleetError):
 
     Section 3 of the paper defines these restrictions; they are what allow
     the compiler to always schedule one virtual cycle per real cycle.
+    Each violation class has a dedicated subclass below so tooling (the
+    conformance fuzzer in :mod:`repro.testing`, in particular) can
+    classify failures without parsing messages.
     """
+
+
+class FleetDependentReadError(FleetRestrictionError):
+    """A BRAM read address (or a condition gating a read) depends on BRAM
+    read data from the same virtual cycle."""
+
+
+class FleetReadPortError(FleetRestrictionError):
+    """One BRAM was read at two different addresses in a single virtual
+    cycle (each BRAM has one read port)."""
+
+
+class FleetWritePortError(FleetRestrictionError):
+    """One BRAM was written twice in a single virtual cycle (each BRAM
+    has one write port)."""
+
+
+class FleetEmitConflictError(FleetRestrictionError):
+    """More than one emit executed in a single virtual cycle (the output
+    tokens would have no defined order)."""
+
+
+class FleetAssignConflictError(FleetRestrictionError):
+    """Two executed assignments targeted the same register, or the same
+    vector-register element, in a single virtual cycle."""
 
 
 class FleetSimulationError(FleetError):
     """The simulator was driven incorrectly (reading outputs before running,
     token values that do not fit the declared token width, etc.)."""
+
+
+class FleetAddressError(FleetSimulationError):
+    """A BRAM address or vector-register index fell outside the declared
+    element count (only possible for non-power-of-two element counts,
+    where truncation to the address width does not guarantee range)."""
+
+
+class FleetLoopLimitError(FleetSimulationError):
+    """A ``while`` loop did not terminate within the simulator's
+    per-token virtual-cycle budget."""

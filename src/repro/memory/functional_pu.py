@@ -26,6 +26,18 @@ class FunctionalPu(BasePu):
         self.unit = unit
         self.sim = make_simulator(unit, engine=engine)
         self._finished_run = False
+        if stream_bytes == 0:
+            # A zero-byte stream never triggers a burst, but its
+            # stream_finished cleanup cycle still runs — units that
+            # flush an accumulator on end-of-stream emit here. Without
+            # this, empty streams silently dropped that output (found by
+            # the runtime edge-case tests).
+            out_tokens = self.sim.finish_stream()
+            self._finished_run = True
+            done = self.sim.trace.vcycles_per_token[-1]
+            out_bytes = self._tokens_to_bytes(out_tokens)
+            self.free_at = done
+            self._emit(done, len(out_bytes), bytes(out_bytes))
 
     def _consume(self, drain_start, drain_end, nbytes, payload):
         if payload is None:

@@ -23,7 +23,11 @@ Clocking model per :meth:`RtlSimulator.step`:
    the **old** data, as the paper's BRAM semantics require.
 """
 
-from ..lang.errors import FleetSimulationError, FleetSyntaxError
+from ..lang.errors import (
+    FleetAddressError,
+    FleetSimulationError,
+    FleetSyntaxError,
+)
 from ..lang.types import fits, mask
 from ..ops import BINOPS, UNOPS
 from . import ir
@@ -274,7 +278,7 @@ class RtlSimulator:
             if wr_en_fn(values):
                 wr_addr = wr_addr_fn(values)
                 if wr_addr >= spec.elements:
-                    raise FleetSimulationError(
+                    raise FleetAddressError(
                         f"BRAM {spec.name!r} write address {wr_addr} out of "
                         f"range (elements={spec.elements})"
                     )

@@ -1,0 +1,41 @@
+"""Differential conformance engine for Fleet programs.
+
+Generates random well-formed Fleet units (:mod:`.generator`), runs each
+on random streams through every executable model — AST interpreter,
+compile-to-Python fast engine, cycle-accurate RTL simulation — plus a
+structural check of the emitted Verilog (:mod:`.differential`,
+:mod:`.verilog_check`), and shrinks any disagreement to a minimal
+statement-level repro (:mod:`.shrinker`) saved to a replayable corpus
+(:mod:`.corpus`). ``python -m repro.testing --help`` runs it from the
+command line; see ``docs/testing.md``.
+"""
+
+from .corpus import load as load_corpus_entry
+from .corpus import load_dir as load_corpus_dir
+from .corpus import replay as replay_corpus_entry
+from .corpus import save_repro
+from .differential import Mismatch, check_program
+from .engine import ConformanceEngine, Failure, FuzzReport
+from .generator import GenConfig, generate_spec, generate_streams
+from .shrinker import Shrinker, shrink
+from .spec import build_unit, count_statements, features
+
+__all__ = [
+    "ConformanceEngine",
+    "Failure",
+    "FuzzReport",
+    "GenConfig",
+    "Mismatch",
+    "Shrinker",
+    "build_unit",
+    "check_program",
+    "count_statements",
+    "features",
+    "generate_spec",
+    "generate_streams",
+    "load_corpus_dir",
+    "load_corpus_entry",
+    "replay_corpus_entry",
+    "save_repro",
+    "shrink",
+]

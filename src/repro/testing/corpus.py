@@ -1,0 +1,74 @@
+"""Corpus of shrunk repros and hand-picked seed programs.
+
+Each corpus entry is one JSON file::
+
+    {
+      "description": str,       # what this program pins down
+      "seed": str | null,       # generator seed, if fuzzer-found
+      "stage": str | null,      # failing stage when first saved
+      "spec": {...},            # repro.testing.spec program
+      "streams": [[int, ...]],  # input streams to replay
+    }
+
+``tests/corpus/`` is replayed by the regression suite: every entry must
+run through all models in agreement (the bugs they once caught must
+stay fixed). :func:`save_repro` is what the engine calls to persist a
+newly shrunk disagreement; filenames are derived from the seed so
+re-runs overwrite rather than accumulate.
+"""
+
+import json
+import os
+
+from . import differential
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    for key in ("description", "spec", "streams"):
+        if key not in entry:
+            raise ValueError(f"corpus file {path!r} is missing {key!r}")
+    return entry
+
+
+def load_dir(directory):
+    """Load every ``*.json`` corpus entry under ``directory``, sorted."""
+    entries = []
+    if not os.path.isdir(directory):
+        return entries
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            entries.append((name, load(os.path.join(directory, name))))
+    return entries
+
+
+def save_repro(directory, *, seed, stage, spec, streams, description=None):
+    """Persist one shrunk disagreement; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    slug = str(seed).replace(":", "_").replace("/", "_")
+    path = os.path.join(directory, f"repro_{slug}.json")
+    entry = {
+        "description": description
+        or f"fuzzer-found disagreement at stage {stage!r} (seed {seed})",
+        "seed": str(seed),
+        "stage": stage,
+        "spec": spec,
+        "streams": streams,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def replay(entry, *, rtl=True, verilog=True):
+    """Run one corpus entry through the differential checker.
+
+    Returns the interpreter outputs; raises
+    :class:`~repro.testing.differential.Mismatch` if the once-fixed bug
+    has regressed.
+    """
+    return differential.check_program(
+        entry["spec"], entry["streams"], rtl=rtl, verilog=verilog
+    )

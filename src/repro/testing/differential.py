@@ -1,0 +1,169 @@
+"""Differential execution of one program spec across all Fleet models.
+
+Each spec is built into a :class:`~repro.lang.ast.UnitProgram` and every
+input stream is executed on up to three independent implementations of
+the unit semantics:
+
+* the AST **interpreter** (`engine="interp"`) — the oracle;
+* the **compile-to-Python** fast engine, forced on even when the static
+  prover would not elide checks (the whole point is to compare it);
+* the cycle-accurate **RTL simulator**, driven through its ready-valid
+  interface by :class:`~repro.compiler.testbench.UnitTestbench`, under a
+  deterministic rotation of input/output stall patterns.
+
+All models must agree token for token on every stream. In addition the
+emitted Verilog is checked structurally (see
+:mod:`repro.testing.verilog_check`) and the interpreter's and compiled
+engine's final architectural register state must match.
+
+Fault injection for self-tests: ``source_transform`` rewrites the
+compiled engine's generated Python source before it is executed, letting
+the test suite plant a known bug and verify the pipeline catches and
+shrinks it.
+"""
+
+from ..compiler.testbench import UnitTestbench
+from ..interp.compile import (
+    _NW,
+    CompiledSimulator,
+    CompiledUnit,
+    compile_program,
+)
+from ..interp.simulator import UnitSimulator
+from ..lang.errors import FleetError, FleetLoopLimitError, FleetSimulationError
+from . import spec as spec_mod
+from . import verilog_check
+
+#: Per-token virtual-cycle bound during fuzzing; generated loops are
+#: bounded by construction, so this only guards against model bugs.
+MAX_VCYCLES = 10_000
+
+#: Deterministic stall patterns, rotated by stream index so every
+#: program sees both smooth and stalled handshakes.
+STALL_PATTERNS = (
+    {},
+    {"input_stall": lambda c: c % 7 in (2, 5)},
+    {"output_stall": lambda c: c % 5 == 1},
+    {"input_stall": lambda c: c % 3 == 1,
+     "output_stall": lambda c: c % 4 == 2},
+)
+
+
+class Mismatch(Exception):
+    """A model disagreement (or model crash) on a well-formed program."""
+
+    def __init__(self, stage, detail):
+        super().__init__(f"[{stage}] {detail}")
+        self.stage = stage
+        self.detail = detail
+
+
+def compile_transformed(program, source_transform=None):
+    """Compile ``program`` to the fast engine, optionally rewriting the
+    generated Python source first (test-only fault injection)."""
+    unit = compile_program(program)
+    if source_transform is None:
+        return unit
+    source = source_transform(unit.source)
+    namespace = {
+        "_NW": _NW,
+        "_SimError": FleetSimulationError,
+        "_LoopError": FleetLoopLimitError,
+    }
+    exec(compile(source, "<fleet-injected>", "exec"), namespace)
+    return CompiledUnit(
+        program, namespace["run_token"], namespace["run_stream"], source
+    )
+
+
+def run_interp(program, stream):
+    sim = UnitSimulator(program, engine="interp",
+                        max_vcycles_per_token=MAX_VCYCLES)
+    outputs = list(sim.run(stream))
+    state = {r.name: sim.peek_reg(r.name) for r in program.regs}
+    return outputs, state
+
+
+def run_compiled(program, stream, unit):
+    sim = CompiledSimulator(program, unit=unit,
+                            max_vcycles_per_token=MAX_VCYCLES)
+    outputs = list(sim.run(stream))
+    state = {r.name: sim.peek_reg(r.name) for r in program.regs}
+    return outputs, state
+
+
+def check_program(spec, streams, *, rtl=True, verilog=True,
+                  source_transform=None):
+    """Run every stream through every enabled model.
+
+    Returns the per-stream interpreter outputs on full agreement; raises
+    :class:`Mismatch` on any disagreement or model crash. Raises the
+    underlying :class:`~repro.lang.errors.FleetError` unchanged when the
+    *oracle* rejects the program — for generated specs that indicates a
+    generator bug, for shrinker candidates an invalid reduction.
+    """
+    program = spec_mod.build_unit(spec)
+
+    compiled = None
+    try:
+        compiled = compile_transformed(program, source_transform)
+    except FleetError as exc:
+        raise Mismatch("compile", f"fast engine rejected the program: {exc}")
+
+    testbench = None
+    if rtl:
+        try:
+            testbench = UnitTestbench(program)
+        except FleetError as exc:
+            raise Mismatch("rtl-compile",
+                           f"RTL compiler rejected the program: {exc}")
+
+    if verilog:
+        try:
+            verilog_check.check_program(program)
+        except verilog_check.VerilogCheckError as exc:
+            raise Mismatch("verilog", str(exc))
+
+    expected = []
+    for index, stream in enumerate(streams):
+        want, want_state = run_interp(program, stream)
+        expected.append(want)
+
+        try:
+            got, got_state = run_compiled(program, stream, compiled)
+        except FleetError as exc:
+            raise Mismatch(
+                "compiled",
+                f"stream {index}: fast engine crashed: "
+                f"{type(exc).__name__}: {exc}",
+            )
+        if got != want:
+            raise Mismatch(
+                "compiled",
+                f"stream {index}: outputs differ: interp={want} "
+                f"compiled={got}",
+            )
+        if got_state != want_state:
+            raise Mismatch(
+                "compiled",
+                f"stream {index}: final register state differs: "
+                f"interp={want_state} compiled={got_state}",
+            )
+
+        if testbench is not None:
+            stalls = STALL_PATTERNS[index % len(STALL_PATTERNS)]
+            try:
+                got_rtl, _cycles = testbench.run(stream, **stalls)
+            except FleetError as exc:
+                raise Mismatch(
+                    "rtl",
+                    f"stream {index}: RTL simulation failed: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            if got_rtl != want:
+                raise Mismatch(
+                    "rtl",
+                    f"stream {index}: outputs differ: interp={want} "
+                    f"rtl={got_rtl} (stalls={sorted(stalls)})",
+                )
+    return expected

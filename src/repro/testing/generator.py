@@ -1,0 +1,419 @@
+"""Typed random generation of well-formed Fleet programs.
+
+The generator produces :mod:`repro.testing.spec` program specs that are
+valid *by construction* — every generated program builds, passes static
+analysis, and can never trip the dynamic restriction checks, so any
+model disagreement the differential runner sees is a genuine bug in one
+of the models, not a malformed input. The invariants enforced:
+
+* **Width rules** — expressions are built bottom-up with the same width
+  inference the AST applies, constants always fit their widths, dynamic
+  shift amounts are narrow, and inferred widths are capped well below
+  ``MAX_WIDTH``.
+* **Port/emit/assign budgets** — statements that could co-fire in one
+  virtual cycle draw from a shared per-resource budget (one read and one
+  write per BRAM, one emit, one assignment per register, one
+  vector-register assignment). Mutually exclusive ``if`` arms each get a
+  copy of the budget (the mutual-exclusion argument the static prover
+  makes); loop-body and post-loop statements live in separate phases
+  because they can never share a virtual cycle.
+* **BRAM discipline** — reads appear only in value positions (never in
+  conditions or addresses), which rules out dependent reads; element
+  counts are powers of two, so every truncated address is in range and
+  the compile-to-Python fast path always applies.
+* **Termination** — every ``while`` owns a dedicated loop-counter
+  register that its body unconditionally increments and whose bound is
+  conjoined into the loop condition, so loops run a bounded number of
+  virtual cycles per token.
+
+Generation is deterministic given a :class:`random.Random` instance.
+"""
+
+from . import spec as spec_mod
+
+#: Inferred expression widths above this are rejected during generation
+#: (MAX_WIDTH is the hard simulator bound; staying far below keeps the
+#: generated RTL small while still covering multi-word arithmetic).
+WIDTH_CAP = 256
+
+
+class GenConfig:
+    """Tunable knobs for program and stream generation."""
+
+    def __init__(self, *,
+                 max_regs=3,
+                 max_brams=2,
+                 max_block_stmts=4,
+                 max_expr_depth=3,
+                 max_streams=3,
+                 max_stream_len=24,
+                 input_widths=(1, 2, 4, 8, 8, 8, 12, 16),
+                 output_widths=(1, 4, 8, 8, 8, 12, 16, 24),
+                 reg_widths=(1, 2, 3, 4, 6, 8, 12, 16, 48, 64),
+                 mem_elements=(2, 4, 8, 16),
+                 mem_widths=(2, 4, 8, 12),
+                 p_while=0.55,
+                 p_if=0.45,
+                 p_vreg=0.4,
+                 p_bram=0.65):
+        self.max_regs = max_regs
+        self.max_brams = max_brams
+        self.max_block_stmts = max_block_stmts
+        self.max_expr_depth = max_expr_depth
+        self.max_streams = max_streams
+        self.max_stream_len = max_stream_len
+        self.input_widths = input_widths
+        self.output_widths = output_widths
+        self.reg_widths = reg_widths
+        self.mem_elements = mem_elements
+        self.mem_widths = mem_widths
+        self.p_while = p_while
+        self.p_if = p_if
+        self.p_vreg = p_vreg
+        self.p_bram = p_bram
+
+
+class _Gen:
+    def __init__(self, rng, config):
+        self.rng = rng
+        self.config = config
+        self.regs = []    # [name, width, init]
+        self.vregs = []   # [name, elements, width, init]
+        self.brams = []   # [name, elements, width]
+        self.widths = {}  # name -> value width
+        self.index_widths = {}  # vreg/bram name -> index/addr width
+        self.elements = {}      # vreg/bram name -> element count
+        #: (kind, name, phase) -> remaining uses; missing means 1.
+        self.budget = {}
+        self.loop_count = 0
+
+    # -- budget ------------------------------------------------------------
+    def _take(self, key):
+        remaining = self.budget.get(key, 1)
+        if remaining <= 0:
+            return False
+        self.budget[key] = remaining - 1
+        return True
+
+    def _peek(self, key):
+        return self.budget.get(key, 1) > 0
+
+    # -- declarations ------------------------------------------------------
+    def declare(self):
+        rng, config = self.rng, self.config
+        self.input_width = rng.choice(config.input_widths)
+        self.output_width = rng.choice(config.output_widths)
+        for i in range(rng.randint(1, config.max_regs)):
+            width = rng.choice(config.reg_widths)
+            init = rng.randrange(1 << min(width, 16))
+            self._add_reg([f"r{i}", width, init])
+        if rng.random() < config.p_vreg:
+            elements = rng.choice(config.mem_elements)
+            width = rng.choice(config.mem_widths)
+            init = rng.randrange(1 << width)
+            self.vregs.append(["v0", elements, width, init])
+            self.widths["v0"] = width
+            self.elements["v0"] = elements
+            self.index_widths["v0"] = max(1, (elements - 1).bit_length())
+        n_brams = 0
+        while n_brams < config.max_brams and rng.random() < config.p_bram:
+            name = f"m{n_brams}"
+            elements = rng.choice(config.mem_elements)
+            width = rng.choice(config.mem_widths)
+            self.brams.append([name, elements, width])
+            self.widths[name] = width
+            self.elements[name] = elements
+            self.index_widths[name] = max(1, (elements - 1).bit_length())
+            n_brams += 1
+
+    def _add_reg(self, decl):
+        self.regs.append(decl)
+        self.widths[decl[0]] = decl[1]
+
+    # -- expressions -------------------------------------------------------
+    def expr(self, depth, phase, *, width_hint=8, allow_read=True):
+        """A value expression; consumes BRAM read budget when it reads."""
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            return self._leaf(phase, width_hint, allow_read)
+        pick = rng.random()
+        if pick < 0.55:
+            op = rng.choice(
+                ("add", "add", "sub", "sub", "and", "or", "xor", "mul",
+                 "shr", "shl")
+            )
+            lhs = self.expr(depth - 1, phase, width_hint=width_hint,
+                            allow_read=allow_read)
+            if op == "shl":
+                # Dynamic left shifts grow by the largest representable
+                # amount; keep the shift operand to two bits.
+                rhs = ["const", rng.randrange(4), 2]
+            else:
+                rhs = self.expr(depth - 1, phase, width_hint=width_hint,
+                                allow_read=allow_read)
+            candidate = ["bin", op, lhs, rhs]
+        elif pick < 0.72:
+            candidate = [
+                "mux",
+                self.cond(depth - 1, phase),
+                self.expr(depth - 1, phase, width_hint=width_hint,
+                          allow_read=allow_read),
+                self.expr(depth - 1, phase, width_hint=width_hint,
+                          allow_read=allow_read),
+            ]
+        elif pick < 0.82:
+            operand = self.expr(depth - 1, phase, width_hint=width_hint,
+                                allow_read=allow_read)
+            width = self._width(operand)
+            hi = rng.randrange(width)
+            lo = rng.randrange(hi + 1)
+            candidate = ["slice", hi, lo, operand]
+        elif pick < 0.92:
+            candidate = [
+                "cat",
+                [
+                    self.expr(depth - 1, phase, width_hint=width_hint,
+                              allow_read=allow_read),
+                    self.expr(depth - 1, phase, width_hint=width_hint,
+                              allow_read=allow_read),
+                ],
+            ]
+        else:
+            op = rng.choice(("not", "lnot", "orr", "andr", "xorr"))
+            candidate = [
+                "un", op,
+                self.expr(depth - 1, phase, width_hint=width_hint,
+                          allow_read=allow_read),
+            ]
+        if self._width(candidate) > WIDTH_CAP:
+            return self._leaf(phase, width_hint, allow_read=False)
+        return candidate
+
+    def _leaf(self, phase, width_hint, allow_read):
+        rng = self.rng
+        choices = ["const", "input", "const"]
+        choices += ["reg"] * min(len(self.regs), 3)
+        if self.vregs:
+            choices.append("vreg")
+        if allow_read:
+            for name, _, _ in self.brams:
+                if self._peek(("bram_r", name, phase)):
+                    choices.append("bram:" + name)
+        pick = rng.choice(choices)
+        if pick == "const":
+            width = rng.randint(1, max(1, min(width_hint, 16)))
+            return ["const", rng.randrange(1 << width), width]
+        if pick == "input":
+            return ["input"]
+        if pick == "reg":
+            return ["reg", rng.choice(self.regs)[0]]
+        if pick == "vreg":
+            name = self.vregs[0][0]
+            return ["vreg", name, self._addr_expr(name, phase)]
+        name = pick.split(":", 1)[1]
+        self._take(("bram_r", name, phase))
+        return ["bram", name, self._addr_expr(name, phase)]
+
+    def _addr_expr(self, name, phase):
+        """An index/address expression: read-free, occasionally compound.
+
+        Any width is fine — all models truncate addresses to the index
+        width, and power-of-two element counts keep them in range.
+        """
+        width = self.index_widths[name]
+        if self.rng.random() < 0.5:
+            return ["const", self.rng.randrange(self.elements[name]), width]
+        return self.expr(1, phase, width_hint=width, allow_read=False)
+
+    def cond(self, depth, phase):
+        """A 1-bit expression, always read-free (reads in conditions would
+        gate other reads and trip the dependent-read rule)."""
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.45:
+            pick = rng.random()
+            if pick < 0.6:
+                op = rng.choice(("eq", "ne", "lt", "le", "gt", "ge"))
+                lhs = self.expr(1, phase, allow_read=False)
+                width = min(self._width(lhs), 16)
+                rhs = ["const", rng.randrange(1 << width), width]
+                return ["bin", op, lhs, rhs]
+            if pick < 0.75:
+                operand = self.expr(1, phase, allow_read=False)
+                return ["un", rng.choice(("orr", "lnot", "andr", "xorr")),
+                        operand]
+            if pick < 0.85:
+                return ["sf"]
+            operand = self.expr(1, phase, allow_read=False)
+            width = self._width(operand)
+            bit = rng.randrange(width)
+            return ["slice", bit, bit, operand]
+        op = rng.choice(("and", "or", "xor"))
+        return ["bin", op, self.cond(depth - 1, phase),
+                self.cond(depth - 1, phase)]
+
+    def _width(self, e):
+        return spec_mod.expr_width(e, {"input_width": self.input_width},
+                                   self.widths)
+
+    # -- statements --------------------------------------------------------
+    def block(self, depth, phase, allow_while):
+        rng = self.rng
+        body = []
+        for _ in range(rng.randint(1, self.config.max_block_stmts)):
+            stmt = self.statement(depth, phase, allow_while)
+            if stmt is None:
+                break
+            body.extend(stmt if isinstance(stmt, _Multi) else [stmt])
+        return body
+
+    def statement(self, depth, phase, allow_while):
+        rng, config = self.rng, self.config
+        choices = []
+        if self._peek(("emit", "<out>", phase)):
+            choices += ["emit", "emit"]
+        writable = [
+            decl[0] for decl in self.regs
+            if self._peek(("reg", decl[0], phase))
+        ]
+        if writable:
+            choices += ["set", "set"]
+        if self.vregs and self._peek(("vreg", self.vregs[0][0], phase)):
+            choices.append("vset")
+        bram_writable = [
+            name for name, _, _ in self.brams
+            if self._peek(("bram_w", name, phase))
+        ]
+        if bram_writable:
+            choices += ["bw", "bw"]
+        if depth < 2 and rng.random() < config.p_if:
+            choices.append("if")
+        if (allow_while and phase == "done" and depth < 2
+                and rng.random() < config.p_while):
+            choices.append("while")
+        if not choices:
+            return None
+        pick = rng.choice(choices)
+        if pick == "emit":
+            self._take(("emit", "<out>", phase))
+            return ["emit", self.expr(config.max_expr_depth, phase,
+                                      width_hint=self.output_width)]
+        if pick == "set":
+            name = rng.choice(writable)
+            self._take(("reg", name, phase))
+            return ["set", name,
+                    self.expr(config.max_expr_depth, phase,
+                              width_hint=self.widths[name])]
+        if pick == "vset":
+            name = self.vregs[0][0]
+            self._take(("vreg", name, phase))
+            return ["vset", name, self._addr_expr(name, phase),
+                    self.expr(2, phase, width_hint=self.widths[name])]
+        if pick == "bw":
+            name = rng.choice(bram_writable)
+            self._take(("bram_w", name, phase))
+            return ["bw", name, self._addr_expr(name, phase),
+                    self.expr(2, phase, width_hint=self.widths[name])]
+        if pick == "if":
+            return self._if_stmt(depth, phase, allow_while)
+        return self._while_stmt(depth, phase)
+
+    def _if_stmt(self, depth, phase, allow_while):
+        rng = self.rng
+        n_arms = rng.randint(1, 3)
+        has_else = n_arms > 1 and rng.random() < 0.5
+        snapshot = dict(self.budget)
+        arms = []
+        remainders = []
+        for arm in range(n_arms):
+            self.budget = dict(snapshot)
+            cond = None if (has_else and arm == n_arms - 1) else \
+                self.cond(2, phase)
+            arm_body = self.block(depth + 1, phase, allow_while)
+            arms.append([cond, arm_body])
+            remainders.append(self.budget)
+        # Subsequent siblings co-fire with whichever arm is taken, so the
+        # surviving budget is the pointwise minimum across arms.
+        merged = dict(snapshot)
+        for remainder in remainders:
+            for key in set(remainder) | set(merged):
+                merged[key] = min(
+                    merged.get(key, snapshot.get(key, 1)),
+                    remainder.get(key, snapshot.get(key, 1)),
+                )
+        self.budget = merged
+        return ["if", arms]
+
+    def _while_stmt(self, depth, phase):
+        rng = self.rng
+        width = rng.randint(2, 4)
+        bound = rng.randint(1, (1 << width) - 1)
+        name = f"lc{self.loop_count}"
+        self.loop_count += 1
+        self._add_reg([name, width, 0])
+        # The increment owns the counter's loop-phase assignment slot.
+        self._take(("reg", name, "loop"))
+        cond = ["bin", "lt", ["reg", name], ["const", bound, width]]
+        if rng.random() < 0.35:
+            cond = ["bin", "and", cond, self.cond(1, "loop")]
+        body = [
+            ["set", name,
+             ["bin", "add", ["reg", name], ["const", 1, 1]]],
+        ]
+        body.extend(self.block(depth + 1, "loop", allow_while=False))
+        result = [["while", cond, body]]
+        # Optionally rearm the loop for the next token.
+        if self._peek(("reg", name, "done")) and rng.random() < 0.6:
+            self._take(("reg", name, "done"))
+            result.append(["set", name, ["const", 0, 1]])
+        return _Multi(result)
+
+
+class _Multi(list):
+    """Marker: a statement choice that expands to several statements."""
+
+
+def generate_spec(rng, config=None, *, name="fuzz"):
+    """Generate one well-formed program spec from ``rng``."""
+    config = config or GenConfig()
+    gen = _Gen(rng, config)
+    gen.declare()
+    body = gen.block(0, "done", allow_while=True)
+    if not any(s[0] == "emit" for s in spec_mod.walk_statements(body)):
+        # Keep every program observable: ensure at least one emit. The
+        # done-phase emit budget is necessarily unconsumed (no emit was
+        # generated), and expr() still honours the remaining read budget.
+        body.append(["emit", gen.expr(2, "done",
+                                      width_hint=gen.output_width)])
+    return {
+        "name": name,
+        "input_width": gen.input_width,
+        "output_width": gen.output_width,
+        "regs": gen.regs,
+        "vregs": gen.vregs,
+        "brams": gen.brams,
+        "body": body,
+    }
+
+
+def generate_streams(rng, spec, config=None):
+    """Generate input streams for a spec: mixes empty, single-token, and
+    boundary-valued streams with uniform random ones."""
+    config = config or GenConfig()
+    top = (1 << spec["input_width"]) - 1
+    streams = []
+    for _ in range(rng.randint(1, config.max_streams)):
+        pick = rng.random()
+        if pick < 0.08:
+            length = 0
+        elif pick < 0.2:
+            length = 1
+        else:
+            length = rng.randint(2, config.max_stream_len)
+        stream = []
+        for _ in range(length):
+            if rng.random() < 0.2:
+                stream.append(rng.choice((0, top)))
+            else:
+                stream.append(rng.randrange(top + 1))
+        streams.append(stream)
+    return streams

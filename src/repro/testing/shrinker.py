@@ -1,0 +1,267 @@
+"""Automatic reduction of disagreeing programs to minimal repros.
+
+Greedy fixpoint over a pass list, in cost order: drop whole streams,
+delta-debug token runs, delete statements, unwrap control structure
+(``if`` → taken-arm body, ``while`` → body), simplify expressions by
+replacing a node with one of its own sub-expressions or with a zero
+constant, drop unreferenced declarations, and zero remaining tokens.
+A candidate is kept only if the *same-stage* failure still reproduces;
+candidates the oracle rejects (the edit made the program ill-formed)
+are simply discarded. Every accepted candidate strictly shrinks the
+``(statements, tokens, expression-nodes)`` cost, so the loop
+terminates.
+"""
+
+import copy
+
+from ..lang.errors import FleetError
+from . import differential
+from . import spec as spec_mod
+
+
+def _cost(spec, streams):
+    nodes = sum(
+        1
+        for s in spec_mod.walk_statements(spec["body"])
+        for root in spec_mod.statement_exprs(s)
+        for _ in spec_mod.walk_exprs(root)
+    )
+    decls = (len(spec.get("regs", ())) + len(spec.get("vregs", ()))
+             + len(spec.get("brams", ())))
+    return (
+        spec_mod.count_statements(spec),
+        sum(len(s) for s in streams),
+        len(streams),
+        nodes,
+        decls,
+        sum(sum(s) for s in streams),
+    )
+
+
+class Shrinker:
+    """Reduce a failing ``(spec, streams)`` pair while preserving the
+    failure stage reported by the differential runner."""
+
+    def __init__(self, spec, streams, *, rtl=True, verilog=True,
+                 source_transform=None):
+        self.rtl = rtl
+        self.verilog = verilog
+        self.source_transform = source_transform
+        self.stage = self._failure_stage(spec, streams)
+        if self.stage is None:
+            raise ValueError("program does not fail; nothing to shrink")
+        self.spec = spec
+        self.streams = streams
+        self.attempts = 0
+
+    def _failure_stage(self, spec, streams):
+        try:
+            differential.check_program(
+                spec, streams, rtl=self.rtl, verilog=self.verilog,
+                source_transform=self.source_transform,
+            )
+        except differential.Mismatch as exc:
+            return exc.stage
+        except FleetError:
+            return None  # ill-formed candidate, not a model disagreement
+        return None
+
+    def _try(self, spec, streams):
+        """Adopt the candidate if it still fails at the same stage and is
+        strictly cheaper."""
+        self.attempts += 1
+        if _cost(spec, streams) >= _cost(self.spec, self.streams):
+            return False
+        if self._failure_stage(spec, streams) != self.stage:
+            return False
+        self.spec = spec
+        self.streams = streams
+        return True
+
+    def run(self):
+        """Shrink to a local minimum; returns ``(spec, streams)``."""
+        passes = (
+            self._drop_streams,
+            self._ddmin_tokens,
+            self._drop_statements,
+            self._unwrap_control,
+            self._simplify_exprs,
+            self._drop_decls,
+            self._zero_tokens,
+        )
+        changed = True
+        while changed:
+            changed = False
+            for shrink_pass in passes:
+                while shrink_pass():
+                    changed = True
+        return self.spec, self.streams
+
+    # -- stream passes -----------------------------------------------------
+    def _drop_streams(self):
+        for i in range(len(self.streams)):
+            streams = self.streams[:i] + self.streams[i + 1:]
+            if streams and self._try(self.spec, streams):
+                return True
+        return False
+
+    def _ddmin_tokens(self):
+        for i, stream in enumerate(self.streams):
+            chunk = max(1, len(stream) // 2)
+            while chunk >= 1:
+                start = 0
+                while start < len(self.streams[i]):
+                    stream = self.streams[i]
+                    candidate = stream[:start] + stream[start + chunk:]
+                    streams = list(self.streams)
+                    streams[i] = candidate
+                    if not self._try(self.spec, streams):
+                        start += chunk
+                chunk //= 2
+        return False  # loop above runs to fixpoint internally
+
+    def _zero_tokens(self):
+        for i, stream in enumerate(self.streams):
+            for j, token in enumerate(stream):
+                if token == 0:
+                    continue
+                streams = copy.deepcopy(self.streams)
+                streams[i][j] = 0
+                if self._try(self.spec, streams):
+                    return True
+        return False
+
+    # -- statement passes --------------------------------------------------
+    def _blocks(self, spec):
+        """Yield every mutable statement list in a spec body (the body
+        itself, each if arm, each while body)."""
+        def visit(body):
+            yield body
+            for s in body:
+                if s[0] == "if":
+                    for _, arm_body in s[1]:
+                        yield from visit(arm_body)
+                elif s[0] == "while":
+                    yield from visit(s[2])
+        yield from visit(spec["body"])
+
+    def _drop_statements(self):
+        for block_index, block in enumerate(self._blocks(self.spec)):
+            for i in range(len(block)):
+                spec = copy.deepcopy(self.spec)
+                target = list(self._blocks(spec))[block_index]
+                del target[i]
+                if self._try(spec, self.streams):
+                    return True
+        return False
+
+    def _unwrap_control(self):
+        for block_index, block in enumerate(self._blocks(self.spec)):
+            for i, s in enumerate(block):
+                replacements = []
+                if s[0] == "if":
+                    # Replace the if with any single arm's body, and also
+                    # try dropping one arm at a time.
+                    for _, arm_body in s[1]:
+                        replacements.append(("splice", arm_body))
+                    if len(s[1]) > 1:
+                        for drop in range(len(s[1])):
+                            arms = s[1][:drop] + s[1][drop + 1:]
+                            if arms and arms[0][0] is not None:
+                                replacements.append(("stmt", ["if", arms]))
+                elif s[0] == "while":
+                    replacements.append(("splice", s[2]))
+                for kind, replacement in replacements:
+                    spec = copy.deepcopy(self.spec)
+                    target = list(self._blocks(spec))[block_index]
+                    if kind == "splice":
+                        target[i:i + 1] = copy.deepcopy(replacement)
+                    else:
+                        target[i] = copy.deepcopy(replacement)
+                    if self._try(spec, self.streams):
+                        return True
+        return False
+
+    # -- expression passes -------------------------------------------------
+    def _expr_slots(self, spec):
+        """Yield ``(container, key)`` for every expression slot."""
+        def expr_slots(container, key):
+            e = container[key]
+            yield container, key
+            tag = e[0]
+            if tag in spec_mod.LEAF_TAGS:
+                return
+            if tag in ("vreg", "bram", "un"):
+                yield from expr_slots(e, 2)
+            elif tag == "bin":
+                yield from expr_slots(e, 2)
+                yield from expr_slots(e, 3)
+            elif tag == "mux":
+                for k in (1, 2, 3):
+                    yield from expr_slots(e, k)
+            elif tag == "slice":
+                yield from expr_slots(e, 3)
+            elif tag == "cat":
+                for k in range(len(e[1])):
+                    yield from expr_slots(e[1], k)
+
+        for s in spec_mod.walk_statements(spec["body"]):
+            tag = s[0]
+            if tag == "set":
+                yield from expr_slots(s, 2)
+            elif tag in ("vset", "bw"):
+                yield from expr_slots(s, 2)
+                yield from expr_slots(s, 3)
+            elif tag == "emit":
+                yield from expr_slots(s, 1)
+            elif tag == "if":
+                for arm in s[1]:
+                    if arm[0] is not None:
+                        yield from expr_slots(arm, 0)
+            elif tag == "while":
+                yield from expr_slots(s, 1)
+
+    def _simplify_exprs(self):
+        n_slots = sum(1 for _ in self._expr_slots(self.spec))
+        for slot_index in range(n_slots):
+            spec = copy.deepcopy(self.spec)
+            slots = list(self._expr_slots(spec))
+            if slot_index >= len(slots):
+                break
+            container, key = slots[slot_index]
+            original = container[key]
+            if original[0] == "const":
+                continue
+            candidates = [["const", 0, 1]]
+            candidates += [
+                copy.deepcopy(sub)
+                for sub in spec_mod.walk_exprs(original)
+                if sub is not original
+            ]
+            for candidate in candidates:
+                container[key] = candidate
+                if self._try(copy.deepcopy(spec), self.streams):
+                    return True
+            container[key] = original
+        return False
+
+    # -- declaration passes ------------------------------------------------
+    def _drop_decls(self):
+        used = spec_mod.used_names(self.spec)
+        for kind in ("regs", "vregs", "brams"):
+            for i, decl in enumerate(self.spec.get(kind, ())):
+                if decl[0] in used:
+                    continue
+                spec = copy.deepcopy(self.spec)
+                del spec[kind][i]
+                if self._try(spec, self.streams):
+                    return True
+        return False
+
+
+def shrink(spec, streams, *, rtl=True, verilog=True, source_transform=None):
+    """Convenience wrapper; returns ``(spec, streams, stage, attempts)``."""
+    shrinker = Shrinker(spec, streams, rtl=rtl, verilog=verilog,
+                        source_transform=source_transform)
+    spec, streams = shrinker.run()
+    return spec, streams, shrinker.stage, shrinker.attempts

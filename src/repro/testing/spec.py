@@ -1,0 +1,291 @@
+"""Serializable program specs for the conformance engine.
+
+A *spec* is a plain JSON-able description of a Fleet processing unit:
+declarations plus a statement tree whose expressions are nested lists.
+The fuzzer generates specs, the differential runner builds them into
+real :class:`~repro.lang.ast.UnitProgram` objects through the ordinary
+:class:`~repro.lang.builder.UnitBuilder` API (so the builder and
+analysis layers are exercised exactly as a human-written unit would
+exercise them), the shrinker edits them structurally, and the corpus
+stores them as JSON regression seeds.
+
+Spec format::
+
+    {
+      "name": str,
+      "input_width": int, "output_width": int,
+      "regs":  [[name, width, init], ...],
+      "vregs": [[name, elements, width, init], ...],
+      "brams": [[name, elements, width], ...],
+      "body":  [stmt, ...],
+    }
+
+Statements (lists; first element is the tag)::
+
+    ["set", reg_name, value_expr]
+    ["vset", vreg_name, index_expr, value_expr]
+    ["bw", bram_name, addr_expr, value_expr]
+    ["emit", value_expr]
+    ["if", [[cond_expr_or_None, [stmt, ...]], ...]]   # None = else arm
+    ["while", cond_expr, [stmt, ...]]
+
+Expressions::
+
+    ["const", value, width]
+    ["input"] | ["sf"]
+    ["reg", name]
+    ["vreg", name, index_expr]
+    ["bram", name, addr_expr]
+    ["bin", op, lhs, rhs] | ["un", op, operand]
+    ["mux", cond, then, els]
+    ["slice", hi, lo, operand]
+    ["cat", [part, ...]]
+"""
+
+from .. import ops
+from ..lang import ast
+from ..lang.builder import Expr, UnitBuilder
+from ..lang.errors import FleetSyntaxError
+
+#: Expression tags with no child expressions.
+LEAF_TAGS = ("const", "input", "sf", "reg")
+
+
+def build_unit(spec):
+    """Build a validated :class:`~repro.lang.ast.UnitProgram` from a spec.
+
+    Raises the same :class:`~repro.lang.errors.FleetError` subclasses a
+    hand-written unit would raise for malformed programs.
+    """
+    b = UnitBuilder(
+        spec["name"],
+        input_width=spec["input_width"],
+        output_width=spec["output_width"],
+    )
+    handles = {}
+    for name, width, init in spec.get("regs", ()):
+        handles[name] = b.reg(name, width=width, init=init)
+    for name, elements, width, init in spec.get("vregs", ()):
+        handles[name] = b.vreg(name, elements=elements, width=width,
+                               init=init)
+    for name, elements, width in spec.get("brams", ()):
+        handles[name] = b.bram(name, elements=elements, width=width)
+
+    def expr(e):
+        tag = e[0]
+        if tag == "const":
+            return b.const(e[1], e[2])
+        if tag == "input":
+            return b.input
+        if tag == "sf":
+            return b.stream_finished
+        if tag == "reg":
+            return handles[e[1]]
+        if tag == "vreg":
+            return handles[e[1]][expr(e[2])]
+        if tag == "bram":
+            return handles[e[1]][expr(e[2])]
+        if tag == "bin":
+            return Expr(ast.BinOp(e[1], expr(e[2]).node, expr(e[3]).node))
+        if tag == "un":
+            return Expr(ast.UnOp(e[1], expr(e[2]).node))
+        if tag == "mux":
+            return b.mux(expr(e[1]), expr(e[2]), expr(e[3]))
+        if tag == "slice":
+            return expr(e[3]).bits(e[1], e[2])
+        if tag == "cat":
+            return b.cat(*[expr(p) for p in e[1]])
+        raise FleetSyntaxError(f"unknown spec expression tag {tag!r}")
+
+    def stmts(body):
+        for s in body:
+            tag = s[0]
+            if tag == "set":
+                handles[s[1]].set(expr(s[2]))
+            elif tag == "vset":
+                handles[s[1]][expr(s[2])] = expr(s[3])
+            elif tag == "bw":
+                handles[s[1]][expr(s[2])] = expr(s[3])
+            elif tag == "emit":
+                b.emit(expr(s[1]))
+            elif tag == "if":
+                arms = s[1]
+                if not arms or arms[0][0] is None:
+                    raise FleetSyntaxError("if spec needs a first condition")
+                with b.when(expr(arms[0][0])):
+                    stmts(arms[0][1])
+                for cond, arm_body in arms[1:]:
+                    if cond is None:
+                        with b.otherwise():
+                            stmts(arm_body)
+                    else:
+                        with b.elif_(expr(cond)):
+                            stmts(arm_body)
+            elif tag == "while":
+                with b.while_(expr(s[1])):
+                    stmts(s[2])
+            else:
+                raise FleetSyntaxError(f"unknown spec statement tag {tag!r}")
+
+    stmts(spec["body"])
+    return b.finish()
+
+
+# ---------------------------------------------------------------------------
+# Spec-level width inference (mirrors the AST rules, used by the
+# generator and shrinker to stay well-formed without building)
+# ---------------------------------------------------------------------------
+
+
+def decl_widths(spec):
+    """Map of state-element name -> value width for a spec."""
+    widths = {}
+    for name, width, _ in spec.get("regs", ()):
+        widths[name] = width
+    for name, _, width, _ in spec.get("vregs", ()):
+        widths[name] = width
+    for name, _, width in spec.get("brams", ()):
+        widths[name] = width
+    return widths
+
+
+def expr_width(e, spec, widths=None):
+    """Inferred bit width of a spec expression (same rules as the AST)."""
+    if widths is None:
+        widths = decl_widths(spec)
+    tag = e[0]
+    if tag == "const":
+        return e[2]
+    if tag == "input":
+        return spec["input_width"]
+    if tag == "sf":
+        return 1
+    if tag in ("reg", "vreg", "bram"):
+        return widths[e[1]]
+    if tag == "bin":
+        return ops.binop_width(
+            e[1],
+            expr_width(e[2], spec, widths),
+            expr_width(e[3], spec, widths),
+        )
+    if tag == "un":
+        return ops.unop_width(e[1], expr_width(e[2], spec, widths))
+    if tag == "mux":
+        return max(
+            expr_width(e[2], spec, widths), expr_width(e[3], spec, widths)
+        )
+    if tag == "slice":
+        return e[1] - e[2] + 1
+    if tag == "cat":
+        return sum(expr_width(p, spec, widths) for p in e[1])
+    raise FleetSyntaxError(f"unknown spec expression tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Structure helpers shared by the shrinker, corpus, and reports
+# ---------------------------------------------------------------------------
+
+
+def walk_statements(body):
+    """Yield every statement in a spec body, recursing into ifs/whiles."""
+    for s in body:
+        yield s
+        if s[0] == "if":
+            for _, arm_body in s[1]:
+                yield from walk_statements(arm_body)
+        elif s[0] == "while":
+            yield from walk_statements(s[2])
+
+
+def count_statements(spec):
+    """Total statement count (every leaf, if, and while counts as one)."""
+    return sum(1 for _ in walk_statements(spec["body"]))
+
+
+def statement_exprs(s):
+    """The expression trees directly referenced by a spec statement."""
+    tag = s[0]
+    if tag == "set":
+        return (s[2],)
+    if tag == "vset":
+        return (s[2], s[3])
+    if tag == "bw":
+        return (s[2], s[3])
+    if tag == "emit":
+        return (s[1],)
+    if tag == "if":
+        return tuple(c for c, _ in s[1] if c is not None)
+    if tag == "while":
+        return (s[1],)
+    raise FleetSyntaxError(f"unknown spec statement tag {s[0]!r}")
+
+
+def walk_exprs(e):
+    """Yield ``e`` and every sub-expression beneath it."""
+    yield e
+    tag = e[0]
+    if tag in LEAF_TAGS:
+        return
+    if tag in ("vreg", "bram"):
+        yield from walk_exprs(e[2])
+    elif tag == "bin":
+        yield from walk_exprs(e[2])
+        yield from walk_exprs(e[3])
+    elif tag == "un":
+        yield from walk_exprs(e[2])
+    elif tag == "mux":
+        for child in e[1:]:
+            yield from walk_exprs(child)
+    elif tag == "slice":
+        yield from walk_exprs(e[3])
+    elif tag == "cat":
+        for part in e[1]:
+            yield from walk_exprs(part)
+
+
+def used_names(spec):
+    """Names of state elements referenced anywhere in the body."""
+    used = set()
+    for s in walk_statements(spec["body"]):
+        tag = s[0]
+        if tag in ("set", "vset", "bw"):
+            used.add(s[1])
+        for root in statement_exprs(s):
+            for e in walk_exprs(root):
+                if e[0] in ("reg", "vreg", "bram"):
+                    used.add(e[1])
+    return used
+
+
+def features(spec):
+    """Coarse feature tags for coverage accounting and corpus metadata."""
+    tags = set()
+    statements = list(walk_statements(spec["body"]))
+    if any(s[0] == "while" for s in statements):
+        tags.add("while")
+    if any(s[0] == "if" for s in statements):
+        tags.add("if")
+    if any(s[0] == "bw" for s in statements):
+        tags.add("bram-write")
+    if any(s[0] == "vset" for s in statements):
+        tags.add("vreg-write")
+    if sum(1 for s in statements if s[0] == "emit") > 1:
+        tags.add("multi-emit")
+    exprs = [
+        e
+        for s in statements
+        for root in statement_exprs(s)
+        for e in walk_exprs(root)
+    ]
+    if any(e[0] == "bram" for e in exprs):
+        tags.add("bram-read")
+    if any(e[0] == "vreg" for e in exprs):
+        tags.add("vreg-read")
+    if any(e[0] == "sf" for e in exprs):
+        tags.add("stream-finished")
+    widths = decl_widths(spec)
+    if any(w >= 32 for w in widths.values()):
+        tags.add("wide")
+    if any(e[0] == "bin" and e[1] == "mul" for e in exprs):
+        tags.add("mul")
+    return tags

@@ -5,6 +5,21 @@ import random
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden Verilog snapshots instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should rewrite golden snapshot files."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def rnd():
     """A deterministically seeded RNG per test."""

@@ -1,0 +1,63 @@
+module fleet_block_frequencies (
+  input clock,
+  input [7:0] input_token,
+  input input_valid,
+  input output_ready,
+  input input_finished,
+  output output_valid,
+  output [7:0] output_token,
+  output input_ready,
+  output output_finished
+);
+  wire _t0 = (r_item_counter == 7'd100);
+  wire _t1 = (r_frequencies_idx < 9'd256);
+  wire [8:0] _t2 = ((_t0 & _t1) ? r_frequencies_idx : i);
+  wire [7:0] _t3 = ((r_item_counter == 7'd100) ? 1'd1 : (r_item_counter + 1'd1));
+  wire [9:0] _t4 = (r_frequencies_idx + 1'd1);
+  wire _t5 = (r_item_counter_ne == 7'd100);
+  wire _t6 = (r_frequencies_idx_ne < 9'd256);
+  wire _t7 = (_t0 & _t1);
+  wire [8:0] _t8 = (_t7 ? r_frequencies_idx : i);
+  wire [7:0] _t9 = _t8[7:0];
+  wire _t10 = (_t7 | while_done);
+  wire _t11 = (v_done & _t10);
+  wire [8:0] _t12 = (b_frequencies_rd + 1'd1);
+  wire [7:0] _t13 = _t12[7:0];
+  wire [7:0] _t14 = (_t7 ? 1'd0 : _t13);
+  wire [8:0] _t15 = ((_t5 & _t6) ? r_frequencies_idx_ne : input_token);
+  wire while_done = ~(|((_t0 & _t1)));
+  wire [7:0] b_frequencies_cur_rd_addr = _t2[7:0];
+  wire [7:0] b_frequencies_rd = (({1'd0, b_frequencies_cur_rd_addr} == b_frequencies_last_addr) ? b_frequencies_last_data : b_frequencies__rd_data);
+  assign output_valid = (v & (_t0 & _t1));
+  assign output_token = b_frequencies_rd;
+  wire v_done = (v & (~(|(output_valid)) | output_ready));
+  wire [6:0] r_item_counter_n = (while_done ? _t3[6:0] : r_item_counter);
+  wire [8:0] r_frequencies_idx_n = ((_t0 & _t1) ? _t4[8:0] : ((_t0 & while_done) ? 1'd0 : r_frequencies_idx));
+  wire [6:0] r_item_counter_ne = (v_done ? r_item_counter_n : r_item_counter);
+  wire [8:0] r_frequencies_idx_ne = (v_done ? r_frequencies_idx_n : r_frequencies_idx);
+  wire sf_next = (f | (input_finished & ~(|(input_valid))));
+  wire while_done_n = ~(|((_t5 & _t6)));
+  assign input_ready = (~(|(v)) | (while_done & (~(|(output_valid)) | output_ready)));
+  assign output_finished = (~(|(v)) & f);
+  wire issue_next = (v_done | input_ready);
+  reg [7:0] i = 8'd0;
+  reg v = 1'd0;
+  reg f = 1'd0;
+  reg [6:0] r_item_counter = 7'd0;
+  reg [8:0] r_frequencies_idx = 9'd0;
+  reg [8:0] b_frequencies_last_addr = 9'd511;
+  reg [7:0] b_frequencies_last_data = 8'd0;
+  reg [7:0] b_frequencies__mem [0:255];
+  reg [7:0] b_frequencies__rd_data = 8'd0;
+  always @(posedge clock) begin
+    if (input_ready) i <= input_token;
+    if (input_ready) v <= (input_valid | (~(|(f)) & input_finished));
+    if (input_ready) f <= (f | input_finished);
+    if (v_done) r_item_counter <= r_item_counter_n;
+    if (v_done) r_frequencies_idx <= r_frequencies_idx_n;
+    if (_t11) b_frequencies_last_addr <= {1'd0, _t9};
+    if (_t11) b_frequencies_last_data <= _t14;
+    b_frequencies__rd_data <= b_frequencies__mem[(issue_next ? _t15[7:0] : b_frequencies_cur_rd_addr)];
+    if (_t11) b_frequencies__mem[_t9] <= _t14;
+  end
+endmodule

@@ -1,0 +1,131 @@
+module fleet_csv_extract (
+  input clock,
+  input [7:0] input_token,
+  input input_valid,
+  input output_ready,
+  input input_finished,
+  output output_valid,
+  output [7:0] output_token,
+  output input_ready,
+  output output_finished
+);
+  wire _t0 = ~(|(f));
+  wire _t1 = (r_state == 1'd0);
+  wire _t2 = (_t0 & _t1);
+  wire _t3 = (i == 6'd34);
+  wire _t4 = ~(|(_t3));
+  wire _t5 = (_t2 & _t4);
+  wire _t6 = (i == 6'd44);
+  wire _t7 = (_t5 & _t6);
+  wire _t8 = (r_col == 1'd0);
+  wire _t9 = (r_col == 2'd2);
+  wire _t10 = (_t8 | _t9);
+  wire _t11 = (_t7 & _t10);
+  wire _t12 = (_t11 & while_done);
+  wire _t13 = (_t0 & _t1);
+  wire _t14 = ~(|(_t3));
+  wire _t15 = (_t13 & _t14);
+  wire _t16 = ~(|(_t6));
+  wire _t17 = (_t15 & _t16);
+  wire _t18 = (i == 4'd10);
+  wire _t19 = (_t17 & _t18);
+  wire _t20 = (_t19 & _t10);
+  wire _t21 = (_t20 & while_done);
+  wire _t22 = (_t0 & _t1);
+  wire _t23 = ~(|(_t3));
+  wire _t24 = (_t22 & _t23);
+  wire _t25 = ~(|(_t6));
+  wire _t26 = (_t24 & _t25);
+  wire _t27 = ~(|(_t18));
+  wire _t28 = (_t26 & _t27);
+  wire _t29 = (_t28 & _t10);
+  wire _t30 = (_t29 & while_done);
+  wire _t31 = ~(|(_t1));
+  wire _t32 = (_t0 & _t31);
+  wire _t33 = (r_state == 1'd1);
+  wire _t34 = (_t32 & _t33);
+  wire _t35 = (i == 6'd44);
+  wire _t36 = (_t34 & _t35);
+  wire _t37 = (_t36 & _t10);
+  wire _t38 = (_t37 & while_done);
+  wire _t39 = ~(|(_t1));
+  wire _t40 = (_t0 & _t39);
+  wire _t41 = (_t40 & _t33);
+  wire _t42 = ~(|(_t35));
+  wire _t43 = (_t41 & _t42);
+  wire _t44 = (i == 4'd10);
+  wire _t45 = (_t43 & _t44);
+  wire _t46 = (_t45 & _t10);
+  wire _t47 = (_t46 & while_done);
+  wire _t48 = ~(|(_t1));
+  wire _t49 = (_t0 & _t48);
+  wire _t50 = (_t49 & _t33);
+  wire _t51 = ~(|(_t35));
+  wire _t52 = (_t50 & _t51);
+  wire _t53 = ~(|(_t44));
+  wire _t54 = (_t52 & _t53);
+  wire _t55 = (_t54 & _t10);
+  wire _t56 = (_t55 & while_done);
+  wire _t57 = ~(|(_t1));
+  wire _t58 = (_t0 & _t57);
+  wire _t59 = ~(|(_t33));
+  wire _t60 = (_t58 & _t59);
+  wire _t61 = (r_state == 2'd2);
+  wire _t62 = (_t60 & _t61);
+  wire _t63 = (i == 6'd34);
+  wire _t64 = ~(|(_t63));
+  wire _t65 = (_t62 & _t64);
+  wire _t66 = (_t65 & _t10);
+  wire _t67 = (_t66 & while_done);
+  wire _t68 = ~(|(_t1));
+  wire _t69 = (_t0 & _t68);
+  wire _t70 = ~(|(_t33));
+  wire _t71 = (_t69 & _t70);
+  wire _t72 = ~(|(_t61));
+  wire _t73 = (_t71 & _t72);
+  wire _t74 = (i == 6'd34);
+  wire _t75 = (_t73 & _t74);
+  wire _t76 = (_t75 & _t10);
+  wire _t77 = (_t76 & while_done);
+  wire _t78 = ~(|(_t1));
+  wire _t79 = (_t0 & _t78);
+  wire _t80 = ~(|(_t33));
+  wire _t81 = (_t79 & _t80);
+  wire _t82 = ~(|(_t61));
+  wire _t83 = (_t81 & _t82);
+  wire _t84 = ~(|(_t74));
+  wire _t85 = (_t83 & _t84);
+  wire _t86 = (i == 6'd44);
+  wire _t87 = (_t85 & _t86);
+  wire _t88 = (_t87 & _t10);
+  wire _t89 = (_t88 & while_done);
+  wire _t90 = (i == 4'd10);
+  wire [8:0] _t91 = (r_col + 1'd1);
+  wire [8:0] _t92 = (r_col + 1'd1);
+  wire [8:0] _t93 = (r_col + 1'd1);
+  wire while_done = 1'd1;
+  assign output_valid = (v & (((((((((_t12 | _t21) | _t30) | _t38) | _t47) | _t56) | _t67) | _t77) | _t89) | ((((((((_t0 & ~(|(_t1))) & ~(|(_t33))) & ~(|(_t61))) & ~(|(_t74))) & ~(|(_t86))) & _t90) & _t10) & while_done)));
+  assign output_token = (_t12 ? 1'd0 : (_t21 ? 1'd0 : (_t30 ? i : (_t38 ? 1'd0 : (_t47 ? 1'd0 : (_t56 ? i : (_t67 ? i : (_t77 ? 6'd34 : (_t89 ? 1'd0 : 1'd0)))))))));
+  wire v_done = (v & (~(|(output_valid)) | output_ready));
+  wire [1:0] r_state_n = ((((_t0 & _t1) & _t3) & while_done) ? 2'd2 : (((((_t0 & _t1) & ~(|(_t3))) & _t6) & while_done) ? 1'd0 : ((((((_t0 & _t1) & ~(|(_t3))) & ~(|(_t6))) & _t18) & while_done) ? 1'd0 : ((((((_t0 & _t1) & ~(|(_t3))) & ~(|(_t6))) & ~(|(_t18))) & while_done) ? 1'd1 : (((((_t0 & ~(|(_t1))) & _t33) & _t35) & while_done) ? 1'd0 : ((((((_t0 & ~(|(_t1))) & _t33) & ~(|(_t35))) & _t44) & while_done) ? 1'd0 : ((((((_t0 & ~(|(_t1))) & ~(|(_t33))) & _t61) & _t63) & while_done) ? 2'd3 : ((((((_t0 & ~(|(_t1))) & ~(|(_t33))) & ~(|(_t61))) & _t74) & while_done) ? 2'd2 : (((((((_t0 & ~(|(_t1))) & ~(|(_t33))) & ~(|(_t61))) & ~(|(_t74))) & _t86) & while_done) ? 1'd0 : ((((((((_t0 & ~(|(_t1))) & ~(|(_t33))) & ~(|(_t61))) & ~(|(_t74))) & ~(|(_t86))) & _t90) & while_done) ? 1'd0 : r_state))))))))));
+  wire [7:0] r_col_n = (((((_t0 & _t1) & ~(|(_t3))) & _t6) & while_done) ? _t91[7:0] : ((((((_t0 & _t1) & ~(|(_t3))) & ~(|(_t6))) & _t18) & while_done) ? 1'd0 : (((((_t0 & ~(|(_t1))) & _t33) & _t35) & while_done) ? _t92[7:0] : ((((((_t0 & ~(|(_t1))) & _t33) & ~(|(_t35))) & _t44) & while_done) ? 1'd0 : (((((((_t0 & ~(|(_t1))) & ~(|(_t33))) & ~(|(_t61))) & ~(|(_t74))) & _t86) & while_done) ? _t93[7:0] : ((((((((_t0 & ~(|(_t1))) & ~(|(_t33))) & ~(|(_t61))) & ~(|(_t74))) & ~(|(_t86))) & _t90) & while_done) ? 1'd0 : r_col))))));
+  wire [1:0] r_state_ne = (v_done ? r_state_n : r_state);
+  wire [7:0] r_col_ne = (v_done ? r_col_n : r_col);
+  wire sf_next = (f | (input_finished & ~(|(input_valid))));
+  wire while_done_n = 1'd1;
+  assign input_ready = (~(|(v)) | (while_done & (~(|(output_valid)) | output_ready)));
+  assign output_finished = (~(|(v)) & f);
+  wire issue_next = (v_done | input_ready);
+  reg [7:0] i = 8'd0;
+  reg v = 1'd0;
+  reg f = 1'd0;
+  reg [1:0] r_state = 2'd0;
+  reg [7:0] r_col = 8'd0;
+  always @(posedge clock) begin
+    if (input_ready) i <= input_token;
+    if (input_ready) v <= (input_valid | (~(|(f)) & input_finished));
+    if (input_ready) f <= (f | input_finished);
+    if (v_done) r_state <= r_state_n;
+    if (v_done) r_col <= r_col_n;
+  end
+endmodule

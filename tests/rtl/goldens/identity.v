@@ -1,0 +1,29 @@
+module fleet_identity (
+  input clock,
+  input [7:0] input_token,
+  input input_valid,
+  input output_ready,
+  input input_finished,
+  output output_valid,
+  output [7:0] output_token,
+  output input_ready,
+  output output_finished
+);
+  wire while_done = 1'd1;
+  assign output_valid = (v & (~(|(f)) & while_done));
+  assign output_token = i;
+  wire v_done = (v & (~(|(output_valid)) | output_ready));
+  wire sf_next = (f | (input_finished & ~(|(input_valid))));
+  wire while_done_n = 1'd1;
+  assign input_ready = (~(|(v)) | (while_done & (~(|(output_valid)) | output_ready)));
+  assign output_finished = (~(|(v)) & f);
+  wire issue_next = (v_done | input_ready);
+  reg [7:0] i = 8'd0;
+  reg v = 1'd0;
+  reg f = 1'd0;
+  always @(posedge clock) begin
+    if (input_ready) i <= input_token;
+    if (input_ready) v <= (input_valid | (~(|(f)) & input_finished));
+    if (input_ready) f <= (f | input_finished);
+  end
+endmodule

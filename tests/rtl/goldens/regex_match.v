@@ -1,0 +1,54 @@
+module fleet_regex_match (
+  input clock,
+  input [7:0] input_token,
+  input input_valid,
+  input output_ready,
+  input input_finished,
+  output output_valid,
+  output [31:0] output_token,
+  output input_ready,
+  output output_finished
+);
+  wire _t0 = ~(|(f));
+  wire _t1 = (i == 7'd100);
+  wire _t2 = (r_state_1 | r_state_2);
+  wire _t3 = (_t1 & _t2);
+  wire [32:0] _t4 = (r_position + 1'd1);
+  wire while_done = 1'd1;
+  assign output_valid = (v & ((_t0 & _t3) & while_done));
+  assign output_token = r_position;
+  wire v_done = (v & (~(|(output_valid)) | output_ready));
+  wire r_state_0_n = ((_t0 & while_done) ? ((i == 7'd97) & 1'd1) : r_state_0);
+  wire r_state_1_n = ((_t0 & while_done) ? ((i == 7'd98) & ((r_state_0 | r_state_1) | r_state_2)) : r_state_1);
+  wire r_state_2_n = ((_t0 & while_done) ? ((i == 7'd99) & ((r_state_0 | r_state_1) | r_state_2)) : r_state_2);
+  wire r_state_3_n = ((_t0 & while_done) ? _t3 : r_state_3);
+  wire [31:0] r_position_n = ((_t0 & while_done) ? _t4[31:0] : r_position);
+  wire r_state_0_ne = (v_done ? r_state_0_n : r_state_0);
+  wire r_state_1_ne = (v_done ? r_state_1_n : r_state_1);
+  wire r_state_2_ne = (v_done ? r_state_2_n : r_state_2);
+  wire r_state_3_ne = (v_done ? r_state_3_n : r_state_3);
+  wire [31:0] r_position_ne = (v_done ? r_position_n : r_position);
+  wire sf_next = (f | (input_finished & ~(|(input_valid))));
+  wire while_done_n = 1'd1;
+  assign input_ready = (~(|(v)) | (while_done & (~(|(output_valid)) | output_ready)));
+  assign output_finished = (~(|(v)) & f);
+  wire issue_next = (v_done | input_ready);
+  reg [7:0] i = 8'd0;
+  reg v = 1'd0;
+  reg f = 1'd0;
+  reg r_state_0 = 1'd0;
+  reg r_state_1 = 1'd0;
+  reg r_state_2 = 1'd0;
+  reg r_state_3 = 1'd0;
+  reg [31:0] r_position = 32'd0;
+  always @(posedge clock) begin
+    if (input_ready) i <= input_token;
+    if (input_ready) v <= (input_valid | (~(|(f)) & input_finished));
+    if (input_ready) f <= (f | input_finished);
+    if (v_done) r_state_0 <= r_state_0_n;
+    if (v_done) r_state_1 <= r_state_1_n;
+    if (v_done) r_state_2 <= r_state_2_n;
+    if (v_done) r_state_3 <= r_state_3_n;
+    if (v_done) r_position <= r_position_n;
+  end
+endmodule

@@ -1,0 +1,34 @@
+module fleet_sink (
+  input clock,
+  input [7:0] input_token,
+  input input_valid,
+  input output_ready,
+  input input_finished,
+  output output_valid,
+  output [7:0] output_token,
+  output input_ready,
+  output output_finished
+);
+  wire [32:0] _t0 = (r_consumed + 1'd1);
+  wire while_done = 1'd1;
+  assign output_valid = (v & 1'd0);
+  assign output_token = 8'd0;
+  wire v_done = (v & (~(|(output_valid)) | output_ready));
+  wire [31:0] r_consumed_n = (while_done ? _t0[31:0] : r_consumed);
+  wire [31:0] r_consumed_ne = (v_done ? r_consumed_n : r_consumed);
+  wire sf_next = (f | (input_finished & ~(|(input_valid))));
+  wire while_done_n = 1'd1;
+  assign input_ready = (~(|(v)) | (while_done & (~(|(output_valid)) | output_ready)));
+  assign output_finished = (~(|(v)) & f);
+  wire issue_next = (v_done | input_ready);
+  reg [7:0] i = 8'd0;
+  reg v = 1'd0;
+  reg f = 1'd0;
+  reg [31:0] r_consumed = 32'd0;
+  always @(posedge clock) begin
+    if (input_ready) i <= input_token;
+    if (input_ready) v <= (input_valid | (~(|(f)) & input_finished));
+    if (input_ready) f <= (f | input_finished);
+    if (v_done) r_consumed <= r_consumed_n;
+  end
+endmodule

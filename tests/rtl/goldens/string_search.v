@@ -1,0 +1,91 @@
+module fleet_string_search (
+  input clock,
+  input [7:0] input_token,
+  input input_valid,
+  input output_ready,
+  input input_finished,
+  output output_valid,
+  output [31:0] output_token,
+  output input_ready,
+  output output_finished
+);
+  wire _t0 = ~(|(f));
+  wire _t1 = (r_mode == 1'd0);
+  wire _t2 = (r_mode == 1'd1);
+  wire _t3 = (r_mode == 2'd2);
+  wire _t4 = (r_mode == 2'd3);
+  wire _t5 = (r_mode == 3'd4);
+  wire [11:0] _t6 = {r_state, i};
+  wire [11:0] _t7 = _t6[11:0];
+  wire [7:0] _t8 = r_entry_total[7:0];
+  wire [15:0] _t9 = {i, _t8};
+  wire [16:0] _t10 = (r_entry_total - 1'd1);
+  wire _t11 = (r_entry_count == _t10);
+  wire [16:0] _t12 = (_t11 ? 1'd0 : (r_entry_count + 1'd1));
+  wire [32:0] _t13 = (r_position + 1'd1);
+  wire [11:0] _t14 = r_entry_idx[11:0];
+  wire _t15 = ~(|(_t1));
+  wire _t16 = (_t0 & _t15);
+  wire _t17 = ~(|(_t2));
+  wire _t18 = (_t16 & _t17);
+  wire _t19 = ~(|(_t3));
+  wire _t20 = (_t18 & _t19);
+  wire _t21 = ~(|(_t4));
+  wire _t22 = (_t20 & _t21);
+  wire _t23 = (_t22 & _t5);
+  wire _t24 = (_t23 & while_done);
+  wire _t25 = (v_done & _t24);
+  wire [11:0] _t26 = {r_state_ne, input_token};
+  wire [11:0] _t27 = _t26[11:0];
+  wire while_done = 1'd1;
+  wire [11:0] b_table_cur_rd_addr = (((((((_t0 & ~(|(_t1))) & ~(|(_t2))) & ~(|(_t3))) & ~(|(_t4))) & ~(|(_t5))) & while_done) ? _t7 : _t7);
+  wire [7:0] b_table_rd = (({1'd0, b_table_cur_rd_addr} == b_table_last_addr) ? b_table_last_data : b_table__rd_data);
+  assign output_valid = (v & (((((((_t0 & ~(|(_t1))) & ~(|(_t2))) & ~(|(_t3))) & ~(|(_t4))) & ~(|(_t5))) & (b_table_rd[7] == 1'd1)) & while_done));
+  assign output_token = r_position;
+  wire v_done = (v & (~(|(output_valid)) | output_ready));
+  wire [2:0] r_mode_n = (((_t0 & _t1) & while_done) ? 1'd1 : ((((_t0 & ~(|(_t1))) & _t2) & while_done) ? ((_t9 == 1'd0) ? 3'd5 : 2'd2) : (((((_t0 & ~(|(_t1))) & ~(|(_t2))) & _t3) & while_done) ? 2'd3 : ((((((_t0 & ~(|(_t1))) & ~(|(_t2))) & ~(|(_t3))) & _t4) & while_done) ? 3'd4 : (((((((_t0 & ~(|(_t1))) & ~(|(_t2))) & ~(|(_t3))) & ~(|(_t4))) & _t5) & while_done) ? (_t11 ? 3'd5 : 2'd2) : r_mode)))));
+  wire [15:0] r_entry_total_n = (((_t0 & _t1) & while_done) ? i : ((((_t0 & ~(|(_t1))) & _t2) & while_done) ? _t9 : r_entry_total));
+  wire [15:0] r_entry_count_n = (((((((_t0 & ~(|(_t1))) & ~(|(_t2))) & ~(|(_t3))) & ~(|(_t4))) & _t5) & while_done) ? _t12[15:0] : r_entry_count);
+  wire [15:0] r_entry_idx_n = (((((_t0 & ~(|(_t1))) & ~(|(_t2))) & _t3) & while_done) ? i : ((((((_t0 & ~(|(_t1))) & ~(|(_t2))) & ~(|(_t3))) & _t4) & while_done) ? {i, r_entry_idx[7:0]} : r_entry_idx));
+  wire [3:0] r_state_n = (((((((_t0 & ~(|(_t1))) & ~(|(_t2))) & ~(|(_t3))) & ~(|(_t4))) & ~(|(_t5))) & while_done) ? b_table_rd[3:0] : r_state);
+  wire [31:0] r_position_n = (((((((_t0 & ~(|(_t1))) & ~(|(_t2))) & ~(|(_t3))) & ~(|(_t4))) & ~(|(_t5))) & while_done) ? _t13[31:0] : r_position);
+  wire [2:0] r_mode_ne = (v_done ? r_mode_n : r_mode);
+  wire [15:0] r_entry_total_ne = (v_done ? r_entry_total_n : r_entry_total);
+  wire [15:0] r_entry_count_ne = (v_done ? r_entry_count_n : r_entry_count);
+  wire [15:0] r_entry_idx_ne = (v_done ? r_entry_idx_n : r_entry_idx);
+  wire [3:0] r_state_ne = (v_done ? r_state_n : r_state);
+  wire [31:0] r_position_ne = (v_done ? r_position_n : r_position);
+  wire sf_next = (f | (input_finished & ~(|(input_valid))));
+  wire while_done_n = 1'd1;
+  assign input_ready = (~(|(v)) | (while_done & (~(|(output_valid)) | output_ready)));
+  assign output_finished = (~(|(v)) & f);
+  wire issue_next = (v_done | input_ready);
+  reg [7:0] i = 8'd0;
+  reg v = 1'd0;
+  reg f = 1'd0;
+  reg [2:0] r_mode = 3'd0;
+  reg [15:0] r_entry_total = 16'd0;
+  reg [15:0] r_entry_count = 16'd0;
+  reg [15:0] r_entry_idx = 16'd0;
+  reg [3:0] r_state = 4'd0;
+  reg [31:0] r_position = 32'd0;
+  reg [12:0] b_table_last_addr = 13'd8191;
+  reg [7:0] b_table_last_data = 8'd0;
+  reg [7:0] b_table__mem [0:4095];
+  reg [7:0] b_table__rd_data = 8'd0;
+  always @(posedge clock) begin
+    if (input_ready) i <= input_token;
+    if (input_ready) v <= (input_valid | (~(|(f)) & input_finished));
+    if (input_ready) f <= (f | input_finished);
+    if (v_done) r_mode <= r_mode_n;
+    if (v_done) r_entry_total <= r_entry_total_n;
+    if (v_done) r_entry_count <= r_entry_count_n;
+    if (v_done) r_entry_idx <= r_entry_idx_n;
+    if (v_done) r_state <= r_state_n;
+    if (v_done) r_position <= r_position_n;
+    if (_t25) b_table_last_addr <= {1'd0, _t14};
+    if (_t25) b_table_last_data <= i;
+    b_table__rd_data <= b_table__mem[(issue_next ? (((((((~(|(sf_next)) & ~(|((r_mode_ne == 1'd0)))) & ~(|((r_mode_ne == 1'd1)))) & ~(|((r_mode_ne == 2'd2)))) & ~(|((r_mode_ne == 2'd3)))) & ~(|((r_mode_ne == 3'd4)))) & while_done_n) ? _t27 : _t27) : b_table_cur_rd_addr)];
+    if (_t25) b_table__mem[_t14] <= i;
+  end
+endmodule

@@ -1,0 +1,85 @@
+"""Golden Verilog snapshots for every application unit.
+
+Each app compiles (with small deterministic parameters, to keep the
+snapshots reviewable) to a checked-in ``.v`` file under
+``tests/rtl/goldens/``. Any change to the compiler or emitter that
+alters the generated text for any app fails here, making RTL churn
+visible in review.
+
+To regenerate after an *intentional* compiler/emitter change::
+
+    PYTHONPATH=src python -m pytest tests/rtl/test_goldens.py \
+        --update-goldens
+
+then review the golden diffs like any other source change (see
+``docs/testing.md``).
+"""
+
+import os
+
+import pytest
+
+from repro.apps import (
+    block_frequencies_unit,
+    bloom_filter_unit,
+    csv_extract_unit,
+    decision_tree_unit,
+    identity_unit,
+    int_coding_unit,
+    json_field_unit,
+    regex_match_unit,
+    sink_unit,
+    smith_waterman_unit,
+    string_search_unit,
+)
+from repro.compiler import compile_unit
+from repro.rtl import emit_verilog
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+# Reduced parameters: deterministic, and small enough that a golden diff
+# is reviewable by eye.
+APP_UNITS = [
+    ("identity", identity_unit),
+    ("sink", sink_unit),
+    ("block_frequencies", block_frequencies_unit),
+    ("csv_extract", csv_extract_unit),
+    ("int_coding", int_coding_unit),
+    ("bloom_filter", lambda: bloom_filter_unit(
+        block_size=16, num_hashes=4, section_bits=256)),
+    ("decision_tree", lambda: decision_tree_unit(
+        max_features=8, max_trees=4, max_nodes=64)),
+    ("json_field", lambda: json_field_unit(max_states=8, max_depth=8)),
+    ("regex_match", lambda: regex_match_unit("a(b|c)+d")),
+    ("smith_waterman", lambda: smith_waterman_unit(target_length=4)),
+    ("string_search", lambda: string_search_unit(max_states=16)),
+]
+
+
+@pytest.mark.parametrize("name,factory", APP_UNITS,
+                         ids=[n for n, _ in APP_UNITS])
+def test_golden_verilog(name, factory, update_goldens):
+    text = emit_verilog(compile_unit(factory()))
+    path = os.path.join(GOLDEN_DIR, f"{name}.v")
+    if update_goldens:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        pytest.skip(f"golden rewritten: {path}")
+    assert os.path.exists(path), (
+        f"missing golden {path}; run pytest with --update-goldens"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        golden = handle.read()
+    assert text == golden, (
+        f"emitted Verilog for {name!r} differs from its golden snapshot; "
+        "if the change is intentional, regenerate with --update-goldens "
+        "and review the diff"
+    )
+
+
+def test_goldens_directory_has_no_strays():
+    expected = {f"{name}.v" for name, _ in APP_UNITS}
+    actual = {
+        name for name in os.listdir(GOLDEN_DIR) if name.endswith(".v")
+    }
+    assert actual == expected

@@ -1,0 +1,80 @@
+"""The differential runner: agreement on a small budget, and detection
+of deliberately wrong models via source-transform fault injection."""
+
+import pytest
+
+from repro.testing import differential
+from repro.testing.engine import ConformanceEngine
+
+IDENTITY = {
+    "name": "ident", "input_width": 8, "output_width": 8,
+    "regs": [], "vregs": [], "brams": [],
+    "body": [["emit", ["input"]]],
+}
+
+
+def test_check_program_returns_oracle_outputs():
+    # The unconditional emit also fires on the stream_finished cleanup
+    # cycle, where the input token reads as zero in every model.
+    outputs = differential.check_program(
+        IDENTITY, [[1, 2, 3], []], rtl=True, verilog=True
+    )
+    assert outputs == [[1, 2, 3, 0], [0]]
+
+
+def test_small_fuzz_budget_all_models_agree():
+    """Tier-1 smoke fuzz: a slice of the nightly run, full model set."""
+    report = ConformanceEngine(seed="pytest", max_programs=40).run()
+    assert report.ok, report.summary()
+    assert report.programs == 40
+
+
+def test_injected_compiled_bug_is_detected():
+    # The compiled engine renders subtraction as "(lhs - rhs) & mask";
+    # turning the subtraction into addition is an arithmetic miscompile
+    # the differential runner must catch.
+    spec = {
+        "name": "sub", "input_width": 8, "output_width": 8,
+        "regs": [], "vregs": [], "brams": [],
+        "body": [["emit", ["bin", "sub", ["const", 10, 4], ["input"]]]],
+    }
+    with pytest.raises(differential.Mismatch) as info:
+        differential.check_program(
+            spec, [[3]], rtl=False, verilog=False,
+            source_transform=lambda src: src.replace(" - ", " + "),
+        )
+    assert info.value.stage == "compiled"
+
+
+def test_mismatch_reports_state_divergence():
+    # Same outputs, different final register state must still fail.
+    spec = {
+        "name": "state", "input_width": 8, "output_width": 8,
+        "regs": [["r", 8, 0]], "vregs": [], "brams": [],
+        "body": [
+            ["set", "r", ["bin", "sub", ["reg", "r"], ["input"]]],
+            ["emit", ["input"]],
+        ],
+    }
+    with pytest.raises(differential.Mismatch) as info:
+        differential.check_program(
+            spec, [[1]], rtl=False, verilog=False,
+            source_transform=lambda src: src.replace(" - ", " + "),
+        )
+    assert "register state" in info.value.detail
+
+
+def test_rtl_model_runs_under_stalls():
+    # Index 1 and 2 pick stalled handshake patterns from the rotation.
+    spec = {
+        "name": "acc", "input_width": 8, "output_width": 10,
+        "regs": [["acc", 10, 0]], "vregs": [], "brams": [],
+        "body": [
+            ["set", "acc", ["bin", "add", ["reg", "acc"], ["input"]]],
+            ["emit", ["reg", "acc"]],
+        ],
+    }
+    streams = [[1, 2, 3], [4, 5], [6]]
+    outputs = differential.check_program(spec, streams, rtl=True,
+                                         verilog=False)
+    assert len(outputs) == 3

@@ -1,0 +1,110 @@
+"""The serializable spec layer: building, width inference, walkers."""
+
+import pytest
+
+from repro.interp.simulator import UnitSimulator
+from repro.lang.errors import FleetSyntaxError
+from repro.testing import spec as spec_mod
+
+ADDER = {
+    "name": "adder",
+    "input_width": 8,
+    "output_width": 9,
+    "regs": [["acc", 9, 0]],
+    "vregs": [],
+    "brams": [],
+    "body": [
+        ["set", "acc", ["bin", "add", ["input"], ["const", 1, 1]]],
+        ["emit", ["reg", "acc"]],
+    ],
+}
+
+
+def test_build_and_run():
+    unit = spec_mod.build_unit(ADDER)
+    assert unit.input_width == 8
+    assert unit.output_width == 9
+    outputs = UnitSimulator(unit, engine="interp").run([5, 10])
+    assert outputs == [0, 6, 11]
+
+
+def test_build_control_structure():
+    spec = {
+        "name": "ctl", "input_width": 4, "output_width": 4,
+        "regs": [["lc", 3, 0]], "vregs": [], "brams": [],
+        "body": [
+            ["while", ["bin", "lt", ["reg", "lc"], ["const", 2, 2]], [
+                ["set", "lc",
+                 ["bin", "add", ["reg", "lc"], ["const", 1, 1]]],
+                ["emit", ["reg", "lc"]],
+            ]],
+            ["if", [
+                [["sf"], [["set", "lc", ["const", 0, 1]]]],
+                [None, [["set", "lc", ["const", 0, 1]]]],
+            ]],
+        ],
+    }
+    outputs = UnitSimulator(spec_mod.build_unit(spec),
+                            engine="interp").run([0, 0])
+    assert outputs == [0, 1, 0, 1, 0, 1]
+
+
+def test_unknown_tags_rejected():
+    with pytest.raises(FleetSyntaxError):
+        spec_mod.build_unit({**ADDER, "body": [["frob", 1]]})
+    with pytest.raises(FleetSyntaxError):
+        spec_mod.build_unit({**ADDER, "body": [["emit", ["nope"]]]})
+
+
+def test_if_spec_requires_leading_condition():
+    with pytest.raises(FleetSyntaxError):
+        spec_mod.build_unit(
+            {**ADDER, "body": [["if", [[None, [["emit", ["input"]]]]]]]}
+        )
+
+
+def test_expr_width_matches_ast():
+    spec = {
+        "name": "w", "input_width": 8, "output_width": 8,
+        "regs": [["r", 12, 0]], "vregs": [], "brams": [],
+        "body": [],
+    }
+    cases = [
+        (["const", 3, 2], 2),
+        (["input"], 8),
+        (["sf"], 1),
+        (["reg", "r"], 12),
+        (["bin", "add", ["input"], ["reg", "r"]], 13),
+        (["bin", "mul", ["input"], ["reg", "r"]], 20),
+        (["bin", "eq", ["input"], ["input"]], 1),
+        (["mux", ["sf"], ["input"], ["reg", "r"]], 12),
+        (["slice", 6, 2, ["input"]], 5),
+        (["cat", [["input"], ["sf"], ["reg", "r"]]], 21),
+        (["un", "orr", ["reg", "r"]], 1),
+        (["un", "not", ["reg", "r"]], 12),
+    ]
+    for expr, want in cases:
+        assert spec_mod.expr_width(expr, spec) == want, expr
+
+
+def test_walkers_and_counts():
+    spec = {
+        "name": "walk", "input_width": 4, "output_width": 4,
+        "regs": [["lc", 3, 0], ["dead", 2, 0]], "vregs": [],
+        "brams": [["m", 4, 4]],
+        "body": [
+            ["while", ["bin", "lt", ["reg", "lc"], ["const", 1, 1]], [
+                ["set", "lc",
+                 ["bin", "add", ["reg", "lc"], ["const", 1, 1]]],
+                ["bw", "m", ["const", 0, 2], ["input"]],
+            ]],
+            ["emit", ["bram", "m", ["const", 0, 2]]],
+        ],
+    }
+    assert spec_mod.count_statements(spec) == 4
+    assert spec_mod.used_names(spec) == {"lc", "m"}
+    tags = spec_mod.features(spec)
+    assert "while" in tags
+    assert "bram-write" in tags
+    assert "bram-read" in tags
+    assert "multi-emit" not in tags

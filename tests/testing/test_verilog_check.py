@@ -1,0 +1,62 @@
+"""The structural Verilog checker: accepts real emissions, rejects the
+bug classes it exists to catch."""
+
+import pytest
+
+from repro.apps import block_frequencies_unit, identity_unit
+from repro.compiler import compile_unit
+from repro.rtl import emit_verilog
+from repro.testing import verilog_check
+
+
+def _good_text():
+    return emit_verilog(compile_unit(identity_unit()))
+
+
+def test_accepts_real_units():
+    for factory in (identity_unit, block_frequencies_unit):
+        program = factory()
+        text = verilog_check.check_program(program)
+        assert text.startswith("module fleet_")
+
+
+def test_port_widths_cross_checked():
+    program = identity_unit()
+    text = emit_verilog(compile_unit(program))
+    verilog_check.check_text(text, input_width=8, output_width=8)
+    with pytest.raises(verilog_check.VerilogCheckError,
+                       match="input_token"):
+        verilog_check.check_text(text, input_width=16)
+
+
+def test_rejects_undeclared_identifier():
+    text = _good_text().replace("output_token = i", "output_token = phantom")
+    with pytest.raises(verilog_check.VerilogCheckError, match="phantom"):
+        verilog_check.check_text(text)
+
+
+def test_rejects_overflowing_literal():
+    text = _good_text().replace("1'd1", "1'd2", 1)
+    with pytest.raises(verilog_check.VerilogCheckError,
+                       match="does not fit"):
+        verilog_check.check_text(text)
+
+
+def test_rejects_unbalanced_blocks():
+    text = _good_text().replace("always @(posedge clock) begin",
+                                "always @(posedge clock) begin\n  begin")
+    with pytest.raises(verilog_check.VerilogCheckError,
+                       match="unbalanced"):
+        verilog_check.check_text(text)
+
+
+def test_rejects_missing_ports():
+    text = _good_text().replace("  input input_finished,\n", "")
+    with pytest.raises(verilog_check.VerilogCheckError,
+                       match="port list"):
+        verilog_check.check_text(text)
+
+
+def test_rejects_truncated_module():
+    with pytest.raises(verilog_check.VerilogCheckError):
+        verilog_check.check_text("module m (\n  input clock\n);")
