@@ -9,6 +9,7 @@ from .harness import (
 )
 from .loc import count_source_lines, figure8_rows
 from .perf_regression import run_obs_overhead, run_perf_regression
+from .serve_perf import format_serve_comparison, run_serve_comparison
 from .report import (
     PAPER_FIGURE7,
     PAPER_FIGURE8,
@@ -35,7 +36,9 @@ __all__ = [
     "format_figure9",
     "format_figure9_attribution",
     "format_perf",
+    "format_serve_comparison",
     "render_perf_json",
+    "run_serve_comparison",
     "run_figure7",
     "run_figure9",
     "run_obs_overhead",

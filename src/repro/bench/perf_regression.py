@@ -20,7 +20,10 @@ ratios — and is the number the CI smoke check watches.
 The results also carry an ``obs_overhead`` section
 (:func:`run_obs_overhead`): the same memory simulation timed with
 observability (:mod:`repro.obs`) disabled and enabled, guarding that the
-disabled path never inherits instrumentation cost.
+disabled path never inherits instrumentation cost — and a ``serve``
+section (:func:`repro.bench.serve_perf.run_serve_comparison`): the
+serving scheduler's FIFO-vs-skew-packing and 1-vs-2-device makespans on
+a Zipf stream-length workload, with their CI speedup floors.
 """
 
 import time
@@ -29,6 +32,7 @@ from ..interp import make_simulator
 from ..memory import MemoryConfig, SinkPu, simulate_channels
 from ..obs import Observation
 from .catalog import catalog
+from .serve_perf import run_serve_comparison
 
 #: Unit-simulation cases: (catalog key, stream-pair sizes, repetitions).
 UNIT_CASES = [
@@ -156,4 +160,5 @@ def run_perf_regression(quick=False):
             "all_match": all(b["match"] for b in benchmarks),
         },
         "obs_overhead": run_obs_overhead(quick),
+        "serve": run_serve_comparison(quick),
     }

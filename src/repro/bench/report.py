@@ -139,6 +139,14 @@ def format_perf(results):
             f"{overhead['overhead_ratio']:>8.2f}x"
             f"{'yes' if overhead['disabled_faster'] else 'NO':>7}"
         )
+    serve = results.get("serve")
+    if serve:
+        # Serving-scheduler makespans are virtual cycles, not seconds;
+        # "exact" here means both speedup floors held.
+        from .serve_perf import format_serve_comparison
+
+        lines.append("")
+        lines.append(format_serve_comparison(serve))
     return "\n".join(lines)
 
 

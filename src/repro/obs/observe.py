@@ -21,6 +21,7 @@ closed-form equivalent for skipped windows — the differential tests
 assert bit-identity.
 """
 
+import threading
 from collections import deque
 
 from .attribution import ChannelAttribution
@@ -232,21 +233,35 @@ class Observation:
     ``run_full_system`` / ``evaluate_fleet_app``; inspect
     :attr:`channels`, :meth:`report`, :meth:`summary`, and (with
     ``trace=True``) :meth:`write_trace` afterwards.
+
+    There is no module-level observability state anywhere in
+    :mod:`repro.obs` — every collector hangs off an ``Observation``
+    instance, so concurrent device/channel runs (the multi-device
+    serving runtime, parallel test shards) cannot bleed counters into
+    each other as long as each simulation gets its own scope. Channel
+    *registration* on a shared instance is additionally thread-safe:
+    scope creation is serialized so each concurrent channel gets a
+    distinct index. The per-cycle recording hooks inside one scope stay
+    lock-free (they are single-simulation hot paths); give each
+    concurrently simulated device its own scope, the way
+    :mod:`repro.serve` keeps one collector per device shard.
     """
 
     def __init__(self, *, trace=False):
         self.tracer = TraceRecorder() if trace else None
         self.channels = []
         self.frequency_hz = None
+        self._register_lock = threading.Lock()
 
     def channel(self, config, n_pus):
-        """Attach (and return) a new per-channel scope."""
-        if self.frequency_hz is None:
-            self.frequency_hz = config.frequency_hz
-        scope = ChannelObservation(
-            len(self.channels), config, n_pus, tracer=self.tracer
-        )
-        self.channels.append(scope)
+        """Attach (and return) a new per-channel scope (thread-safe)."""
+        with self._register_lock:
+            if self.frequency_hz is None:
+                self.frequency_hz = config.frequency_hz
+            scope = ChannelObservation(
+                len(self.channels), config, n_pus, tracer=self.tracer
+            )
+            self.channels.append(scope)
         return scope
 
     def report(self):

@@ -12,8 +12,13 @@ runs the observability overhead guard (instrumentation must be pay-for-
 what-you-use: the obs-disabled simulation must be measurably faster than
 the instrumented one) — the CI smoke step runs this mode.
 
+``--serve PATH`` renders a *serving* run report instead (the JSON
+written by ``python -m repro.serve --json PATH``): per-job latency
+percentiles, queue wait vs device time, and per-tenant share. Pass
+``--serve demo`` to run the deterministic demo workload inline.
+
 See ``docs/observability.md`` for the counter taxonomy and how to read
-the breakdown.
+the breakdown, and ``docs/serving.md`` for the serve report.
 """
 
 import argparse
@@ -125,6 +130,25 @@ def _selftest(args):
     return report
 
 
+def _serve_section(source):
+    """Render the ``--serve`` section: a serve run report loaded from
+    JSON (or produced inline by the demo workload when ``source`` is
+    ``"demo"``)."""
+    from .serve import format_serve_report, validate_serve_report
+
+    if source == "demo":
+        from .serve.__main__ import run_demo
+
+        report, server = run_demo()
+        server.stop()
+    else:
+        with open(source) as fh:
+            report = json.load(fh)
+    validate_serve_report(report)
+    print(format_serve_report(report))
+    return report
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.report",
@@ -148,8 +172,15 @@ def main(argv=None):
     parser.add_argument("--selftest", action="store_true",
                         help="validate report/trace invariants and the "
                              "zero-overhead-when-disabled guard (CI)")
+    parser.add_argument("--serve", metavar="PATH",
+                        help="render a serve run report (JSON from "
+                             "python -m repro.serve --json; 'demo' "
+                             "runs the demo workload inline)")
     args = parser.parse_args(argv)
 
+    if args.serve:
+        _serve_section(args.serve)
+        return 0
     if args.selftest:
         _selftest(args)
         return 0

@@ -1,0 +1,180 @@
+"""``python -m repro.serve`` — run a deterministic demo workload through
+the serving runtime and print its utilization/latency report.
+
+::
+
+    PYTHONPATH=src python -m repro.serve --devices 2 --packer skew \\
+        --jobs 24 --seed 1234 --json report.json --trace trace.json
+
+``--selftest`` runs the CI contract: the demo workload twice (asserting
+byte-identical reports — the determinism guarantee), report invariants,
+both packers (skew must not lose to FIFO on the skewed demo), and the
+serving edge cases (empty job, overload shedding, cancellation,
+unknown app).
+"""
+
+import argparse
+import json
+import sys
+
+from .errors import ServerOverloaded, UnknownApp
+from .report import format_serve_report, validate_serve_report
+from .server import FleetServer, ServeConfig
+from .workload import demo_jobs, demo_weights
+
+
+def run_demo(*, devices=2, pu_slots=8, packer="skew", jobs=24, seed=1234,
+             window_streams=32, memory_sim=False, app="identity",
+             hi=3000):
+    """One deterministic demo serve run; returns (report, server)."""
+    config = ServeConfig(
+        devices=devices, pu_slots=pu_slots, packer=packer,
+        window_streams=window_streams, tenant_weights=demo_weights(),
+        memory_sim=memory_sim,
+    )
+    server = FleetServer(config=config)
+    server.start()
+    futures = [
+        server.submit(job_app, streams, tenant=tenant)
+        for job_app, tenant, streams in demo_jobs(
+            seed, jobs=jobs, app=app, hi=hi
+        )
+    ]
+    server.drain()
+    for future in futures:
+        future.result(timeout=60)
+    report = server.report()
+    return report, server
+
+
+def _report_json(report):
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def _selftest(args):
+    # 1. Determinism: two identical runs must render byte-identically.
+    first, server = run_demo(
+        devices=args.devices, pu_slots=args.slots, packer=args.packer,
+        jobs=args.jobs, seed=args.seed,
+    )
+    server.stop()
+    second, server2 = run_demo(
+        devices=args.devices, pu_slots=args.slots, packer=args.packer,
+        jobs=args.jobs, seed=args.seed,
+    )
+    server2.stop()
+    assert _report_json(first) == _report_json(second), (
+        "two serve runs of the same seeded workload diverged — the "
+        "determinism contract is broken"
+    )
+    validate_serve_report(first)
+    print(f"selftest: determinism + report invariants OK "
+          f"({first['totals']['jobs']} jobs, "
+          f"{first['totals']['batches']} batches, "
+          f"makespan {first['totals']['makespan']})")
+
+    # 2. Packing: on the skewed demo the LPT packer must not lose to
+    # the naive FIFO baseline.
+    fifo, server3 = run_demo(
+        devices=1, pu_slots=args.slots, packer="fifo",
+        jobs=args.jobs, seed=args.seed,
+    )
+    server3.stop()
+    skew, server4 = run_demo(
+        devices=1, pu_slots=args.slots, packer="skew",
+        jobs=args.jobs, seed=args.seed,
+    )
+    server4.stop()
+    assert skew["totals"]["makespan"] <= fifo["totals"]["makespan"], (
+        "skew-aware packing lost to FIFO on the skewed demo workload"
+    )
+    print(f"selftest: packing OK (fifo {fifo['totals']['makespan']} -> "
+          f"skew {skew['totals']['makespan']} vcycles)")
+
+    # 3. Edge cases: empty job, overload shedding, cancellation,
+    # unknown app.
+    config = ServeConfig(
+        devices=1, pu_slots=4, window_streams=1_000_000,
+        max_pending_streams=4,
+    )
+    with FleetServer(config=config) as server5:
+        empty = server5.submit("identity", [])
+        assert empty.result(timeout=10).outputs == []
+        held = server5.submit("identity", [b"abcd"] * 4)
+        try:
+            server5.submit("identity", [b"x"])
+        except ServerOverloaded as error:
+            assert error.pending_streams == 4
+        else:
+            raise AssertionError("overload was not shed")
+        cancelled = held.cancel()
+        assert cancelled and held.cancelled()
+        try:
+            server5.submit("nope", [b"x"])
+        except UnknownApp:
+            pass
+        else:
+            raise AssertionError("unknown app was accepted")
+        server5.drain()
+        validate_serve_report(server5.report())
+    print("selftest: edge cases OK (empty job, load shed, cancel, "
+          "unknown app)")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a deterministic demo workload on simulated "
+                    "Fleet devices and print the run report.",
+    )
+    parser.add_argument("--devices", type=int, default=2)
+    parser.add_argument("--slots", type=int, default=8,
+                        help="PU slots per device")
+    parser.add_argument("--packer", choices=("skew", "fifo"),
+                        default="skew")
+    parser.add_argument("--jobs", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--app", choices=("identity", "sink"),
+                        default="identity")
+    parser.add_argument("--memory-sim", action="store_true",
+                        help="run batches through the cycle-level "
+                             "memory system (real per-batch cycle "
+                             "attribution; slower)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the serve report JSON ('-' for "
+                             "stdout); render later with "
+                             "python -m repro.report --serve PATH")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Perfetto-loadable Chrome trace")
+    parser.add_argument("--selftest", action="store_true",
+                        help="determinism + invariants + edge cases "
+                             "(CI)")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return _selftest(args)
+
+    report, server = run_demo(
+        devices=args.devices, pu_slots=args.slots, packer=args.packer,
+        jobs=args.jobs, seed=args.seed, memory_sim=args.memory_sim,
+        app=args.app,
+    )
+    print(format_serve_report(report))
+    if args.json:
+        if args.json == "-":
+            print(_report_json(report), end="")
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(_report_json(report))
+            print(f"\nwrote serve report JSON to {args.json}")
+    if args.trace:
+        server.write_trace(args.trace)
+        print(f"wrote Chrome trace to {args.trace} "
+              f"(open in https://ui.perfetto.dev)")
+    server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""The compiled-app cache: repeat jobs for the same unit skip
+recompilation.
+
+Building a unit's fast engine (:func:`repro.interp.fast_engine_for` —
+AST lowering, Python codegen, ``compile``/``exec``, prover queries) costs
+far more than simulating one short stream, so a server that recompiled
+per stream would spend its life in the compiler. The cache compiles each
+registered app **once** (per-key, under a lock, so two device workers
+racing on a cold key block rather than compiling twice) and hands out
+cheap per-stream simulator instances that share the compiled engine —
+:class:`~repro.interp.CompiledSimulator` accepts a prebuilt
+:class:`~repro.interp.CompiledUnit` exactly for this.
+
+Hit/miss totals are deterministic for a deterministic workload: misses
+equal the number of distinct apps compiled, hits are lookups minus
+misses, regardless of thread interleaving.
+"""
+
+import threading
+
+from ..interp import CompiledSimulator, UnitSimulator, fast_engine_for
+
+
+class ServedApp:
+    """One registered application: a unit factory plus the header the
+    runtime prepends to every stream (field tables, models, ...)."""
+
+    def __init__(self, name, unit_factory, *, header=b""):
+        self.name = name
+        self.unit_factory = unit_factory
+        self.header = bytes(header)
+
+    def __repr__(self):
+        return f"ServedApp({self.name!r}, header={len(self.header)}B)"
+
+
+class _Entry:
+    """One compiled app: the checked program, its shared fast engine
+    (or None when only the interpreter applies), and cached
+    calibration/slot data filled in lazily by the cost model/server."""
+
+    __slots__ = ("app", "program", "fast_unit", "engine", "cost_coeffs",
+                 "pu_slots", "lock")
+
+    def __init__(self, app):
+        self.app = app
+        self.program = app.unit_factory()
+        self.fast_unit = fast_engine_for(self.program)
+        self.engine = "compiled" if self.fast_unit is not None else "interp"
+        self.cost_coeffs = None  # (per_token, fixed) — see cost.py
+        self.pu_slots = None  # area-model slot count, filled by the server
+        self.lock = threading.Lock()
+
+
+class CompiledAppCache:
+    """Thread-safe name -> compiled app cache with hit/miss stats."""
+
+    def __init__(self, apps):
+        self._apps = dict(apps)
+        self._entries = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def __contains__(self, name):
+        return name in self._apps
+
+    def app(self, name):
+        return self._apps[name]
+
+    def app_names(self):
+        return sorted(self._apps)
+
+    def entry(self, name):
+        """The cached entry for ``name``, compiling on first use."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None:
+                self._hits += 1
+                return entry
+            self._misses += 1
+            # Compile under the cache lock: a second worker racing on the
+            # same cold key must wait for the one compilation, not start
+            # its own. Compilation is fast relative to a serve batch and
+            # only happens once per app.
+            entry = self._entries[name] = _Entry(self._apps[name])
+            return entry
+
+    def simulator(self, name):
+        """A fresh per-stream simulator sharing the cached engine."""
+        entry = self.entry(name)
+        if entry.fast_unit is not None:
+            return CompiledSimulator(entry.program, unit=entry.fast_unit)
+        return UnitSimulator(entry.program)
+
+    def stats(self):
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "compiled": sorted(
+                    name for name, e in self._entries.items()
+                    if e.fast_unit is not None
+                ),
+                "interpreted": sorted(
+                    name for name, e in self._entries.items()
+                    if e.fast_unit is None
+                ),
+            }

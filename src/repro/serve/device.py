@@ -1,0 +1,161 @@
+"""Device workers: one thread per simulated Fleet device.
+
+Each worker owns an independent device instance and drains its own batch
+queue — the multi-device shard layer is N of these side by side with no
+shared mutable simulation state (each batch gets fresh per-stream
+simulators from the compiled-app cache, and each worker keeps its own
+observability collectors, mirroring the one-collector-per-device rule in
+:mod:`repro.obs`).
+
+Two execution modes:
+
+* **functional** (default): every stream runs through the cached
+  compiled/interpreted unit simulator; the stream's measured virtual
+  cycles are its device occupancy (the compiler's one-virtual-cycle-per-
+  cycle guarantee), and the batch makespan is the longest stream's.
+* **memory_sim**: the batch additionally runs through the Section 5
+  cycle-level memory system (:func:`repro.system.run_full_system`) with
+  a per-batch :class:`repro.obs.Observation`, so the batch report
+  carries real cycle attribution (refresh, bus turnaround, PU
+  backpressure, ...) and the makespan is the memory system's cycle
+  count.
+
+Cancellation is cooperative: the worker re-checks ``job.cancelled``
+before each stream, so a mid-batch cancel skips the job's remaining
+streams but never tears down another job's work.
+
+The worker's measured clock (cumulative batch makespans) is virtual —
+wall-clock never enters scheduling or reports.
+"""
+
+import threading
+
+from ..obs.observe import PuStats
+from ..system.runtime import FleetRuntime
+from .job import PENDING, RUNNING
+
+
+class DeviceWorker:
+    """One simulated device: a batch queue plus the thread draining it."""
+
+    def __init__(self, index, server):
+        self.index = index
+        self.server = server
+        self.queue = []
+        self.executed = []  # batches, in execution order
+        self.clock = 0  # measured virtual cycles
+        self.scheduled_load = 0.0  # predicted, charged at placement
+        self.batches_run = 0
+        self._cond = threading.Condition()
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._loop, name=f"fleet-serve-device-{index}",
+            daemon=True,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self):
+        self._thread.start()
+
+    def stop(self):
+        with self._cond:
+            self._stop = True
+            self._cond.notify()
+        self._thread.join()
+
+    def enqueue(self, batch):
+        with self._cond:
+            self.queue.append(batch)
+            self._cond.notify()
+
+    def _loop(self):
+        while True:
+            with self._cond:
+                while not self.queue and not self._stop:
+                    self._cond.wait()
+                if not self.queue and self._stop:
+                    return
+                batch = self.queue.pop(0)
+            try:
+                self.execute(batch)
+            except Exception as error:  # fail the batch's jobs, keep going
+                for entry in batch.entries:
+                    entry.job.fail(error)
+                self.server._batch_done(batch)
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, batch):
+        server = self.server
+        app = server.cache.app(batch.app)
+        entry_obj = server.cache.entry(batch.app)
+        runtime = FleetRuntime(
+            entry_obj.program, header=app.header,
+            simulator_factory=lambda: server.cache.simulator(batch.app),
+        )
+        for entry in batch.entries:
+            job = entry.job
+            if job.cancelled:  # cooperative mid-batch cancellation
+                entry.skipped = True
+                job.stream_skipped(entry.stream_index)
+                continue
+            if job.status == PENDING:
+                job.status = RUNNING
+            (outputs, vcycles), = runtime.run_traced([entry.stream])
+            entry.outputs = outputs
+            entry.vcycles = vcycles
+            if job.stream_done(entry.stream_index, outputs, vcycles):
+                server._job_done(job)
+        batch.makespan = max(
+            (e.vcycles for e in batch.entries), default=0
+        )
+        if server.config.memory_sim and not all(
+            e.skipped for e in batch.entries
+        ):
+            self._attribute_memory(batch, app)
+        batch.pu_stats = self._slot_stats(batch)
+        self.clock += batch.makespan
+        self.batches_run += 1
+        self.executed.append(batch)
+        server._batch_done(batch)
+
+    def _slot_stats(self, batch):
+        """Per-slot accounting in the observability layer's own
+        :class:`~repro.obs.observe.PuStats` vocabulary: ``busy_cycles``
+        is the slot's stream occupancy, ``starved_cycles`` the tail it
+        idles waiting for the batch's longest stream."""
+        stats = []
+        for entry in batch.entries:
+            pu = PuStats()
+            pu.bytes_in = len(entry.stream)
+            pu.bytes_out = len(entry.outputs or [])
+            pu.bursts = 0 if entry.skipped else 1
+            pu.busy_cycles = entry.vcycles
+            pu.starved_cycles = batch.makespan - entry.vcycles
+            stats.append(pu)
+        return stats
+
+    def _attribute_memory(self, batch, app):
+        """Re-run the batch through the cycle-level memory system with a
+        fresh per-batch observation; attach its aggregate attribution and
+        replace the makespan with the memory system's cycle count (the
+        batch's real device occupancy once DRAM timing, bus turnaround,
+        and controller contention are modeled)."""
+        from ..obs import Observation
+        from ..system import run_full_system
+
+        live = [e for e in batch.entries if not e.skipped]
+        obs = Observation()
+        result = run_full_system(
+            app.unit_factory(), [bytes(e.stream) for e in live],
+            header=app.header, obs=obs,
+        )
+        # Differential guard: the memory-system path must reproduce the
+        # functional outputs bit-exactly.
+        for entry, outputs in zip(live, result.outputs):
+            if outputs != entry.outputs:
+                raise AssertionError(
+                    f"memory-system outputs diverged for job "
+                    f"{entry.job.job_id} stream {entry.stream_index}"
+                )
+        batch.attribution = obs.report()["aggregate"]["attribution"]
+        batch.makespan = result.cycles

@@ -1,0 +1,313 @@
+"""`FleetServer` — the multi-device, batched, asynchronous serving
+runtime.
+
+Lifecycle of a job::
+
+    server = FleetServer(config=ServeConfig(devices=2, pu_slots=8))
+    server.start()
+    future = server.submit("identity", streams, tenant="gold")
+    ...
+    result = future.result()          # or: await future.result_async()
+    server.drain()
+    report = server.report()
+    server.stop()
+
+**Windows.** Submission appends the job to the current *window*; when
+the window reaches ``window_streams`` streams (a count trigger, fired on
+the submitting thread) or :meth:`flush`/:meth:`drain` is called, the
+window is scheduled: jobs are ordered by per-tenant weighted-fair
+queuing, their streams grouped by app, packed into device batches by the
+configured packer, and each batch placed on the least-loaded device
+shard. Count triggers — never timers — decide window boundaries, so
+batch composition is a pure function of the submission sequence.
+
+**Determinism.** Everything the report contains is derived from
+(submission sequence, config, measured virtual cycles); device worker
+threads only *discover* values that are already determined. Two runs of
+the same workload produce byte-identical reports — `python -m
+repro.serve --selftest` asserts exactly this.
+"""
+
+import threading
+
+from .cache import CompiledAppCache, ServedApp
+from .cost import CostModel
+from .errors import ServeError, ServerClosed, ServerOverloaded, UnknownApp
+from .device import DeviceWorker
+from .job import DONE, Job, JobResult
+from .packing import Batch, BatchEntry, make_packer
+from .scheduler import WeightedFairQueue, place_batch
+
+
+def default_apps():
+    """The apps a bare server registers: the paper's identity unit and
+    the token-dropping sink."""
+    from ..apps import identity_unit, sink_unit
+
+    return {
+        "identity": ServedApp("identity", identity_unit),
+        "sink": ServedApp("sink", sink_unit),
+    }
+
+
+class ServeConfig:
+    """Serving-runtime knobs (see ``docs/serving.md``)."""
+
+    def __init__(self, *, devices=2, pu_slots=8, packer="skew",
+                 window_streams=64, max_pending_streams=4096,
+                 tenant_weights=None, default_weight=1.0,
+                 arrival_spacing=0.0, memory_sim=False, slot_cap=64):
+        #: number of independent device shards
+        self.devices = devices
+        #: PU slots per device; ``None`` sizes each app's batches from
+        #: the area model (:func:`repro.system.serving_pu_slots`)
+        self.pu_slots = pu_slots
+        #: ``"skew"`` (LPT) or ``"fifo"`` (naive baseline)
+        self.packer = packer
+        #: streams per scheduling window (count trigger)
+        self.window_streams = window_streams
+        #: admission-control bound on unscheduled streams
+        self.max_pending_streams = max_pending_streams
+        #: tenant -> WFQ weight (missing tenants get ``default_weight``)
+        self.tenant_weights = dict(tenant_weights or {})
+        self.default_weight = default_weight
+        #: virtual cycles between consecutive job arrivals (0 = batch
+        #: workload, everything arrives at vtime 0)
+        self.arrival_spacing = arrival_spacing
+        #: run every batch through the cycle-level memory system for
+        #: real per-batch cycle attribution (slower)
+        self.memory_sim = memory_sim
+        #: cap on area-model slot counts (keeps pure-Python batches sane)
+        self.slot_cap = slot_cap
+
+    def as_dict(self):
+        return {
+            "devices": self.devices,
+            "pu_slots": self.pu_slots,
+            "packer": self.packer,
+            "window_streams": self.window_streams,
+            "max_pending_streams": self.max_pending_streams,
+            "tenant_weights": dict(sorted(self.tenant_weights.items())),
+            "default_weight": self.default_weight,
+            "arrival_spacing": self.arrival_spacing,
+            "memory_sim": self.memory_sim,
+        }
+
+
+class FleetServer:
+    """See the module docstring."""
+
+    def __init__(self, apps=None, config=None):
+        self.config = config or ServeConfig()
+        self.cache = CompiledAppCache(apps or default_apps())
+        self.cost_model = CostModel(self.cache)
+        self.packer = make_packer(self.config.packer)
+        self.wfq = WeightedFairQueue(
+            self.config.tenant_weights, self.config.default_weight
+        )
+        self.devices = [
+            DeviceWorker(i, self) for i in range(self.config.devices)
+        ]
+        self._lock = threading.Lock()
+        self._done_cond = threading.Condition(self._lock)
+        self._jobs = []  # every admitted job, submission order
+        self._window = []  # jobs awaiting scheduling
+        self._pending_streams = 0
+        self._batches = []  # every batch, scheduling order
+        self._dispatched = 0
+        self._completed = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self):
+        if not self._started:
+            self._started = True
+            for device in self.devices:
+                device.start()
+        return self
+
+    def stop(self):
+        """Drain outstanding work, then stop the device threads."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self.drain()
+        self._closed = True
+        for device in self.devices:
+            device.stop()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, app, streams, *, tenant="default"):
+        """Submit one job; returns its :class:`~repro.serve.job.JobFuture`.
+
+        ``streams`` is a list of byte strings. Raises
+        :class:`~repro.serve.errors.UnknownApp`,
+        :class:`~repro.serve.errors.ServerOverloaded` (admission
+        control), or :class:`~repro.serve.errors.ServerClosed`.
+        """
+        if app not in self.cache:
+            raise UnknownApp(app, self.cache.app_names())
+        streams = [bytes(s) for s in streams]
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("server is stopped")
+            job_id = len(self._jobs)
+            if streams and (
+                self._pending_streams + len(streams)
+                > self.config.max_pending_streams
+            ):
+                raise ServerOverloaded(
+                    self._pending_streams,
+                    self.config.max_pending_streams, len(streams),
+                )
+            job = Job(
+                job_id, app, tenant, streams,
+                arrival_vtime=job_id * self.config.arrival_spacing,
+            )
+            self._jobs.append(job)
+            tenant_state = self.wfq.tenant(tenant)
+            tenant_state.jobs += 1
+            tenant_state.streams += len(streams)
+            if not streams:
+                # Empty job: nothing to schedule; complete immediately.
+                job.status = DONE
+                job.future._resolve(
+                    JobResult(job_id, [], self._job_fragment(job))
+                )
+                return job.future
+            self._window.append(job)
+            self._pending_streams += len(streams)
+            if self._pending_streams >= self.config.window_streams:
+                self._schedule_window_locked()
+        return job.future
+
+    def flush(self):
+        """Schedule the current (possibly partial) window now."""
+        with self._lock:
+            self._schedule_window_locked()
+
+    def drain(self):
+        """Flush, then block until every dispatched batch has executed."""
+        with self._lock:
+            self._schedule_window_locked()
+            while self._completed < self._dispatched:
+                self._done_cond.wait()
+
+    # -- scheduling (all under self._lock) -----------------------------------
+    def _slots_for(self, app_name):
+        if self.config.pu_slots is not None:
+            return self.config.pu_slots
+        entry = self.cache.entry(app_name)
+        with entry.lock:
+            if entry.pu_slots is None:
+                from ..system import serving_pu_slots
+
+                entry.pu_slots = serving_pu_slots(
+                    entry.program, cap=self.config.slot_cap
+                )
+        return entry.pu_slots
+
+    def _schedule_window_locked(self):
+        window, self._window = self._window, []
+        if not window:
+            return
+        live = []
+        for job in window:
+            if job.cancelled:
+                self._pending_streams -= len(job.streams)
+                job.finish_cancelled()
+            else:
+                live.append(job)
+        costs = {
+            job.job_id: [
+                self.cost_model.predict(job.app, stream)
+                for stream in job.streams
+            ]
+            for job in live
+        }
+        ordered = self.wfq.order(
+            live, lambda job: sum(costs[job.job_id])
+        )
+        # Streams grouped by app in WFQ order (a batch replicates one
+        # unit, so batches are per-app); apps scheduled in order of
+        # first appearance, which is itself deterministic.
+        by_app = {}
+        for job in ordered:
+            entries = by_app.setdefault(job.app, [])
+            for index, stream in enumerate(job.streams):
+                entries.append(BatchEntry(
+                    job, index, stream, costs[job.job_id][index]
+                ))
+        device_loads = [d.scheduled_load for d in self.devices]
+        for app_name, entries in by_app.items():
+            slots = self._slots_for(app_name)
+            for packed in self.packer.pack(entries, slots):
+                batch = Batch(
+                    len(self._batches), app_name, packed, slots=slots
+                )
+                self._batches.append(batch)
+                for entry in packed:
+                    entry.job.batch_ids.append(batch.batch_id)
+                index = place_batch(batch, device_loads)
+                self.devices[index].scheduled_load = device_loads[index]
+                self._pending_streams -= len(packed)
+                self._dispatched += 1
+                self.devices[index].enqueue(batch)
+
+    # -- device-worker callbacks ---------------------------------------------
+    def _batch_done(self, batch):
+        with self._lock:
+            self._completed += 1
+            self._done_cond.notify_all()
+
+    def _job_done(self, job):
+        job.future._resolve(
+            JobResult(job.job_id, job.outputs, self._job_fragment(job))
+        )
+
+    # -- reporting -----------------------------------------------------------
+    def _job_fragment(self, job):
+        return {
+            "job_id": job.job_id,
+            "app": job.app,
+            "tenant": job.tenant,
+            "status": job.status,
+            "streams": len(job.streams),
+            "stream_bytes": job.stream_bytes,
+            "device_vcycles": sum(job.vcycles),
+            "batches": sorted(set(job.batch_ids)),
+        }
+
+    def report(self):
+        """The deterministic serve run report (call after :meth:`drain`).
+
+        Plain JSON-serializable data; render with
+        :func:`repro.serve.report.format_serve_report` or
+        ``python -m repro.report --serve``.
+        """
+        from .report import build_serve_report
+
+        with self._lock:
+            if self._completed < self._dispatched or self._window:
+                raise ServeError(
+                    "report() requires a drained server — call drain() "
+                    "first"
+                )
+            return build_serve_report(self)
+
+    def write_trace(self, path):
+        """Write a Perfetto-loadable Chrome trace of the run: one
+        process per device shard, one thread per PU slot, one span per
+        stream. Built from the deterministic reconstruction (not from
+        worker threads), so the file is byte-stable. Returns ``path``."""
+        from .report import build_trace
+
+        return build_trace(self).write(path)

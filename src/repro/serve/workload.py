@@ -1,0 +1,55 @@
+"""Deterministic demo/benchmark workloads for the serving runtime.
+
+Real record-splitting workloads have heavily skewed stream lengths (a
+few huge records among many small ones), which is exactly the regime
+where naive batch-to-longest-stream scheduling wastes PU slots. The
+generator draws lengths from a bounded-Pareto (Zipf-tail) distribution
+with a seeded ``random.Random`` — every byte is a pure function of the
+seed, so serve runs over these workloads are replayable.
+"""
+
+import random
+
+
+def zipf_lengths(rnd, count, *, alpha=1.3, lo=16, hi=3000):
+    """``count`` stream lengths from a bounded Pareto(alpha) on
+    [lo, hi] — heavy-tailed but clamped so no single stream dominates a
+    whole device."""
+    lengths = []
+    for _ in range(count):
+        u = 1.0 - rnd.random()  # (0, 1]
+        length = int(lo / (u ** (1.0 / alpha)))
+        lengths.append(min(hi, max(lo, length)))
+    return lengths
+
+
+def make_streams(rnd, lengths):
+    return [
+        bytes(rnd.randrange(256) for _ in range(length))
+        for length in lengths
+    ]
+
+
+#: Demo tenants: (name, WFQ weight).
+DEMO_TENANTS = (("gold", 2.0), ("silver", 1.0), ("bronze", 1.0))
+
+
+def demo_jobs(seed, *, jobs=24, max_streams_per_job=6, app="identity",
+              alpha=1.3, lo=16, hi=3000):
+    """The deterministic demo workload: ``jobs`` jobs round-robined
+    across the demo tenants, each with 1..max_streams_per_job
+    Zipf-length streams. Returns ``[(app, tenant, streams), ...]``."""
+    rnd = random.Random(seed)
+    out = []
+    for index in range(jobs):
+        tenant = DEMO_TENANTS[index % len(DEMO_TENANTS)][0]
+        n_streams = 1 + rnd.randrange(max_streams_per_job)
+        streams = make_streams(
+            rnd, zipf_lengths(rnd, n_streams, alpha=alpha, lo=lo, hi=hi)
+        )
+        out.append((app, tenant, streams))
+    return out
+
+
+def demo_weights():
+    return dict(DEMO_TENANTS)

@@ -28,6 +28,7 @@ from .system_sim import (
     UnitProfile,
     evaluate_fleet_app,
     profile_unit,
+    serving_pu_slots,
 )
 
 __all__ = [
@@ -51,6 +52,7 @@ __all__ = [
     "profile_unit",
     "pu_overhead",
     "run_full_system",
+    "serving_pu_slots",
     "split_arbitrary",
     "split_on_newlines",
 ]

@@ -13,7 +13,7 @@ the paper's own split between its software simulator and its performance
 measurements.
 """
 
-from ..interp import UnitSimulator
+from ..interp import make_simulator
 from ..lang.errors import FleetSimulationError
 
 
@@ -71,13 +71,30 @@ def pack_streams(streams, alignment=64):
 class FleetRuntime:
     """Runs one replicated Fleet design over many streams."""
 
-    def __init__(self, unit, *, header=b""):
+    def __init__(self, unit, *, header=b"", engine="auto",
+                 simulator_factory=None):
         """``header`` is prepended to every stream — Fleet applications
         that configure themselves from the stream head (JSON field tables,
         decision-tree models, Smith-Waterman targets) need the same header
-        on every PU's stream."""
+        on every PU's stream.
+
+        ``engine`` selects the per-PU simulation engine (``"auto"``
+        picks the compiled-to-Python fast path when it is provably
+        exact; ``"interp"`` forces the interpreter oracle — see
+        :func:`repro.interp.make_simulator`). Callers that already hold
+        a compiled engine (the serving runtime's compiled-app cache)
+        pass ``simulator_factory``, a zero-arg callable returning a
+        fresh simulator, and skip per-stream engine selection entirely.
+        """
         self.unit = unit
         self.header = bytes(header)
+        self.engine = engine
+        self.simulator_factory = simulator_factory
+
+    def _simulator(self):
+        if self.simulator_factory is not None:
+            return self.simulator_factory()
+        return make_simulator(self.unit, engine=self.engine)
 
     def run(self, streams):
         """Process each stream on its own (simulated) processing unit.
@@ -85,14 +102,23 @@ class FleetRuntime:
         Returns the list of per-PU output token lists, in stream order —
         the contents of the per-PU output regions after the design drains.
         """
+        return [outputs for outputs, _ in self.run_traced(streams)]
+
+    def run_traced(self, streams):
+        """Like :meth:`run`, but returns ``(outputs, vcycles)`` per
+        stream, where ``vcycles`` is the stream's total virtual-cycle
+        count — its device occupancy in cycles under the compiler's
+        one-virtual-cycle-per-cycle guarantee. The serving runtime's
+        batch accounting is built on this."""
         if not streams:
             raise FleetSimulationError("no streams to process")
-        outputs = []
+        results = []
         for stream in streams:
-            sim = UnitSimulator(self.unit)
+            sim = self._simulator()
             tokens = list(self.header) + list(bytes(stream))
-            outputs.append(sim.run(tokens))
-        return outputs
+            outputs = sim.run(tokens)
+            results.append((outputs, sim.trace.total_vcycles))
+        return results
 
     def run_concatenated(self, streams):
         """Convenience: the outputs concatenated in stream order (how the

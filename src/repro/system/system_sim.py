@@ -39,6 +39,22 @@ class UnitProfile:
         )
 
 
+def serving_pu_slots(unit, *, device=AMAZON_F1, config=None, cap=64):
+    """How many PU slots one *serving* device exposes for ``unit``.
+
+    The area model says how many replicas fill the FPGA
+    (:func:`fit_processing_units`); the serving runtime
+    (:mod:`repro.serve`) sizes its batches from that count, capped by
+    default at 64 slots so pure-Python batch simulation stays tractable
+    (a real deployment would drop the cap and use the full replica
+    count)."""
+    config = config or MemoryConfig(frequency_hz=device.frequency_hz)
+    module = compile_unit(unit)
+    area = estimate_module(module)
+    slots = fit_processing_units(area, device, config)
+    return max(1, min(slots, cap) if cap else slots)
+
+
 def profile_unit(unit, stream):
     """Run the functional simulator over ``stream`` and summarize."""
     sim = UnitSimulator(unit)

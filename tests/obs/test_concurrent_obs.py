@@ -1,0 +1,86 @@
+"""Observability under concurrency: collectors are per-`Observation`
+instances with no shared module-level state, so independent simulations
+on parallel threads (the serving runtime's device shards) must attribute
+exactly as they do serially."""
+
+import json
+import threading
+
+from repro.apps import identity_unit, sink_unit
+from repro.obs import Observation, build_report, validate_report
+from repro.report import make_streams
+from repro.serve.__main__ import run_demo
+from repro.system import run_full_system
+
+#: (app factory, streams, channels) cases run both serially and racing.
+CASES = [
+    (identity_unit, make_streams(4, 1024, seed=11), 1),
+    (sink_unit, make_streams(4, 2048, seed=22), 2),
+    (identity_unit, make_streams(2, 512, seed=33), 1),
+    (sink_unit, make_streams(6, 768, seed=44), 2),
+]
+
+
+def _observed_report(unit_factory, streams, channels):
+    obs = Observation()
+    run_full_system(
+        unit_factory(), list(streams), channels=channels, obs=obs,
+    )
+    return validate_report(build_report(obs))
+
+
+def test_parallel_full_system_runs_attribute_like_serial_runs():
+    serial = [_observed_report(*case) for case in CASES]
+
+    results = [None] * len(CASES)
+    errors = []
+
+    def worker(index):
+        try:
+            results[index] = _observed_report(*CASES[index])
+        except Exception as error:  # surfaced after join
+            errors.append((index, error))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(len(CASES))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, f"concurrent observed runs failed: {errors}"
+    for index, (expected, racing) in enumerate(zip(serial, results)):
+        assert racing == expected, (
+            f"case {index}: attribution diverged under concurrency — "
+            f"obs collectors are sharing state across instances"
+        )
+
+
+def test_two_servers_in_parallel_threads_match_serial_reports():
+    # Two full serving runtimes (each with its own device workers and
+    # per-batch collectors) racing in one process: reports must be
+    # byte-identical to the same runs performed one at a time.
+    configs = [dict(jobs=6, seed=5, devices=2, window_streams=16),
+               dict(jobs=6, seed=9, devices=1, window_streams=8)]
+
+    def run(kwargs):
+        report, server = run_demo(**kwargs)
+        server.stop()
+        return json.dumps(report, sort_keys=True)
+
+    serial = [run(kwargs) for kwargs in configs]
+
+    results = [None, None]
+
+    def worker(index):
+        results[index] = run(configs[index])
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in (0, 1)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert results == serial

@@ -1,0 +1,196 @@
+"""Serving edge cases: empty jobs, batch-spanning jobs, cooperative
+cancellation, admission control, lifecycle errors, and the determinism
+contract."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    FleetServer,
+    JobCancelled,
+    ServeConfig,
+    ServerClosed,
+    ServerOverloaded,
+    UnknownApp,
+    validate_serve_report,
+)
+from repro.serve.__main__ import run_demo
+from repro.serve.job import CANCELLED, DONE
+
+
+def _streams(lengths):
+    return [bytes([0x61 + i % 5]) * length
+            for i, length in enumerate(lengths)]
+
+
+# ---------------------------------------------------------------------------
+# Degenerate jobs
+# ---------------------------------------------------------------------------
+
+
+def test_empty_job_completes_immediately():
+    with FleetServer(config=ServeConfig(devices=1)) as server:
+        future = server.submit("identity", [])
+        assert future.done()
+        result = future.result(timeout=5)
+        assert result.outputs == []
+        assert result.report["status"] == DONE
+        server.drain()
+        report = validate_serve_report(server.report())
+    (job,) = report["jobs"]
+    assert job["latency"] == 0.0 and job["batches"] == []
+
+
+def test_single_stream_job():
+    config = ServeConfig(devices=2, pu_slots=4, window_streams=1)
+    with FleetServer(config=config) as server:
+        result = server.submit("identity", _streams((33,))).result(
+            timeout=30
+        )
+        server.drain()
+        report = validate_serve_report(server.report())
+    assert bytes(result.outputs[0]) == _streams((33,))[0]
+    assert report["totals"]["batches"] == 1
+    (batch,) = report["batches"]
+    assert batch["streams"] == 1 and batch["slots"] == 4
+
+
+def test_job_with_more_streams_than_slots_spans_batches():
+    lengths = tuple(range(20, 30))  # 10 streams, 4 slots -> 3 batches
+    config = ServeConfig(devices=1, pu_slots=4, window_streams=4)
+    with FleetServer(config=config) as server:
+        result = server.submit("identity", _streams(lengths)).result(
+            timeout=30
+        )
+        server.drain()
+        report = validate_serve_report(server.report())
+    # Outputs come back in submission stream order even though the
+    # packer reordered the streams across batches.
+    assert [bytes(out) for out in result.outputs] == _streams(lengths)
+    assert report["totals"]["batches"] == 3
+    assert len(result.report["batches"]) == 3
+
+
+# ---------------------------------------------------------------------------
+# Cancellation
+# ---------------------------------------------------------------------------
+
+
+def test_cancel_before_scheduling_skips_all_streams():
+    config = ServeConfig(devices=1, window_streams=1_000_000)
+    with FleetServer(config=config) as server:
+        future = server.submit("identity", _streams((64, 64)))
+        assert future.cancel()
+        assert future.cancelled()
+        server.drain()
+        with pytest.raises(JobCancelled):
+            future.result(timeout=5)
+        report = validate_serve_report(server.report())
+    assert report["totals"]["statuses"] == {CANCELLED: 1}
+    assert report["totals"]["batches"] == 0
+
+
+def test_cancel_mid_job_keeps_executed_streams():
+    # Deterministic mid-run cancellation: schedule a 6-stream job into
+    # three 2-slot batches, execute the first batch on this thread (the
+    # device worker is never started), cancel, then run the rest.
+    config = ServeConfig(devices=1, pu_slots=2,
+                         window_streams=1_000_000)
+    server = FleetServer(config=config)
+    lengths = (100, 90, 80, 10, 9, 8)  # skew order == this order
+    future = server.submit("identity", _streams(lengths))
+    server.flush()
+    device = server.devices[0]
+    assert len(device.queue) == 3
+    device.execute(device.queue.pop(0))
+    assert future.cancel()  # mid-job: one batch already executed
+    while device.queue:
+        device.execute(device.queue.pop(0))
+    with pytest.raises(JobCancelled):
+        future.result(timeout=5)
+    job = server._jobs[0]
+    # The first batch's streams (the two heaviest) stayed executed;
+    # the cancelled remainder was skipped, not run.
+    assert [bytes(out) for out in job.outputs[:2]] == _streams(lengths)[:2]
+    assert job.outputs[2:] == [[], [], [], []]
+    assert job.vcycles[2:] == [0, 0, 0, 0]
+    report = validate_serve_report(server.report())
+    skipped = sum(
+        1 for batch in report["batches"] for pu in batch["pus"]
+        if pu["bursts"] == 0
+    )
+    assert skipped == 4
+    server.stop()  # workers never started; nothing to join
+
+
+def test_cancel_after_completion_returns_false():
+    with FleetServer(config=ServeConfig(devices=1)) as server:
+        future = server.submit("identity", _streams((8,)))
+        server.drain()
+        future.result(timeout=30)
+        assert not future.cancel()
+        assert not future.cancelled()
+
+
+# ---------------------------------------------------------------------------
+# Admission control + lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_overload_sheds_typed_error_and_recovers():
+    config = ServeConfig(devices=1, pu_slots=4,
+                         window_streams=1_000_000, max_pending_streams=6)
+    with FleetServer(config=config) as server:
+        held = server.submit("identity", _streams((8,) * 6))
+        with pytest.raises(ServerOverloaded) as excinfo:
+            server.submit("identity", _streams((8,)))
+        error = excinfo.value
+        assert error.pending_streams == 6
+        assert error.limit == 6
+        assert error.job_streams == 1
+        server.drain()  # frees the queue
+        retry = server.submit("identity", _streams((8,)))
+        server.drain()
+        assert held.result(timeout=30).report["status"] == DONE
+        assert retry.result(timeout=30).report["status"] == DONE
+
+
+def test_submit_after_stop_raises_server_closed():
+    server = FleetServer(config=ServeConfig(devices=1))
+    server.start()
+    server.stop()
+    with pytest.raises(ServerClosed):
+        server.submit("identity", _streams((8,)))
+
+
+def test_unknown_app_lists_registered_names():
+    with FleetServer(config=ServeConfig(devices=1)) as server:
+        with pytest.raises(UnknownApp, match="identity"):
+            server.submit("nope", _streams((8,)))
+
+
+# ---------------------------------------------------------------------------
+# Determinism contract
+# ---------------------------------------------------------------------------
+
+
+def test_same_seed_produces_byte_identical_reports():
+    def run():
+        report, server = run_demo(jobs=8, seed=77, devices=2,
+                                  window_streams=16)
+        server.stop()
+        return json.dumps(report, indent=2, sort_keys=True)
+
+    first, second = run(), run()
+    assert first == second
+
+
+def test_different_seeds_produce_different_schedules():
+    def batches(seed):
+        report, server = run_demo(jobs=8, seed=seed, devices=2,
+                                  window_streams=16)
+        server.stop()
+        return report["batches"]
+
+    assert batches(77) != batches(78)
