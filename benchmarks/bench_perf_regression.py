@@ -40,6 +40,14 @@ def test_perf_regression(once):
         "instrumented one — instrumentation cost leaked into the "
         "disabled path"
     )
+    lint = results["lint_certified"]
+    assert lint["all_certified"], (
+        "a catalog unit lost its clean restriction certificate"
+    )
+    assert lint["all_match"], (
+        "certified (checks-off) interpreter outputs diverged from the "
+        "checked run"
+    )
 
 
 def main(argv):
@@ -61,6 +69,11 @@ def main(argv):
         return 1
     if not quick and not results["obs_overhead"]["disabled_faster"]:
         print("ERROR: obs-disabled run not faster than instrumented")
+        return 1
+    lint = results["lint_certified"]
+    if not (lint["all_certified"] and lint["all_match"]):
+        print("ERROR: lint-certified run lost its certificate or "
+              "diverged from the checked run")
         return 1
     return 0
 

@@ -20,10 +20,14 @@ ratios — and is the number the CI smoke check watches.
 The results also carry an ``obs_overhead`` section
 (:func:`run_obs_overhead`): the same memory simulation timed with
 observability (:mod:`repro.obs`) disabled and enabled, guarding that the
-disabled path never inherits instrumentation cost — and a ``serve``
+disabled path never inherits instrumentation cost — a ``serve``
 section (:func:`repro.bench.serve_perf.run_serve_comparison`): the
 serving scheduler's FIFO-vs-skew-packing and 1-vs-2-device makespans on
-a Zipf stream-length workload, with their CI speedup floors.
+a Zipf stream-length workload, with their CI speedup floors — and a
+``lint_certified`` section (:func:`run_lint_certified`): the same
+interpreter workload with dynamic restriction checks on versus disabled
+by a lint :class:`~repro.lint.RestrictionCertificate`, guarding that
+the catalog units stay certified and byte-identical with checks off.
 """
 
 import time
@@ -141,6 +145,61 @@ def run_obs_overhead(quick=False, pus=128, stream_bytes=1 << 16,
     }
 
 
+def run_lint_certified(quick=False):
+    """Measure what a lint :class:`~repro.lint.RestrictionCertificate`
+    buys at simulation time: the same interpreter workload with dynamic
+    restriction checks on (no certificate, the historical default) and
+    off (certificate presented), outputs compared for exactness.
+
+    The timing delta is informational (the certified run skips the
+    per-virtual-cycle conflict bookkeeping, a small share of interpreter
+    time); what the bench *asserts* is ``all_match`` (checks-off output
+    stays byte-identical) and ``all_certified`` (the catalog units stay
+    certifiable — losing a certificate would silently re-enable dynamic
+    checks in the compiled engine's elision path)."""
+    from ..interp.simulator import UnitSimulator
+    from ..lint import certificate_for
+
+    sizes = (dict(small=400, large=1_600) if quick
+             else dict(small=800, large=6_000))
+    cases = []
+    for key in ("json_parsing", "integer_coding"):
+        spec = catalog()[key]
+        unit = spec.unit()
+        certificate = certificate_for(unit)
+        streams = [large for _, large in spec.stream_pairs(**sizes)]
+        if quick:
+            streams = streams[:1]
+
+        def run(cert, unit=unit, streams=streams):
+            signatures = []
+            for stream in streams:
+                sim = UnitSimulator(unit, engine="interp",
+                                    certificate=cert)
+                sim.run(stream)
+                signatures.append(tuple(sim.outputs))
+            return signatures
+
+        base_seconds, base_sig = _timed(lambda: run(None))
+        fast_seconds, fast_sig = _timed(lambda: run(certificate))
+        cases.append({
+            "name": f"lint_certified/{key}",
+            "kind": "lint_certified",
+            "certified": certificate.ok,
+            "baseline": {"engine": "interp+checks",
+                         "seconds": base_seconds},
+            "fast": {"engine": "interp+certificate",
+                     "seconds": fast_seconds},
+            "speedup": base_seconds / fast_seconds if fast_seconds else 0.0,
+            "match": base_sig == fast_sig,
+        })
+    return {
+        "cases": cases,
+        "all_match": all(c["match"] for c in cases),
+        "all_certified": all(c["certified"] for c in cases),
+    }
+
+
 def run_perf_regression(quick=False):
     """Run every case; returns the results dict (see module docstring)."""
     benchmarks = []
@@ -161,4 +220,5 @@ def run_perf_regression(quick=False):
         },
         "obs_overhead": run_obs_overhead(quick),
         "serve": run_serve_comparison(quick),
+        "lint_certified": run_lint_certified(quick),
     }

@@ -139,6 +139,20 @@ def format_perf(results):
             f"{overhead['overhead_ratio']:>8.2f}x"
             f"{'yes' if overhead['disabled_faster'] else 'NO':>7}"
         )
+    lint = results.get("lint_certified")
+    if lint:
+        # Same interpreter, dynamic restriction checks on vs disabled by
+        # a lint RestrictionCertificate; "exact" means outputs matched
+        # and the unit actually certified.
+        for case in lint["cases"]:
+            ok = case["match"] and case["certified"]
+            lines.append(
+                f"{case['name']:<28}"
+                f"{case['baseline']['seconds']:>9.3f}s"
+                f"{case['fast']['seconds']:>9.3f}s"
+                f"{case['speedup']:>8.2f}x"
+                f"{'yes' if ok else 'NO':>7}"
+            )
     serve = results.get("serve")
     if serve:
         # Serving-scheduler makespans are virtual cycles, not seconds;

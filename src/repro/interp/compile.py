@@ -33,10 +33,12 @@ When is the fast engine sound?
   are last-write-wins in statement order, which the generated pending
   variables reproduce exactly, so any supported program qualifies.
 * With ``check_restrictions=True`` the dynamic restriction checks are
-  elided only when the static prover (:func:`repro.lang.prover.
-  prove_program`) shows they can never fire — plus the same exclusivity
-  argument for vector-register assignments, which the prover does not
-  cover.
+  elided only when the program carries a clean
+  :class:`~repro.lint.certificate.RestrictionCertificate`: the static
+  prover (:func:`repro.lang.prover.prove_program`) shows the conflict
+  checks can never fire, the same exclusivity argument covers
+  vector-register assignments, and the lint pipeline reports no
+  error-severity findings.
 
 Set the environment variable ``FLEET_ENGINE=interp`` to disable the fast
 path globally and force the authoritative interpreter oracle.
@@ -44,15 +46,9 @@ path globally and force the authoritative interpreter oracle.
 
 import os
 
-from ..lang import analysis, ast
-from ..lang.collect_guards import Guard, GuardInfo
-from ..lang.errors import (
-    FleetError,
-    FleetLoopLimitError,
-    FleetSimulationError,
-)
+from ..lang import ast
+from ..lang.errors import FleetLoopLimitError, FleetSimulationError
 from ..lang.types import mask
-from ..lang.prover import _exclusive, guard_facts, prove_program
 from .trace import StreamTrace
 
 #: Maximum nesting of a rendered (inline) expression; deeper chains are
@@ -604,53 +600,21 @@ def try_compile(program):
 # ---------------------------------------------------------------------------
 
 
-def _vreg_assigns_exclusive(program):
-    """The prover covers BRAM/register/emit conflicts but not vector
-    registers; prove those assignment pairs mutually exclusive the same
-    way (the interpreter checks them dynamically)."""
-    sites = {}
-
-    def walk(body, conds, in_loop):
-        for stmt in body:
-            if isinstance(stmt, ast.If):
-                negated = []
-                for cond, arm_body in stmt.arms:
-                    arm_conds = conds + tuple(negated)
-                    if cond is not None:
-                        walk(arm_body, arm_conds + ((cond, True),), in_loop)
-                        negated.append((cond, False))
-                    else:
-                        walk(arm_body, arm_conds, in_loop)
-            elif isinstance(stmt, ast.While):
-                walk(stmt.body, conds + ((stmt.cond, True),), True)
-            elif isinstance(stmt, ast.VectorRegAssign):
-                guard = Guard(conds, needs_while_done=not in_loop)
-                info = GuardInfo(guard, in_loop)
-                info.facts = guard_facts(guard)
-                sites.setdefault(stmt.vreg, []).append(info)
-
-    walk(program.body, (), False)
-    for infos in sites.values():
-        for i in range(len(infos)):
-            for j in range(i + 1, len(infos)):
-                if not _exclusive(infos[i], infos[j]):
-                    return False
-    return True
-
-
 def _checks_elidable(program):
     """Can the compiled engine (which performs no dynamic restriction
-    checks) stand in for the checking interpreter on this program?"""
-    cached = getattr(program, "_fleet_checks_elidable", None)
-    if cached is not None:
-        return cached
-    try:
-        analysis.validate_program(program)
-        ok = prove_program(program).ok and _vreg_assigns_exclusive(program)
-    except FleetError:
-        ok = False
-    program._fleet_checks_elidable = ok
-    return ok
+    checks) stand in for the checking interpreter on this program?
+
+    Delegates to the lint layer's
+    :class:`~repro.lint.certificate.RestrictionCertificate`: the prover's
+    exclusivity proof, the vector-register exclusivity argument, and the
+    absence of error-severity lint findings (definite out-of-bounds
+    addresses, dependent reads) — the same condition, now shared with
+    :class:`~repro.interp.simulator.UnitSimulator`'s ``certificate``
+    parameter and the ``python -m repro.lint`` CLI."""
+    from ..lint.certificate import certificate_for
+
+    certificate = certificate_for(program)
+    return certificate.ok and certificate.covers(program)
 
 
 def fast_engine_for(program, check_restrictions=True):
@@ -769,12 +733,17 @@ class CompiledSimulator:
 
 
 def make_simulator(program, *, check_restrictions=True,
-                   max_vcycles_per_token=1_000_000, engine="auto"):
+                   max_vcycles_per_token=1_000_000, engine="auto",
+                   certificate=None):
     """Build the best available simulator for ``program``.
 
     ``engine`` is ``"auto"`` (compiled when provably equivalent, else the
     interpreter), ``"interp"`` (force the oracle), or ``"compiled"``
-    (force the fast engine; raises when unsupported).
+    (force the fast engine; raises when unsupported). ``certificate``
+    is forwarded to the interpreter (a clean covering
+    :class:`~repro.lint.certificate.RestrictionCertificate` disables the
+    dynamic restriction checks); the compiled engine performs no dynamic
+    checks to begin with.
     """
     from .simulator import UnitSimulator
 
@@ -782,6 +751,7 @@ def make_simulator(program, *, check_restrictions=True,
         return UnitSimulator(
             program, check_restrictions=check_restrictions,
             max_vcycles_per_token=max_vcycles_per_token, engine="interp",
+            certificate=certificate,
         )
     if engine == "compiled":
         return CompiledSimulator(
@@ -790,6 +760,9 @@ def make_simulator(program, *, check_restrictions=True,
         )
     if engine != "auto":
         raise FleetSimulationError(f"unknown engine {engine!r}")
+    if certificate is not None and certificate.ok \
+            and certificate.covers(program):
+        check_restrictions = False
     unit = fast_engine_for(program, check_restrictions)
     if unit is not None:
         return CompiledSimulator(
@@ -799,6 +772,7 @@ def make_simulator(program, *, check_restrictions=True,
     return UnitSimulator(
         program, check_restrictions=check_restrictions,
         max_vcycles_per_token=max_vcycles_per_token, engine="interp",
+        certificate=certificate,
     )
 
 

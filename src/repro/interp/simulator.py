@@ -83,15 +83,35 @@ class UnitSimulator:
     dynamic restriction checks one token at a time. After :meth:`run`,
     :attr:`last_run_engine` records which engine executed
     (``"compiled"`` or ``"interp"``).
+
+    ``certificate`` accepts a
+    :class:`~repro.lint.certificate.RestrictionCertificate`: when it is
+    clean (``ok``) and its fingerprint matches this exact program, the
+    dynamic restriction checks are switched off — the certificate *is*
+    the proof they can never fire. A certificate for a different program
+    is rejected with :class:`FleetSimulationError`; a failed certificate
+    leaves the checks on. Address range checks and the loop-cycle limit
+    are simulation (not restriction) errors and always stay on.
     """
 
     def __init__(self, program, *, check_restrictions=True,
-                 max_vcycles_per_token=1_000_000, engine="auto"):
+                 max_vcycles_per_token=1_000_000, engine="auto",
+                 certificate=None):
         if engine not in ("auto", "interp"):
             raise FleetSimulationError(
                 f"unknown engine {engine!r} (expected 'auto' or 'interp')"
             )
         self.program = program
+        self.certificate = certificate
+        if certificate is not None:
+            if not certificate.covers(program):
+                raise FleetSimulationError(
+                    f"certificate for {certificate.program_name!r} "
+                    f"(fingerprint {certificate.fingerprint[:12]}…) does "
+                    f"not cover program {program.name!r}"
+                )
+            if certificate.ok:
+                check_restrictions = False
         self.check_restrictions = check_restrictions
         self.max_vcycles_per_token = max_vcycles_per_token
         self.engine = engine

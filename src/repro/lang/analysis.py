@@ -11,19 +11,31 @@ statically decidable subset here:
   data from the same virtual cycle. This is what lets the compiler schedule
   all reads in pipeline stage 1 and everything else in stage 2.
 
+The dependent-read analysis is *per access*: each syntactic BRAM read is
+classified against the guard chain that gates it, so a program is
+rejected only for the specific reads that would close a combinational
+cycle — not wholesale because some ``while`` condition happens to read a
+BRAM somewhere. :func:`dependent_read_violations` reports every
+offending read (the lint pipeline consumes the full list);
+:func:`validate_program` raises on the first.
+
 The dynamic checks (at most one read/write per BRAM and one emit per virtual
 cycle, no conflicting concurrent assignments) depend on which conditions are
-true at runtime and stay in the simulator, exactly as in the paper.
+true at runtime and stay in the simulator, exactly as in the paper — unless
+a :class:`repro.lint.RestrictionCertificate` proves they can never fire.
 """
 
 from . import ast
 from .errors import FleetDependentReadError, FleetSyntaxError
+from .pretty import pretty_expr, pretty_guard
 
 
 def validate_program(program):
     """Raise on statically detectable restriction violations."""
     _check_no_nested_while(program.body, in_while=False)
-    _check_dependent_reads(program)
+    violations = dependent_read_violations(program)
+    if violations:
+        raise FleetDependentReadError(violations[0].message)
 
 
 def _check_no_nested_while(body, in_while):
@@ -39,60 +51,119 @@ def _check_no_nested_while(body, in_while):
                 _check_no_nested_while(arm_body, in_while)
 
 
-def _check_dependent_reads(program):
-    # A read inside a while condition would make while_done — and therefore
-    # the read-address mux selecting between loop and post-loop addresses —
-    # depend on same-cycle read data, a combinational cycle in the generated
-    # two-stage pipeline. Reject it whenever the program reads any BRAM.
-    while_cond_reads = any(
-        ast.contains_bram_read(stmt.cond)
-        for stmt in ast.walk_statements(program.body)
-        if isinstance(stmt, ast.While)
-    )
-    program_has_reads = any(
-        ast.contains_bram_read(e)
-        for stmt in ast.walk_statements(program.body)
-        for e in ast.statement_exprs(stmt)
-    )
-    if while_cond_reads and program_has_reads:
-        raise FleetDependentReadError(
-            "a while condition reads a BRAM; this makes every BRAM read "
-            "address in the program depend on same-cycle read data "
-            "(dependent reads are not allowed)"
-        )
-    _walk(program.body, guarded_by_read=False)
+class DependentReadViolation:
+    """One BRAM read whose address would depend on same-cycle read data.
+
+    ``kind`` is ``"address"`` (the read's address expression itself
+    contains a read), ``"guard"`` (a condition in the read's guard chain
+    reads a BRAM), or ``"while-done"`` (the read fires only on
+    ``while_done`` virtual cycles while some ``while`` condition reads a
+    BRAM, making the loop/post-loop read-address mux depend on read
+    data). ``guard`` is the ``(cond, polarity)`` chain gating the read.
+    """
+
+    __slots__ = ("bram", "kind", "message", "guard")
+
+    def __init__(self, bram, kind, message, guard):
+        self.bram = bram
+        self.kind = kind
+        self.message = message
+        self.guard = guard
+
+    def __repr__(self):
+        return f"DependentReadViolation({self.kind!r}, {self.bram.name!r})"
 
 
-def _walk(body, guarded_by_read):
+class _ReadSite:
+    __slots__ = ("node", "guard", "needs_while_done")
+
+    def __init__(self, node, guard, needs_while_done):
+        self.node = node  # the BramRead
+        self.guard = guard  # tuple of (cond, polarity)
+        self.needs_while_done = needs_while_done
+
+
+def dependent_read_violations(program):
+    """Every dependent BRAM read in ``program``, one violation per
+    offending read (empty list for clean programs)."""
+    sites = []
+    reading_while_conds = []
+    _collect(program.body, (), False, sites, reading_while_conds)
+
+    violations = []
+    for site in sites:
+        node = site.node
+        if ast.contains_bram_read(node.addr):
+            violations.append(DependentReadViolation(
+                node.bram, "address",
+                f"dependent BRAM read: the address of a read of "
+                f"{node.bram.name!r} ({pretty_expr(node.addr)}) contains "
+                "another BRAM read (e.g. a[b[0]] is not allowed)",
+                site.guard,
+            ))
+            continue
+        gating_reads = [
+            cond for cond, _ in site.guard if ast.contains_bram_read(cond)
+        ]
+        if gating_reads:
+            violations.append(DependentReadViolation(
+                node.bram, "guard",
+                f"dependent BRAM read of {node.bram.name!r} at address "
+                f"{pretty_expr(node.addr)}: gated by the condition chain "
+                f"[{pretty_guard(site.guard)}], which itself reads a BRAM "
+                f"(via {pretty_expr(gating_reads[0])}), so the read "
+                "address would depend on same-cycle read data",
+                site.guard,
+            ))
+            continue
+        if site.needs_while_done and reading_while_conds:
+            violations.append(DependentReadViolation(
+                node.bram, "while-done",
+                f"dependent BRAM read of {node.bram.name!r} at address "
+                f"{pretty_expr(node.addr)}: the read executes only on "
+                "while_done virtual cycles, and while_done depends on the "
+                "BRAM read in the while condition "
+                f"({pretty_expr(reading_while_conds[0])}), so the "
+                "loop/post-loop read-address mux would depend on "
+                "same-cycle read data",
+                site.guard,
+            ))
+    return violations
+
+
+def _collect(body, conds, in_loop, sites, reading_while_conds):
+    """Record every syntactic BRAM read with its guard chain.
+
+    Reads in *condition* position (if/while conditions) are evaluated on
+    every virtual cycle regardless of ``while_done``, so only reads in
+    leaf-statement expressions outside every loop carry the
+    ``needs_while_done`` dependence.
+    """
     for stmt in body:
         if isinstance(stmt, ast.If):
+            negated = ()
             for cond, arm_body in stmt.arms:
-                arm_guarded = guarded_by_read
+                arm_conds = conds + negated
                 if cond is not None:
-                    _check_expr(cond, guarded_by_read, context="condition")
-                    arm_guarded = arm_guarded or ast.contains_bram_read(cond)
-                _walk(arm_body, arm_guarded)
+                    _record(cond, arm_conds, sites, needs_while_done=False)
+                    _collect(arm_body, arm_conds + ((cond, True),),
+                             in_loop, sites, reading_while_conds)
+                    negated = negated + ((cond, False),)
+                else:
+                    _collect(arm_body, arm_conds, in_loop, sites,
+                             reading_while_conds)
         elif isinstance(stmt, ast.While):
-            _check_expr(stmt.cond, guarded_by_read, context="while condition")
-            loop_guarded = guarded_by_read or ast.contains_bram_read(stmt.cond)
-            _walk(stmt.body, loop_guarded)
+            if ast.contains_bram_read(stmt.cond):
+                reading_while_conds.append(stmt.cond)
+            _record(stmt.cond, conds, sites, needs_while_done=False)
+            _collect(stmt.body, conds + ((stmt.cond, True),), True,
+                     sites, reading_while_conds)
         else:
             for expr in ast.statement_exprs(stmt):
-                _check_expr(expr, guarded_by_read, context="statement")
+                _record(expr, conds, sites, needs_while_done=not in_loop)
 
 
-def _check_expr(expr, guarded_by_read, context):
+def _record(expr, conds, sites, needs_while_done):
     for node in ast.walk_expr(expr):
         if isinstance(node, ast.BramRead):
-            if guarded_by_read:
-                raise FleetDependentReadError(
-                    f"dependent BRAM read of {node.bram.name!r}: the {context}"
-                    " is gated by a condition that itself reads a BRAM, so "
-                    "its read address would depend on same-cycle read data"
-                )
-            if ast.contains_bram_read(node.addr):
-                raise FleetDependentReadError(
-                    f"dependent BRAM read: the address of a read of "
-                    f"{node.bram.name!r} contains another BRAM read "
-                    "(e.g. a[b[0]] is not allowed)"
-                )
+            sites.append(_ReadSite(node, conds, needs_while_done))

@@ -1,0 +1,77 @@
+"""Compact textual rendering of Fleet AST expressions and guards.
+
+Static tooling — the refined dependent-read analysis, the prover's
+``render()``, and every ``repro.lint`` finding — needs to show *which*
+expression it is talking about. This module renders expression DAGs back
+into the surface syntax of the builder API (``m[idx + 1]``,
+``state == 3 && !done``), truncating pathological depths so messages
+stay readable even for generated programs.
+"""
+
+from . import ast
+
+#: Binary operators rendered infix, with their surface spelling.
+_INFIX = {
+    "add": "+", "sub": "-", "mul": "*",
+    "and": "&", "or": "|", "xor": "^",
+    "shl": "<<", "shr": ">>",
+    "eq": "==", "ne": "!=",
+    "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+}
+
+_UNARY = {"not": "~", "lnot": "!"}
+
+#: Nesting depth beyond which sub-expressions render as ``...``.
+MAX_DEPTH = 8
+
+
+def pretty_expr(node, depth=MAX_DEPTH):
+    """Render one expression node as builder-style surface syntax."""
+    if depth <= 0:
+        return "..."
+    d = depth - 1
+    if isinstance(node, ast.Const):
+        return str(node.value)
+    if isinstance(node, ast.InputToken):
+        return "input"
+    if isinstance(node, ast.StreamFinished):
+        return "stream_finished"
+    if isinstance(node, ast.RegRead):
+        return node.reg.name
+    if isinstance(node, ast.WireRead):
+        return pretty_expr(node.wire.value, d)
+    if isinstance(node, ast.VectorRegRead):
+        return f"{node.vreg.name}[{pretty_expr(node.index, d)}]"
+    if isinstance(node, ast.BramRead):
+        return f"{node.bram.name}[{pretty_expr(node.addr, d)}]"
+    if isinstance(node, ast.BinOp):
+        op = _INFIX.get(node.op, node.op)
+        return (f"({pretty_expr(node.lhs, d)} {op} "
+                f"{pretty_expr(node.rhs, d)})")
+    if isinstance(node, ast.UnOp):
+        sym = _UNARY.get(node.op)
+        if sym is not None:
+            return f"{sym}{pretty_expr(node.operand, d)}"
+        return f"{node.op}({pretty_expr(node.operand, d)})"
+    if isinstance(node, ast.Mux):
+        return (f"({pretty_expr(node.cond, d)} ? "
+                f"{pretty_expr(node.then, d)} : "
+                f"{pretty_expr(node.els, d)})")
+    if isinstance(node, ast.Slice):
+        return f"{pretty_expr(node.operand, d)}[{node.hi}:{node.lo}]"
+    if isinstance(node, ast.Concat):
+        parts = ", ".join(pretty_expr(p, d) for p in node.parts)
+        return f"cat({parts})"
+    return repr(node)
+
+
+def pretty_guard(terms):
+    """Render a guard — a sequence of ``(cond, polarity)`` pairs — as a
+    conjunction. An empty guard renders as ``<always>``."""
+    if not terms:
+        return "<always>"
+    rendered = []
+    for cond, polarity in terms:
+        text = pretty_expr(cond)
+        rendered.append(text if polarity else f"!{text}")
+    return " && ".join(rendered)

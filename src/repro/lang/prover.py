@@ -33,6 +33,15 @@ confidence.
 
 from . import ast
 from .collect_guards import GuardInfo, gather_accesses
+from .fold import const_value
+from .pretty import pretty_expr, pretty_guard
+
+_KIND_NOUN = {
+    "read": "reads of BRAM",
+    "write": "writes to BRAM",
+    "emit": "emits to",
+    "assign": "assignments to register",
+}
 
 
 class Conflict:
@@ -43,6 +52,21 @@ class Conflict:
         self.kind = kind  # "read" | "write" | "emit" | "assign"
         self.first = first
         self.second = second
+
+    def render(self):
+        """Human-readable description of the unproven pair (used by the
+        lint CLI and ``python -m repro.report``)."""
+        noun = _KIND_NOUN.get(self.kind, f"{self.kind} accesses to")
+        lines = [f"unproven pair: two {noun} {self.resource!r} "
+                 "may co-fire in one virtual cycle"]
+        for info in (self.first, self.second):
+            where = "in a while body" if info.in_loop else "post-loop"
+            at = (f" at address {pretty_expr(info.payload)}"
+                  if info.payload is not None else "")
+            lines.append(
+                f"  - {where}{at}, when {pretty_guard(info.guard.terms)}"
+            )
+        return "\n".join(lines)
 
     def __repr__(self):
         return f"Conflict({self.kind} of {self.resource!r})"
@@ -58,6 +82,18 @@ class ProofReport:
     def ok(self):
         return not self.conflicts
 
+    def render(self):
+        """Human-readable proof outcome (used by the lint CLI and
+        ``python -m repro.report``)."""
+        if self.ok:
+            return ("restriction proof: OK — every potentially "
+                    "conflicting access pair is proven mutually exclusive")
+        lines = [f"restriction proof: {len(self.conflicts)} unproven "
+                 "conflict pair(s); the dynamic checks stay on"]
+        for conflict in self.conflicts:
+            lines.append(conflict.render())
+        return "\n".join(lines)
+
     def __repr__(self):
         return f"ProofReport(ok={self.ok}, conflicts={len(self.conflicts)})"
 
@@ -67,8 +103,88 @@ class ProofReport:
 # ---------------------------------------------------------------------------
 
 
-def structural_key(node):
-    """A hashable, structure-identifying key for an expression."""
+def structural_key(node, _memo=None):
+    """A hashable, structure-identifying key for an expression.
+
+    Pass a dict as ``_memo`` (keyed by node identity) when keying many
+    nodes of one program: expressions are DAGs, and memoization keeps
+    the total cost linear in the number of distinct nodes. The memo must
+    not outlive the program (node ids are only stable while the nodes
+    are alive).
+    """
+    if _memo is None:
+        return _key(node, {})
+    return _key(node, _memo)
+
+
+def _key(node, memo):
+    cached = memo.get(id(node))
+    if cached is None:
+        cached = _key_uncached(node, memo)
+        memo[id(node)] = cached
+    return cached
+
+
+class KeyTable:
+    """Hash-consing structural keyer.
+
+    Maps expression nodes to small interned integer keys such that two
+    nodes receive the same key iff they are structurally equal (same
+    :func:`structural_key`). Descriptors reference child keys by their
+    interned integers, so building and hashing stay linear in the DAG
+    size — unlike the raw nested-tuple keys, whose *tree* size (and thus
+    hash cost) is exponential for programs with heavily shared wires.
+
+    One table defines one key space: integer keys are only comparable
+    against keys from the same table.
+    """
+
+    __slots__ = ("_by_id", "_intern")
+
+    def __init__(self):
+        self._by_id = {}  # id(node) -> int
+        self._intern = {}  # descriptor tuple -> int
+
+    def key(self, node):
+        cached = self._by_id.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, ast.Const):
+            d = ("const", node.value, node.width)
+        elif isinstance(node, ast.InputToken):
+            d = ("input", node.width)
+        elif isinstance(node, ast.StreamFinished):
+            d = ("sf",)
+        elif isinstance(node, ast.RegRead):
+            d = ("reg", id(node.reg))
+        elif isinstance(node, ast.WireRead):
+            d = ("wire", self.key(node.wire.value))
+        elif isinstance(node, ast.VectorRegRead):
+            d = ("vreg", id(node.vreg), self.key(node.index))
+        elif isinstance(node, ast.BramRead):
+            d = ("bram", id(node.bram), self.key(node.addr))
+        elif isinstance(node, ast.BinOp):
+            d = ("bin", node.op, self.key(node.lhs), self.key(node.rhs))
+        elif isinstance(node, ast.UnOp):
+            d = ("un", node.op, self.key(node.operand))
+        elif isinstance(node, ast.Mux):
+            d = ("mux", self.key(node.cond), self.key(node.then),
+                 self.key(node.els))
+        elif isinstance(node, ast.Slice):
+            d = ("slice", node.hi, node.lo, self.key(node.operand))
+        elif isinstance(node, ast.Concat):
+            d = ("cat",) + tuple(self.key(p) for p in node.parts)
+        else:
+            raise TypeError(f"unkeyable node {node!r}")
+        interned = self._intern.get(d)
+        if interned is None:
+            interned = len(self._intern)
+            self._intern[d] = interned
+        self._by_id[id(node)] = interned
+        return interned
+
+
+def _key_uncached(node, memo):
     if isinstance(node, ast.Const):
         return ("const", node.value, node.width)
     if isinstance(node, ast.InputToken):
@@ -78,23 +194,23 @@ def structural_key(node):
     if isinstance(node, ast.RegRead):
         return ("reg", id(node.reg))
     if isinstance(node, ast.WireRead):
-        return ("wire",) + (structural_key(node.wire.value),)
+        return ("wire",) + (_key(node.wire.value, memo),)
     if isinstance(node, ast.VectorRegRead):
-        return ("vreg", id(node.vreg), structural_key(node.index))
+        return ("vreg", id(node.vreg), _key(node.index, memo))
     if isinstance(node, ast.BramRead):
-        return ("bram", id(node.bram), structural_key(node.addr))
+        return ("bram", id(node.bram), _key(node.addr, memo))
     if isinstance(node, ast.BinOp):
-        return ("bin", node.op, structural_key(node.lhs),
-                structural_key(node.rhs))
+        return ("bin", node.op, _key(node.lhs, memo),
+                _key(node.rhs, memo))
     if isinstance(node, ast.UnOp):
-        return ("un", node.op, structural_key(node.operand))
+        return ("un", node.op, _key(node.operand, memo))
     if isinstance(node, ast.Mux):
-        return ("mux", structural_key(node.cond),
-                structural_key(node.then), structural_key(node.els))
+        return ("mux", _key(node.cond, memo),
+                _key(node.then, memo), _key(node.els, memo))
     if isinstance(node, ast.Slice):
-        return ("slice", node.hi, node.lo, structural_key(node.operand))
+        return ("slice", node.hi, node.lo, _key(node.operand, memo))
     if isinstance(node, ast.Concat):
-        return ("cat",) + tuple(structural_key(p) for p in node.parts)
+        return ("cat",) + tuple(_key(p, memo) for p in node.parts)
     raise TypeError(f"unkeyable node {node!r}")
 
 
@@ -140,32 +256,42 @@ class _Facts:
 
 def _as_comparison(node):
     """Normalize ``expr OP const`` / ``const OP expr`` to
-    ``(op, expr, value)`` or None."""
+    ``(op, expr, value)`` or None. Either side may be any
+    constant-foldable expression, not just a literal ``Const``."""
     if not isinstance(node, ast.BinOp) or node.op not in _SWAP:
         return None
-    if isinstance(node.rhs, ast.Const):
-        return node.op, node.lhs, node.rhs.value
-    if isinstance(node.lhs, ast.Const):
-        return _SWAP[node.op], node.rhs, node.lhs.value
+    rhs_value = const_value(node.rhs)
+    if rhs_value is not None:
+        return node.op, node.lhs, rhs_value
+    lhs_value = const_value(node.lhs)
+    if lhs_value is not None:
+        return _SWAP[node.op], node.rhs, lhs_value
     return None
 
 
-def _add_term(facts, node, polarity):
+def _add_term(facts, node, polarity, key_fn=structural_key):
     """Decompose a 1-bit condition term into facts."""
+    folded = const_value(node)
+    if folded is not None:
+        # A constant-folded condition either contributes nothing (it
+        # agrees with its polarity) or makes the guard unsatisfiable.
+        if bool(folded) != polarity:
+            facts.contradictory = True
+        return
     facts.add_literal(node, polarity)
     if isinstance(node, ast.WireRead):
-        _add_term(facts, node.wire.value, polarity)
+        _add_term(facts, node.wire.value, polarity, key_fn)
         return
     if isinstance(node, ast.UnOp) and node.op == "lnot":
-        _add_term(facts, node.operand, not polarity)
+        _add_term(facts, node.operand, not polarity, key_fn)
         return
     if isinstance(node, ast.BinOp) and node.op == "and" and polarity:
-        _add_term(facts, node.lhs, True)
-        _add_term(facts, node.rhs, True)
+        _add_term(facts, node.lhs, True, key_fn)
+        _add_term(facts, node.rhs, True, key_fn)
         return
     if isinstance(node, ast.BinOp) and node.op == "or" and not polarity:
-        _add_term(facts, node.lhs, False)
-        _add_term(facts, node.rhs, False)
+        _add_term(facts, node.lhs, False, key_fn)
+        _add_term(facts, node.rhs, False, key_fn)
         return
     comparison = _as_comparison(node)
     if comparison is None:
@@ -173,7 +299,7 @@ def _add_term(facts, node, polarity):
     op, expr, value = comparison
     if not polarity:
         op = _FLIP[op]
-    key = structural_key(expr)
+    key = key_fn(expr)
     if op == "eq":
         facts.bound(key, lo=value, hi=value)
     elif op == "ne":
@@ -188,10 +314,13 @@ def _add_term(facts, node, polarity):
         facts.bound(key, lo=value)
 
 
-def guard_facts(guard):
+def guard_facts(guard, key_fn=structural_key):
+    """Facts from a guard's terms. ``key_fn`` selects the structural
+    key space (the default nested-tuple keys, or a
+    :class:`KeyTable`'s interned integers for DAG-heavy callers)."""
     facts = _Facts()
     for cond, polarity in guard.terms:
-        _add_term(facts, cond, polarity)
+        _add_term(facts, cond, polarity, key_fn)
     return facts
 
 
@@ -210,7 +339,7 @@ def _exclusive(info_a, info_b):
         other = b.literals.get(node_id)
         if other is not None and other != polarity:
             return True
-    # Interval separation / equality-vs-exclusion on a shared expression.
+    # Interval separation / interval-vs-exclusion on a shared expression.
     for key, (lo_a, hi_a) in a.intervals.items():
         if key in b.intervals:
             lo_b, hi_b = b.intervals[key]
@@ -218,13 +347,27 @@ def _exclusive(info_a, info_b):
                 return True
             if hi_b is not None and lo_a > hi_b:
                 return True
-        if lo_a == (hi_a if hi_a is not None else None):
-            if lo_a in b.excluded.get(key, ()):
-                return True
-    for key, (lo_b, hi_b) in b.intervals.items():
-        if lo_b == (hi_b if hi_b is not None else None):
-            if lo_b in a.excluded.get(key, ()):
-                return True
+    # One guard's ``!=`` exclusions may blanket the other's interval:
+    # e.g. ``x <= 1`` vs ``x != 0 && x != 1``. Bounded enumeration keeps
+    # this linear in the (small) number of decomposed != terms.
+    if _interval_excluded(a, b) or _interval_excluded(b, a):
+        return True
+    return False
+
+
+#: Widest interval the !=-coverage check will enumerate.
+_EXCLUSION_SPAN = 64
+
+
+def _interval_excluded(bounded, excluding):
+    """Whether some interval in ``bounded`` is entirely covered by the
+    ``!=`` exclusions of ``excluding`` (so the pair can never co-fire)."""
+    for key, (lo, hi) in bounded.intervals.items():
+        excluded = excluding.excluded.get(key)
+        if not excluded or hi is None or hi - lo > _EXCLUSION_SPAN:
+            continue
+        if all(value in excluded for value in range(lo, hi + 1)):
+            return True
     return False
 
 
@@ -275,6 +418,7 @@ def prove_program(program):
 __all__ = [
     "Conflict",
     "GuardInfo",
+    "KeyTable",
     "ProofReport",
     "guard_facts",
     "prove_program",

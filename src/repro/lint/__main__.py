@@ -1,0 +1,140 @@
+"""``python -m repro.lint`` — the Fleet static-analysis CLI.
+
+Targets:
+
+* ``--app NAME`` (repeatable) / ``--all-apps`` — lint application units
+  at their golden-test parameters;
+* ``--spec FILE`` — lint a JSON program spec (the conformance-corpus
+  format, ``{"spec": ...}`` wrappers accepted);
+* ``--corpus DIR`` — soundness mode: replay every corpus entry,
+  asserting no certified-clean program trips a dynamic restriction
+  check and that certified (checks-off) runs are byte-identical;
+* ``--fuzz N [--seed S]`` — soundness mode over generated programs.
+
+Output: human-readable by default, ``--json PATH`` / ``--sarif PATH``
+(``-`` for stdout) for machines, ``--severity LEVEL`` to floor the
+displayed findings. ``--selftest`` runs one deliberately broken program
+per pass (CI gate). Exit status is 1 on any error-severity finding,
+failed certificate soundness, or selftest failure.
+"""
+
+import argparse
+import json
+import sys
+
+from .certificate import certify_program
+from .findings import SEVERITIES
+from .passes import lint_program
+from .sarif import reports_to_sarif
+from .selftest import run_selftest
+from .soundness import SoundnessResult, check_corpus, check_fuzz
+from .units import APP_UNIT_BUILDERS, build_app_unit
+
+
+def _load_spec(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    # Accept both bare specs and corpus entries wrapping one.
+    return data["spec"] if "spec" in data else data
+
+
+def _write(path, text):
+    if path == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Abstract-interpretation lint for Fleet unit programs.",
+    )
+    parser.add_argument("--app", action="append", default=[],
+                        metavar="NAME",
+                        help="lint this application unit (repeatable); "
+                             f"known: {', '.join(sorted(APP_UNIT_BUILDERS))}")
+    parser.add_argument("--all-apps", action="store_true",
+                        help="lint every application unit")
+    parser.add_argument("--spec", action="append", default=[],
+                        metavar="FILE",
+                        help="lint a JSON program spec (corpus entries "
+                             "accepted)")
+    parser.add_argument("--severity", choices=SEVERITIES, default="info",
+                        help="minimum severity to display (default: info)")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="write per-program reports as JSON "
+                             "('-' for stdout)")
+    parser.add_argument("--sarif", metavar="PATH",
+                        help="write findings as SARIF 2.1.0 "
+                             "('-' for stdout)")
+    parser.add_argument("--corpus", metavar="DIR",
+                        help="soundness mode: replay a conformance corpus "
+                             "directory")
+    parser.add_argument("--fuzz", type=int, default=0, metavar="N",
+                        help="soundness mode: also check N generated "
+                             "programs")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fuzzer seed for --fuzz (default: 0)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the per-pass selftest and exit")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        ok, lines = run_selftest()
+        print("\n".join(lines))
+        return 0 if ok else 1
+
+    if not (args.app or args.all_apps or args.spec or args.corpus
+            or args.fuzz):
+        parser.error("nothing to do: pass --app/--all-apps/--spec, "
+                     "--corpus/--fuzz, or --selftest")
+
+    exit_status = 0
+
+    programs = []
+    if args.all_apps:
+        programs.extend(
+            build_app_unit(name) for name in sorted(APP_UNIT_BUILDERS))
+    for name in args.app:
+        programs.append(build_app_unit(name))
+    for path in args.spec:
+        from ..testing import spec as spec_mod
+        programs.append(spec_mod.build_unit(_load_spec(path)))
+
+    reports = []
+    for program in programs:
+        report = lint_program(program)
+        certificate = certify_program(program, report)
+        reports.append((report, certificate))
+        print(report.render(args.severity))
+        print("  " + certificate.render())
+        if report.errors:
+            exit_status = 1
+
+    if args.json_path and reports:
+        payload = [
+            {**report.to_json(), "certificate": certificate.to_json()}
+            for report, certificate in reports
+        ]
+        _write(args.json_path, json.dumps(payload, indent=2))
+    if args.sarif and reports:
+        sarif = reports_to_sarif([report for report, _ in reports])
+        _write(args.sarif, json.dumps(sarif, indent=2))
+
+    if args.corpus or args.fuzz:
+        result = SoundnessResult()
+        if args.corpus:
+            check_corpus(args.corpus, result)
+        if args.fuzz:
+            check_fuzz(args.fuzz, seed=args.seed, result=result)
+        print(result.render())
+        if not result.ok:
+            exit_status = 1
+
+    return exit_status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Interval (value-range) abstract domain for Fleet expressions.
+
+Every Fleet value is a fixed-width unsigned integer, so the natural
+abstract domain is the unsigned interval ``[lo, hi]``. The transfer
+functions here mirror the operator tables in :mod:`repro.ops` and the
+width-inference rules in :mod:`repro.lang.types`:
+
+* ``add``/``mul``/``shl``/``concat`` are *exact* — the inferred result
+  width always holds the true result (e.g. ``max(wl, wr) + 1`` bits hold
+  any sum of a ``wl``- and a ``wr``-bit value), so the masked result
+  equals the unmasked one and interval arithmetic is monotone;
+* ``sub`` wraps modulo the result width, so it is exact only when the
+  minuend interval provably dominates the subtrahend;
+* bitwise ``and``/``or``/``xor`` use bit-length bounds;
+* comparisons either *decide* (disjoint ranges) or return ``[0, 1]``;
+* assignment truncation (:func:`truncate_interval`) keeps an interval
+  that provably fits the target width and widens to top otherwise.
+
+Soundness invariant: for every concrete evaluation of an expression, the
+result lies inside the interval computed from intervals containing the
+operands. The property-based tests in ``tests/lint/test_domain.py``
+check this against :func:`repro.ops.eval_binop` directly.
+"""
+
+from ..lang.types import mask
+
+
+class Interval:
+    """Closed unsigned interval ``[lo, hi]`` with ``0 <= lo <= hi``."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad interval [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    @property
+    def is_const(self):
+        return self.lo == self.hi
+
+    def contains(self, value):
+        return self.lo <= value <= self.hi
+
+    def __eq__(self, other):
+        return (isinstance(other, Interval)
+                and self.lo == other.lo and self.hi == other.hi)
+
+    def __hash__(self):
+        return hash((self.lo, self.hi))
+
+    def __repr__(self):
+        if self.is_const:
+            return f"[{self.lo}]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+def top(width):
+    """The full range of a ``width``-bit value."""
+    return Interval(0, mask(width))
+
+
+def const(value):
+    return Interval(value, value)
+
+
+def join(a, b):
+    """Smallest interval containing both (the lattice join)."""
+    return Interval(min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def meet(a, b):
+    """Intersection, or ``None`` when empty (bottom — unreachable)."""
+    lo = max(a.lo, b.lo)
+    hi = min(a.hi, b.hi)
+    if lo > hi:
+        return None
+    return Interval(lo, hi)
+
+
+def truncate_interval(interval, width):
+    """Abstract counterpart of assignment truncation ``value & mask``."""
+    if interval.hi <= mask(width):
+        return interval
+    return top(width)
+
+
+def _ones_cover(a, b):
+    """All-ones upper bound for bitwise results: no bit above the
+    highest set bit of either operand can appear in ``&``/``|``/``^``."""
+    return mask(max(a.hi.bit_length(), b.hi.bit_length(), 1))
+
+
+def decide_cmp(op, a, b):
+    """Decide a comparison between intervals: 1, 0, or ``None``."""
+    if op == "eq":
+        if a.is_const and b.is_const and a.lo == b.lo:
+            return 1
+        if meet(a, b) is None:
+            return 0
+        return None
+    if op == "ne":
+        decided = decide_cmp("eq", a, b)
+        return None if decided is None else 1 - decided
+    if op == "lt":
+        if a.hi < b.lo:
+            return 1
+        if a.lo >= b.hi:
+            return 0
+        return None
+    if op == "le":
+        if a.hi <= b.lo:
+            return 1
+        if a.lo > b.hi:
+            return 0
+        return None
+    if op == "gt":
+        return decide_cmp("lt", b, a)
+    if op == "ge":
+        return decide_cmp("le", b, a)
+    raise ValueError(f"not a comparison: {op!r}")
+
+
+def binop_interval(op, a, b, wl, wr):
+    """Interval of ``op`` applied to operand intervals ``a`` (width
+    ``wl``) and ``b`` (width ``wr``), masked to the inferred width."""
+    if op == "add":
+        # max(wl, wr) + 1 bits always hold the exact sum.
+        return Interval(a.lo + b.lo, a.hi + b.hi)
+    if op == "sub":
+        width = max(wl, wr) + 1
+        if a.lo >= b.hi:
+            # No borrow possible: subtraction is exact and monotone.
+            return Interval(a.lo - b.hi, a.hi - b.lo)
+        return top(width)
+    if op == "mul":
+        # wl + wr bits always hold the exact product.
+        return Interval(a.lo * b.lo, a.hi * b.hi)
+    if op == "and":
+        return Interval(0, min(a.hi, b.hi))
+    if op == "or":
+        return Interval(max(a.lo, b.lo), _ones_cover(a, b))
+    if op == "xor":
+        return Interval(0, _ones_cover(a, b))
+    if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+        decided = decide_cmp(op, a, b)
+        return Interval(0, 1) if decided is None else const(decided)
+    if op == "shl":
+        # Result width wl + mask(wr) always holds a << b exactly.
+        return Interval(a.lo << b.lo, a.hi << b.hi)
+    if op == "shr":
+        return Interval(a.lo >> b.hi, a.hi >> b.lo)
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def unop_interval(op, a, w):
+    if op == "not":
+        # ~x & mask(w) == mask(w) - x for x in [0, mask(w)]; operands
+        # are always within their width, so this is exact and
+        # anti-monotone.
+        full = mask(w)
+        return Interval(full - a.hi, full - a.lo)
+    if op == "lnot":
+        if a.lo > 0:
+            return const(0)
+        if a.hi == 0:
+            return const(1)
+        return Interval(0, 1)
+    if op == "orr":
+        if a.lo > 0:
+            return const(1)
+        if a.hi == 0:
+            return const(0)
+        return Interval(0, 1)
+    if op == "andr":
+        full = mask(w)
+        if a.is_const:
+            return const(int(a.lo == full))
+        if a.hi < full:
+            return const(0)
+        return Interval(0, 1)
+    if op == "xorr":
+        if a.is_const:
+            return const(bin(a.lo).count("1") & 1)
+        return Interval(0, 1)
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def slice_interval(a, hi, lo, width):
+    """Interval of ``operand[hi:lo]`` given the operand's interval."""
+    if a.hi < (1 << (hi + 1)):
+        # No bits above the slice top: (x >> lo) & mask == x >> lo,
+        # which is monotone.
+        return Interval(a.lo >> lo, a.hi >> lo)
+    return top(width)
+
+
+def concat_interval(parts):
+    """Interval of a concatenation; ``parts`` is a list of
+    ``(interval, width)`` pairs, most significant first. Exact because
+    every part fits its declared width."""
+    lo = hi = 0
+    for interval, width in parts:
+        lo = (lo << width) | interval.lo
+        hi = (hi << width) | interval.hi
+    return Interval(lo, hi)

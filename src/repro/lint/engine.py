@@ -1,0 +1,400 @@
+"""Abstract-interpretation dataflow engine over the Fleet AST.
+
+:class:`Analysis` computes, for every register and vector register, an
+interval that provably contains every value the element can hold on any
+virtual cycle of any execution, and exposes a guard-refined abstract
+evaluator for arbitrary expressions at specific program *sites*.
+
+How it works:
+
+* **Site collection** — one walk of the program body records every
+  statement, condition, and BRAM/vector-register access together with
+  its guard chain (the ``(condition, polarity)`` conjunction gating it),
+  loop membership, and a stable location path such as
+  ``body[2].arm[0].body[1]``.
+* **Guard refinement** — a site's guard terms are decomposed into
+  interval facts exactly as the restriction prover does
+  (:func:`repro.lang.prover.guard_facts`): comparisons against
+  constant-foldable operands, ``&&``/``||``/``!`` via De Morgan, and
+  ``!=`` exclusions. When the evaluator reaches an expression whose
+  structural key carries a fact, the computed interval is met with it;
+  an empty meet proves the site unreachable.
+* **Loop-phase awareness** — a statement outside every ``while`` fires
+  only on ``while_done`` virtual cycles, when every top-level ``while``
+  condition is false; those negated conditions join the guard for such
+  sites (the same phase split the prover uses for exclusivity).
+* **Fixpoint** — register intervals start at their init values and grow
+  by joining every (reachable) assignment's value interval, truncated to
+  the declared width, until stable. Registers keep their value on cycles
+  that do not assign them, so the join always includes the current
+  interval. After :data:`MAX_SWEEPS` sweeps without convergence the
+  still-changing elements are widened to their full width range — each
+  widening round tops at least one element permanently, so termination
+  is guaranteed in at most ``#elements`` rounds.
+
+Everything here is sound over-approximation: a concrete execution can
+only produce values inside the computed intervals, and a site reported
+unreachable can never fire. The passes in :mod:`repro.lint.passes` build
+directly on these guarantees.
+"""
+
+from ..lang import ast
+from ..lang.collect_guards import Guard
+from ..lang.prover import KeyTable, guard_facts
+from . import domain
+
+#: Fixpoint sweeps before widening still-changing state elements to top.
+MAX_SWEEPS = 6
+
+#: Site kinds with an address/index operand, for the bounds pass.
+ADDRESSED_KINDS = ("bram-read", "bram-write", "vreg-read", "vreg-assign")
+
+
+class Site:
+    """One analyzable point in the program: a leaf statement, an if/while
+    condition, an if arm, or a BRAM/vector-register access node."""
+
+    __slots__ = ("kind", "stmt", "node", "guard", "in_loop",
+                 "needs_while_done", "location")
+
+    def __init__(self, kind, stmt, node, guard, in_loop,
+                 needs_while_done, location):
+        self.kind = kind
+        self.stmt = stmt
+        self.node = node
+        self.guard = guard  # tuple of (cond Node, polarity)
+        self.in_loop = in_loop
+        self.needs_while_done = needs_while_done
+        self.location = location
+
+    def address_operand(self):
+        """(declaration, address expression, noun) for bounds checking,
+        for the :data:`ADDRESSED_KINDS`."""
+        if self.kind == "bram-read":
+            return self.node.bram, self.node.addr, "read of BRAM"
+        if self.kind == "bram-write":
+            return self.stmt.bram, self.stmt.addr, "write to BRAM"
+        if self.kind == "vreg-read":
+            return self.node.vreg, self.node.index, \
+                "read of vector register"
+        if self.kind == "vreg-assign":
+            return self.stmt.vreg, self.stmt.index, \
+                "assignment to vector register"
+        raise ValueError(f"site kind {self.kind!r} has no address")
+
+    def __repr__(self):
+        return f"Site({self.kind}, {self.location})"
+
+
+class _Unreachable(Exception):
+    """Raised inside the evaluator when a refinement meet is empty."""
+
+
+class _Evaluator:
+    """Guard-refined abstract evaluation of one site's expressions."""
+
+    __slots__ = ("_analysis", "_refinements", "_memo")
+
+    def __init__(self, analysis, refinements):
+        self._analysis = analysis
+        self._refinements = refinements  # structural key -> (lo, hi, excl)
+        self._memo = {}
+
+    def eval(self, node):
+        cached = self._memo.get(id(node))
+        if cached is not None:
+            return cached
+        interval = self._refine(node, self._transfer(node))
+        self._memo[id(node)] = interval
+        return interval
+
+    def _refine(self, node, interval):
+        if not self._refinements:
+            return interval
+        fact = self._refinements.get(self._analysis.key(node))
+        if fact is None:
+            return interval
+        lo, hi, excluded = fact
+        rlo = max(interval.lo, lo)
+        rhi = interval.hi if hi is None else min(interval.hi, hi)
+        # != exclusions can trim the edges of the refined range.
+        while rlo <= rhi and rlo in excluded:
+            rlo += 1
+        while rhi >= rlo and rhi in excluded:
+            rhi -= 1
+        if rlo > rhi:
+            raise _Unreachable
+        return domain.Interval(rlo, rhi)
+
+    def _transfer(self, node):
+        if isinstance(node, ast.Const):
+            return domain.const(node.value)
+        if isinstance(node, ast.InputToken):
+            return domain.top(node.width)
+        if isinstance(node, ast.StreamFinished):
+            return domain.Interval(0, 1)
+        if isinstance(node, ast.RegRead):
+            return self._analysis.reg_interval(node.reg)
+        if isinstance(node, ast.VectorRegRead):
+            return self._analysis.vreg_interval(node.vreg)
+        if isinstance(node, ast.BramRead):
+            # BRAM contents are not tracked (any address may hold any
+            # stored value); the read is bounded only by the port width.
+            return domain.top(node.width)
+        if isinstance(node, ast.WireRead):
+            return self.eval(node.wire.value)
+        if isinstance(node, ast.BinOp):
+            return domain.binop_interval(
+                node.op, self.eval(node.lhs), self.eval(node.rhs),
+                node.lhs.width, node.rhs.width,
+            )
+        if isinstance(node, ast.UnOp):
+            return domain.unop_interval(
+                node.op, self.eval(node.operand), node.operand.width
+            )
+        if isinstance(node, ast.Mux):
+            cond = self.eval(node.cond)
+            if cond.is_const:
+                return self.eval(node.then if cond.lo else node.els)
+            return domain.join(self.eval(node.then), self.eval(node.els))
+        if isinstance(node, ast.Slice):
+            return domain.slice_interval(
+                self.eval(node.operand), node.hi, node.lo, node.width
+            )
+        if isinstance(node, ast.Concat):
+            return domain.concat_interval(
+                [(self.eval(p), p.width) for p in node.parts]
+            )
+        raise TypeError(f"unevaluable node {node!r}")
+
+
+class Analysis:
+    """Whole-program interval analysis (see the module docstring)."""
+
+    def __init__(self, program):
+        self.program = program
+        self.sites = []
+        #: Conditions of top-level ``while`` loops: on ``while_done``
+        #: cycles every one of them is false.
+        self.top_while_conds = []
+        self.used_regs = set()
+        self.used_vregs = set()
+        self.assigned_regs = set()
+        self.assigned_vregs = set()
+        self._keys = KeyTable()
+        self._reg = {id(r): domain.const(r.init) for r in program.regs}
+        self._vreg = {id(v): domain.const(v.init) for v in program.vregs}
+        self._collect(program.body, (), False, "body")
+        self._fixpoint()
+        self._site_evaluators = {}
+        self._settled = True
+
+    # -- public queries -----------------------------------------------------
+
+    def key(self, node):
+        """Interned structural key — a small integer, linear to compute
+        and hash even for DAG-shaped expressions (the analysis-wide
+        :class:`~repro.lang.prover.KeyTable` defines the key space,
+        shared with the guard facts built in :meth:`_build_evaluator`)."""
+        return self._keys.key(node)
+
+    def reg_interval(self, decl):
+        return self._reg[id(decl)]
+
+    def vreg_interval(self, decl):
+        return self._vreg[id(decl)]
+
+    def reachable(self, site):
+        """False when the site's guard is proven unsatisfiable."""
+        return self._evaluator(site) is not None
+
+    def evaluate(self, site, expr):
+        """Interval of ``expr`` at ``site`` under its guard refinements,
+        or ``None`` when the site is unreachable."""
+        evaluator = self._evaluator(site)
+        if evaluator is None:
+            return None
+        try:
+            return evaluator.eval(expr)
+        except _Unreachable:
+            return None
+
+    # -- site collection ----------------------------------------------------
+
+    def _add(self, kind, stmt, node, guard, in_loop, nwd, location):
+        self.sites.append(Site(kind, stmt, node, guard, in_loop, nwd,
+                               location))
+
+    def _collect(self, body, conds, in_loop, path):
+        for i, stmt in enumerate(body):
+            loc = f"{path}[{i}]"
+            if isinstance(stmt, ast.If):
+                negated = ()
+                for j, (cond, arm_body) in enumerate(stmt.arms):
+                    arm_conds = conds + negated
+                    arm_loc = f"{loc}.arm[{j}]"
+                    if cond is not None:
+                        cond_loc = f"{loc}.cond[{j}]"
+                        self._add("if-cond", stmt, cond, arm_conds,
+                                  in_loop, False, cond_loc)
+                        self._record_expr(cond, arm_conds, in_loop,
+                                          False, cond_loc)
+                        arm_guard = arm_conds + ((cond, True),)
+                        self._add("arm", stmt, None, arm_guard, in_loop,
+                                  False, arm_loc)
+                        self._collect(arm_body, arm_guard, in_loop,
+                                      f"{arm_loc}.body")
+                        negated = negated + ((cond, False),)
+                    else:
+                        self._add("arm", stmt, None, arm_conds, in_loop,
+                                  False, arm_loc)
+                        self._collect(arm_body, arm_conds, in_loop,
+                                      f"{arm_loc}.body")
+            elif isinstance(stmt, ast.While):
+                cond_loc = f"{loc}.cond"
+                self._add("while-cond", stmt, stmt.cond, conds, in_loop,
+                          False, cond_loc)
+                self._record_expr(stmt.cond, conds, in_loop, False,
+                                  cond_loc)
+                if not conds:
+                    self.top_while_conds.append(stmt.cond)
+                self._collect(stmt.body, conds + ((stmt.cond, True),),
+                              True, f"{loc}.body")
+            else:
+                nwd = not in_loop
+                if isinstance(stmt, ast.RegAssign):
+                    self._add("reg-assign", stmt, None, conds, in_loop,
+                              nwd, loc)
+                    self.assigned_regs.add(stmt.reg)
+                elif isinstance(stmt, ast.VectorRegAssign):
+                    self._add("vreg-assign", stmt, None, conds, in_loop,
+                              nwd, loc)
+                    self.assigned_vregs.add(stmt.vreg)
+                elif isinstance(stmt, ast.BramWrite):
+                    self._add("bram-write", stmt, None, conds, in_loop,
+                              nwd, loc)
+                elif isinstance(stmt, ast.Emit):
+                    self._add("emit", stmt, None, conds, in_loop, nwd,
+                              loc)
+                for expr in ast.statement_exprs(stmt):
+                    self._record_expr(expr, conds, in_loop, nwd, loc)
+
+    def _record_expr(self, expr, conds, in_loop, nwd, location):
+        """Record state usage and access sites inside one expression."""
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.RegRead):
+                self.used_regs.add(node.reg)
+            elif isinstance(node, ast.VectorRegRead):
+                self.used_vregs.add(node.vreg)
+                self._add("vreg-read", None, node, conds, in_loop, nwd,
+                          location)
+            elif isinstance(node, ast.BramRead):
+                self._add("bram-read", None, node, conds, in_loop, nwd,
+                          location)
+
+    # -- guard-refined evaluators -------------------------------------------
+
+    def _effective_terms(self, site):
+        terms = site.guard
+        if site.needs_while_done and self.top_while_conds:
+            terms = terms + tuple(
+                (cond, False) for cond in self.top_while_conds
+            )
+        return terms
+
+    def _evaluator(self, site):
+        """A cached evaluator for ``site``, or ``None`` when the site's
+        guard is unsatisfiable. Caching is only valid once the fixpoint
+        has settled."""
+        settled = getattr(self, "_settled", False)
+        if settled:
+            cached = self._site_evaluators.get(id(site), _MISSING)
+            if cached is not _MISSING:
+                return cached
+        evaluator = self._build_evaluator(site)
+        if settled:
+            self._site_evaluators[id(site)] = evaluator
+        return evaluator
+
+    def _build_evaluator(self, site):
+        terms = self._effective_terms(site)
+        facts = guard_facts(Guard(terms, False), key_fn=self._keys.key)
+        if facts.contradictory:
+            return None
+        refinements = {}
+        for key, (lo, hi) in facts.intervals.items():
+            refinements[key] = (lo, hi, facts.excluded.get(key, ()))
+        for key, excluded in facts.excluded.items():
+            refinements.setdefault(key, (0, None, excluded))
+        evaluator = _Evaluator(self, refinements)
+        # A guard term whose refined interval decides against its
+        # polarity proves the whole guard unsatisfiable.
+        try:
+            for cond, polarity in terms:
+                interval = evaluator.eval(cond)
+                if interval.is_const and bool(interval.lo) != polarity:
+                    return None
+        except _Unreachable:
+            return None
+        return evaluator
+
+    # -- fixpoint -----------------------------------------------------------
+
+    def _fixpoint(self):
+        assign_sites = [
+            s for s in self.sites if s.kind in ("reg-assign", "vreg-assign")
+        ]
+        if not assign_sites:
+            return
+        # Each widening round permanently tops at least one element, so
+        # #elements rounds always suffice.
+        for _round in range(len(self._reg) + len(self._vreg) + 1):
+            still_changing = self._sweeps(assign_sites)
+            if not still_changing:
+                return
+            for decl in still_changing:
+                store = (self._reg if id(decl) in self._reg
+                         else self._vreg)
+                store[id(decl)] = domain.top(decl.width)
+        # Unreachable: widening is monotone and bounded. Fall back to
+        # topping everything rather than looping forever.
+        for decl in list(self.program.regs):
+            self._reg[id(decl)] = domain.top(decl.width)
+        for decl in list(self.program.vregs):
+            self._vreg[id(decl)] = domain.top(decl.width)
+
+    def _sweeps(self, assign_sites):
+        """Up to :data:`MAX_SWEEPS` join sweeps; returns the set of
+        declarations still changing in the last sweep (empty once the
+        fixpoint is reached)."""
+        for _ in range(MAX_SWEEPS):
+            changed = self._sweep(assign_sites)
+            if not changed:
+                return changed
+        return changed
+
+    def _sweep(self, assign_sites):
+        changed = set()
+        for site in assign_sites:
+            if site.kind == "reg-assign":
+                decl, store = site.stmt.reg, self._reg
+            else:
+                decl, store = site.stmt.vreg, self._vreg
+            value = self.evaluate(site, site.stmt.value)
+            if value is None:
+                continue  # unreachable assignment contributes nothing
+            new = domain.join(
+                store[id(decl)],
+                domain.truncate_interval(value, decl.width),
+            )
+            if new != store[id(decl)]:
+                store[id(decl)] = new
+                changed.add(decl)
+        return changed
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

@@ -1,0 +1,158 @@
+"""Typed lint findings, parallel to the ``FleetError`` hierarchy.
+
+Every lint pass reports :class:`LintFinding` subclasses rather than bare
+strings, mirroring how :mod:`repro.lang.errors` gives each dynamic
+restriction violation its own exception class — so tooling (the
+conformance engine in :mod:`repro.testing`, the CI selftest, editors
+consuming the SARIF output) can classify static findings without
+parsing messages.
+
+Severities:
+
+* ``error`` — the program definitely violates a restriction or will
+  definitely fault at runtime; blocks the
+  :class:`~repro.lint.RestrictionCertificate`.
+* ``warning`` — suspicious but well-defined behavior (an address that
+  *may* leave its declared capacity, state that can never change, dead
+  code); reported, does not block certification.
+* ``info`` — observations useful in review.
+"""
+
+#: Ordered severity levels, least severe first.
+SEVERITIES = ("info", "warning", "error")
+
+
+def severity_at_least(severity, floor):
+    """Whether ``severity`` is at or above ``floor``."""
+    return SEVERITIES.index(severity) >= SEVERITIES.index(floor)
+
+
+class LintFinding:
+    """Base class for all static findings.
+
+    ``rule`` is a stable machine identifier (also the SARIF ruleId),
+    ``severity`` one of :data:`SEVERITIES`, ``resource`` the name of the
+    state element involved (or ``None``), ``location`` a human-readable
+    statement path into the program body, and ``message`` the full
+    diagnostic text.
+    """
+
+    rule = "lint/generic"
+    default_severity = "warning"
+
+    __slots__ = ("message", "severity", "resource", "location")
+
+    def __init__(self, message, *, severity=None, resource=None,
+                 location=None):
+        if severity is None:
+            severity = self.default_severity
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.message = message
+        self.severity = severity
+        self.resource = resource
+        self.location = location
+
+    def to_json(self):
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "resource": self.resource,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def render(self):
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.severity}: {self.rule}{where}: {self.message}"
+
+    def __repr__(self):
+        return (f"{type(self).__name__}({self.severity}, "
+                f"{self.resource!r})")
+
+
+class OutOfBoundsAddressFinding(LintFinding):
+    """A BRAM address or vector-register index provably (or possibly)
+    falls outside the declared element count. Definite overflows are
+    errors; possible ones (the proven value range straddles the
+    capacity) are warnings."""
+
+    rule = "lint/out-of-bounds-address"
+    default_severity = "error"
+    __slots__ = ()
+
+
+class UninitializedReadFinding(LintFinding):
+    """A register (or vector register) is read but never assigned by any
+    statement, so across all virtual cycles every read observes only the
+    declared init value — almost always a forgotten update."""
+
+    rule = "lint/uninitialized-read"
+    default_severity = "warning"
+    __slots__ = ()
+
+
+class DeadAssignmentFinding(LintFinding):
+    """A register is assigned but never read anywhere (including emits,
+    addresses, and conditions): the assignment can be deleted without
+    changing any observable output."""
+
+    rule = "lint/dead-assignment"
+    default_severity = "warning"
+    __slots__ = ()
+
+
+class ConstantConditionFinding(LintFinding):
+    """An ``if`` arm or ``while`` condition evaluates to the same value
+    on every reachable virtual cycle (proven by the interval domain plus
+    constant folding)."""
+
+    rule = "lint/constant-condition"
+    default_severity = "warning"
+    __slots__ = ()
+
+
+class UnreachableArmFinding(LintFinding):
+    """An ``if`` arm can never execute: its guard conjunction is
+    unsatisfiable (by the prover's mutual-exclusion facts) or a
+    preceding arm is always taken."""
+
+    rule = "lint/unreachable-arm"
+    default_severity = "warning"
+    __slots__ = ()
+
+
+class DependentReadFinding(LintFinding):
+    """A BRAM read whose address (or gating condition chain) depends on
+    same-cycle BRAM read data — the paper's dependent-read restriction,
+    localized to the offending read."""
+
+    rule = "lint/dependent-read"
+    default_severity = "error"
+    __slots__ = ()
+
+
+class RestrictionConflictFinding(LintFinding):
+    """A potentially conflicting access pair the restriction prover
+    could not prove mutually exclusive; the dynamic checks must stay on
+    for this program."""
+
+    rule = "lint/unproven-conflict"
+    default_severity = "warning"
+    __slots__ = ()
+
+
+#: Every concrete finding class, keyed by rule id (stable CLI/SARIF
+#: contract; tests assert against this table).
+FINDING_CLASSES = {
+    cls.rule: cls
+    for cls in (
+        OutOfBoundsAddressFinding,
+        UninitializedReadFinding,
+        DeadAssignmentFinding,
+        ConstantConditionFinding,
+        UnreachableArmFinding,
+        DependentReadFinding,
+        RestrictionConflictFinding,
+    )
+}

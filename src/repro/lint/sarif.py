@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 export for lint reports.
+
+Emits the minimal valid subset of the Static Analysis Results
+Interchange Format: one ``run`` with a ``tool.driver`` describing every
+rule in :data:`repro.lint.findings.FINDING_CLASSES`, and one ``result``
+per finding. Fleet units are built programmatically (there is no source
+file), so each result's location is a *logical* location: the statement
+path (``body[2].arm[0].body[1]``) inside the named unit.
+
+The exact schema subset is documented in ``docs/linting.md``; the CLI
+test validates structural conformance.
+"""
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: SARIF result level per lint severity.
+_LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def _rules():
+    from .findings import FINDING_CLASSES
+
+    rules = []
+    for rule_id in sorted(FINDING_CLASSES):
+        cls = FINDING_CLASSES[rule_id]
+        rules.append({
+            "id": rule_id,
+            "name": cls.__name__,
+            "shortDescription": {
+                "text": (cls.__doc__ or rule_id).strip().split("\n")[0]
+            },
+            "defaultConfiguration": {
+                "level": _LEVELS[cls.default_severity]
+            },
+        })
+    return rules
+
+
+def _result(program_name, finding):
+    result = {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+    }
+    location = {
+        "logicalLocations": [{
+            "name": finding.location or "<program>",
+            "fullyQualifiedName":
+                f"{program_name}::{finding.location or '<program>'}",
+            "kind": "member",
+        }]
+    }
+    result["locations"] = [location]
+    if finding.resource:
+        result["properties"] = {"resource": finding.resource}
+    return result
+
+
+def reports_to_sarif(reports):
+    """One SARIF log for a list of
+    :class:`~repro.lint.passes.LintReport` objects."""
+    results = []
+    for report in reports:
+        for finding in report.findings:
+            results.append(_result(report.program.name, finding))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/linting.md",
+                    "rules": _rules(),
+                }
+            },
+            "results": results,
+        }],
+    }

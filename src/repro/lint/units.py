@@ -1,0 +1,47 @@
+"""The canonical application-unit registry for the lint CLI.
+
+Mirrors the golden-test parameterization (small deterministic builds of
+every application unit, ``tests/rtl/test_goldens.py``) so
+``python -m repro.lint --all-apps`` and the CI selftest exercise exactly
+the units the rest of the suite pins down.
+"""
+
+from ..apps import (
+    block_frequencies_unit,
+    bloom_filter_unit,
+    csv_extract_unit,
+    decision_tree_unit,
+    identity_unit,
+    int_coding_unit,
+    json_field_unit,
+    regex_match_unit,
+    sink_unit,
+    smith_waterman_unit,
+    string_search_unit,
+)
+
+#: name -> zero-argument builder, golden-test parameters.
+APP_UNIT_BUILDERS = {
+    "identity": identity_unit,
+    "sink": sink_unit,
+    "block_frequencies": block_frequencies_unit,
+    "csv_extract": csv_extract_unit,
+    "int_coding": int_coding_unit,
+    "bloom_filter": lambda: bloom_filter_unit(
+        block_size=16, num_hashes=4, section_bits=256),
+    "decision_tree": lambda: decision_tree_unit(
+        max_features=8, max_trees=4, max_nodes=64),
+    "json_field": lambda: json_field_unit(max_states=8, max_depth=8),
+    "regex_match": lambda: regex_match_unit("a(b|c)+d"),
+    "smith_waterman": lambda: smith_waterman_unit(target_length=4),
+    "string_search": lambda: string_search_unit(max_states=16),
+}
+
+
+def build_app_unit(name):
+    try:
+        builder = APP_UNIT_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(APP_UNIT_BUILDERS))
+        raise SystemExit(f"unknown app unit {name!r} (known: {known})")
+    return builder()

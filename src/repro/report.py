@@ -17,6 +17,11 @@ written by ``python -m repro.serve --json PATH``): per-job latency
 percentiles, queue wait vs device time, and per-tenant share. Pass
 ``--serve demo`` to run the deterministic demo workload inline.
 
+``--prove APP`` renders the restriction prover's
+:meth:`~repro.lang.prover.ProofReport.render` output and the resulting
+lint :class:`~repro.lint.RestrictionCertificate` for one application
+unit (``all`` for every unit; see ``docs/linting.md``).
+
 See ``docs/observability.md`` for the counter taxonomy and how to read
 the breakdown, and ``docs/serving.md`` for the serve report.
 """
@@ -149,6 +154,26 @@ def _serve_section(source):
     return report
 
 
+def _prove_section(name):
+    """Render the ``--prove`` section: the restriction prover's report
+    and the resulting lint certificate for one application unit (or all
+    of them when ``name`` is ``"all"``)."""
+    from .lint import certify_program, lint_program
+    from .lint.units import APP_UNIT_BUILDERS, build_app_unit
+
+    names = sorted(APP_UNIT_BUILDERS) if name == "all" else [name]
+    reports = []
+    for unit_name in names:
+        program = build_app_unit(unit_name)
+        report = lint_program(program)
+        print(f"== {unit_name} ==")
+        print(report.proof.render())
+        print(certify_program(program, report).render())
+        print()
+        reports.append(report)
+    return reports
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.report",
@@ -176,8 +201,15 @@ def main(argv=None):
                         help="render a serve run report (JSON from "
                              "python -m repro.serve --json; 'demo' "
                              "runs the demo workload inline)")
+    parser.add_argument("--prove", metavar="APP",
+                        help="render the restriction prover's report and "
+                             "the lint certificate for one application "
+                             "unit ('all' for every unit)")
     args = parser.parse_args(argv)
 
+    if args.prove:
+        _prove_section(args.prove)
+        return 0
     if args.serve:
         _serve_section(args.serve)
         return 0

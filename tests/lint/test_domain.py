@@ -1,0 +1,132 @@
+"""Soundness properties of the interval abstract domain.
+
+The invariant: for any concrete operand values and any intervals
+containing them, the concrete result of :func:`repro.ops.eval_binop` /
+:func:`repro.ops.eval_unop` lies inside the abstract result interval.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ops
+from repro.lang.types import mask
+from repro.lint import domain
+
+BINOPS = sorted(ops.BINOPS)
+UNOPS = sorted(ops.UNOPS)
+
+quick = settings(max_examples=200, deadline=None)
+
+
+@st.composite
+def widened_value(draw, width):
+    """A concrete value within ``width`` bits plus an interval
+    containing it."""
+    value = draw(st.integers(0, mask(width)))
+    lo = draw(st.integers(0, value))
+    hi = draw(st.integers(value, mask(width)))
+    return value, domain.Interval(lo, hi)
+
+
+@st.composite
+def binop_case(draw):
+    op = draw(st.sampled_from(BINOPS))
+    wl = draw(st.integers(1, 8))
+    wr = draw(st.integers(1, 8))
+    a, ia = draw(widened_value(wl))
+    b, ib = draw(widened_value(wr))
+    return op, wl, wr, a, ia, b, ib
+
+
+@quick
+@given(binop_case())
+def test_binop_interval_contains_concrete_result(case):
+    op, wl, wr, a, ia, b, ib = case
+    result = ops.eval_binop(op, a, b, wl, wr)
+    interval = domain.binop_interval(op, ia, ib, wl, wr)
+    assert interval.contains(result), (
+        f"{op}: {a} op {b} = {result} not in {interval} "
+        f"(operands {ia}, {ib})"
+    )
+
+
+@quick
+@given(st.sampled_from(UNOPS), st.integers(1, 10).flatmap(
+    lambda w: st.tuples(st.just(w), widened_value(w))))
+def test_unop_interval_contains_concrete_result(op, case):
+    w, (a, ia) = case
+    result = ops.eval_unop(op, a, w)
+    interval = domain.unop_interval(op, ia, w)
+    assert interval.contains(result), (
+        f"{op}: {op}({a}) = {result} not in {interval} (operand {ia})"
+    )
+
+
+@quick
+@given(st.integers(1, 10).flatmap(
+    lambda w: st.tuples(st.just(w), widened_value(w),
+                        st.integers(0, w - 1), st.integers(0, w - 1))))
+def test_slice_interval_contains_concrete_result(case):
+    w, (value, interval), b1, b2 = case
+    lo, hi = min(b1, b2), max(b1, b2)
+    width = hi - lo + 1
+    concrete = (value >> lo) & mask(width)
+    abstract = domain.slice_interval(interval, hi, lo, width)
+    assert abstract.contains(concrete)
+
+
+@quick
+@given(st.lists(
+    st.integers(1, 6).flatmap(
+        lambda w: st.tuples(st.just(w), widened_value(w))),
+    min_size=1, max_size=4,
+))
+def test_concat_interval_contains_concrete_result(parts):
+    concrete = 0
+    abstract_parts = []
+    for w, (value, interval) in parts:
+        concrete = (concrete << w) | value
+        abstract_parts.append((interval, w))
+    assert domain.concat_interval(abstract_parts).contains(concrete)
+
+
+@quick
+@given(st.integers(1, 12).flatmap(
+    lambda w: st.tuples(widened_value(12), st.just(w))))
+def test_truncate_interval_contains_masked_value(case):
+    (value, interval), width = case
+    truncated = domain.truncate_interval(interval, width)
+    assert truncated.contains(value & mask(width))
+
+
+@quick
+@given(binop_case())
+def test_decided_comparisons_agree_with_concrete(case):
+    op, wl, wr, a, ia, b, ib = case
+    if op not in ("eq", "ne", "lt", "le", "gt", "ge"):
+        return
+    decided = domain.decide_cmp(op, ia, ib)
+    if decided is not None:
+        assert decided == ops.eval_binop(op, a, b, wl, wr)
+
+
+@quick
+@given(widened_value(8), widened_value(8))
+def test_join_and_meet_membership(case_a, case_b):
+    a, ia = case_a
+    b, ib = case_b
+    joined = domain.join(ia, ib)
+    assert joined.contains(a) and joined.contains(b)
+    met = domain.meet(ia, ib)
+    if ia.contains(b) and ib.contains(b):
+        assert met is not None and met.contains(b)
+    if met is None:
+        # Empty intersection: no value can be in both.
+        assert ia.hi < ib.lo or ib.hi < ia.lo
+
+
+def test_interval_basics():
+    assert domain.top(3) == domain.Interval(0, 7)
+    assert domain.const(5).is_const
+    assert repr(domain.const(5)) == "[5]"
+    assert repr(domain.Interval(1, 2)) == "[1, 2]"
