@@ -48,6 +48,16 @@ def test_perf_regression(once):
         "certified (checks-off) interpreter outputs diverged from the "
         "checked run"
     )
+    batch = results["batch_engine"]
+    if "cases" in batch:  # skipped (numpy unavailable) otherwise
+        assert batch["aggregate"]["all_match"], (
+            "SIMD batch engine diverged from sequential compiled runs"
+        )
+        assert batch["aggregate"]["speedup"] >= 10.0, (
+            f"batch-engine aggregate speedup "
+            f"{batch['aggregate']['speedup']:.1f}x is below the 10x "
+            f"floor at the {batch['lanes']}-lane fleet size"
+        )
 
 
 def main(argv):
@@ -75,6 +85,16 @@ def main(argv):
         print("ERROR: lint-certified run lost its certificate or "
               "diverged from the checked run")
         return 1
+    batch = results["batch_engine"]
+    if "cases" in batch:
+        if not batch["aggregate"]["all_match"]:
+            print("ERROR: SIMD batch engine diverged from sequential "
+                  "compiled runs")
+            return 1
+        if not quick and batch["aggregate"]["speedup"] < 10.0:
+            print("ERROR: batch-engine aggregate speedup below the 10x "
+                  "floor")
+            return 1
     return 0
 
 

@@ -14,4 +14,8 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    # Backs the SIMD batch engine; the package degrades gracefully to
+    # the compiled engine when it is missing (see repro.interp.batch).
+    install_requires=["numpy"],
+    extras_require={"native": ["cffi"]},
 )

@@ -200,6 +200,118 @@ def run_lint_certified(quick=False):
     }
 
 
+#: Batch-engine cases: app name -> (unit builder kwargs-free callable,
+#: per-token alphabet sampler). Chosen to span state shapes: BRAM-heavy
+#: (bloom), register/DFA (regex), vector-register queues (int_coding),
+#: deep compare-select chains (smith_waterman).
+BATCH_ENGINE_APPS = (
+    "bloom_filter", "regex_match", "int_coding", "smith_waterman",
+)
+
+#: Figure-7 fleet size the batch-engine comparison runs at.
+BATCH_FLEET_LANES = 192
+
+
+def run_batch_engine(quick=False, lanes=None, tokens=None):
+    """The SIMD batch engine versus N sequential compiled-engine runs.
+
+    Executes a ragged ``lanes``-replica fleet (two lanes deliberately
+    shortened, one empty) of each app and compares against per-stream
+    :class:`~repro.interp.CompiledSimulator` runs: ``match`` requires
+    bit-identical outputs *and* per-token virtual-cycle traces for every
+    lane. The aggregate speedup — total sequential seconds over total
+    batch seconds at the 192-PU Figure-7 fleet size — is the number the
+    benchmark floor watches (>= 10x).
+
+    Returns ``{"skipped": reason}`` when NumPy is unavailable.
+    """
+    import random
+
+    from .. import apps as apps_mod
+    from ..interp.batch import (
+        compile_batch, numpy_available, run_batch_streams,
+    )
+    from ..interp.compile import CompiledSimulator, compile_program
+
+    if not numpy_available():
+        return {"skipped": "numpy unavailable"}
+
+    builders = {
+        "bloom_filter": (apps_mod.bloom_filter_unit,
+                         lambda rng: rng.randrange(256)),
+        "regex_match": (apps_mod.regex_match_unit,
+                        lambda rng: rng.choice(b"ab.@x \nuser@host.com")),
+        "int_coding": (apps_mod.int_coding_unit,
+                       lambda rng: rng.randrange(256)),
+        "smith_waterman": (apps_mod.smith_waterman_unit,
+                           lambda rng: rng.randrange(4)),
+    }
+    lanes = lanes if lanes is not None else (32 if quick else
+                                             BATCH_FLEET_LANES)
+    tokens = tokens if tokens is not None else (96 if quick else 256)
+    rng = random.Random(0xF1EE7)
+    cases = []
+    for name in BATCH_ENGINE_APPS:
+        build, sample = builders[name]
+        program = build()
+        unit = compile_batch(program)
+        compiled_unit = compile_program(program)
+        streams = [
+            [sample(rng) for _ in range(tokens)] for _ in range(lanes)
+        ]
+        # Ragged coverage: a short lane and an empty lane in every run.
+        streams[0] = streams[0][: tokens // 2]
+        streams[1] = []
+
+        def run_sequential(program=program, unit=compiled_unit,
+                           streams=streams):
+            signatures = []
+            for stream in streams:
+                sim = CompiledSimulator(program, unit=unit)
+                sim.run(stream)
+                signatures.append(
+                    (tuple(sim.outputs),
+                     tuple(sim.trace.vcycles_per_token))
+                )
+            return signatures
+
+        def run_batched(program=program, unit=unit, streams=streams):
+            return run_batch_streams(program, streams, unit=unit)
+
+        run_batched()  # warm the kernel (first call may hit disk cache)
+        base_seconds, base_sig = _timed(run_sequential)
+        fast_seconds, result = _timed(run_batched)
+        fast_sig = [
+            (tuple(outs), tuple(trace.vcycles_per_token))
+            for outs, trace in zip(result.outputs, result.traces)
+        ]
+        cases.append({
+            "name": f"batch_engine/{name}",
+            "kind": "batch_engine",
+            "backend": "cc" if unit.cc is not None else "numpy",
+            "baseline": {"engine": f"compiled x{lanes}",
+                         "seconds": base_seconds},
+            "fast": {"engine": "batch", "seconds": fast_seconds},
+            "speedup": base_seconds / fast_seconds if fast_seconds
+            else 0.0,
+            "match": base_sig == fast_sig,
+            "occupancy": result.stats.as_dict(),
+        })
+    base_total = sum(c["baseline"]["seconds"] for c in cases)
+    fast_total = sum(c["fast"]["seconds"] for c in cases)
+    return {
+        "lanes": lanes,
+        "tokens": tokens,
+        "cases": cases,
+        "aggregate": {
+            "baseline_seconds": base_total,
+            "fast_seconds": fast_total,
+            "speedup": base_total / fast_total if fast_total else 0.0,
+            "all_match": all(c["match"] for c in cases),
+        },
+    }
+
+
 def run_perf_regression(quick=False):
     """Run every case; returns the results dict (see module docstring)."""
     benchmarks = []
@@ -221,4 +333,5 @@ def run_perf_regression(quick=False):
         "obs_overhead": run_obs_overhead(quick),
         "serve": run_serve_comparison(quick),
         "lint_certified": run_lint_certified(quick),
+        "batch_engine": run_batch_engine(quick),
     }

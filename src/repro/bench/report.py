@@ -153,6 +153,28 @@ def format_perf(results):
                 f"{case['speedup']:>8.2f}x"
                 f"{'yes' if ok else 'NO':>7}"
             )
+    batch = results.get("batch_engine")
+    if batch and "cases" in batch:
+        # N sequential compiled runs vs one SIMD batch at the Figure-7
+        # fleet size; "exact" = bit-identical outputs and per-token
+        # virtual-cycle traces for every lane.
+        lines.append("-" * 64)
+        for case in batch["cases"]:
+            lines.append(
+                f"{case['name']:<28}"
+                f"{case['baseline']['seconds']:>9.3f}s"
+                f"{case['fast']['seconds']:>9.3f}s"
+                f"{case['speedup']:>8.1f}x"
+                f"{'yes' if case['match'] else 'NO':>7}"
+            )
+        bagg = batch["aggregate"]
+        lines.append(
+            f"{'batch aggregate (' + str(batch['lanes']) + ' lanes)':<28}"
+            f"{bagg['baseline_seconds']:>9.3f}s"
+            f"{bagg['fast_seconds']:>9.3f}s"
+            f"{bagg['speedup']:>8.1f}x"
+            f"{'yes' if bagg['all_match'] else 'NO':>7}"
+        )
     serve = results.get("serve")
     if serve:
         # Serving-scheduler makespans are virtual cycles, not seconds;

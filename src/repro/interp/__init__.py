@@ -1,9 +1,24 @@
 """Functional (software) simulation of Fleet processing units."""
 
+from .batch import (
+    BatchResult,
+    BatchStats,
+    BatchStreamSimulator,
+    BatchUnit,
+    batch_backend_env,
+    batch_engine_for,
+    batch_support,
+    cc_available,
+    compile_batch,
+    numpy_available,
+    run_batch_streams,
+    try_compile_batch,
+)
 from .compile import (
     CompiledSimulator,
     CompiledUnit,
     compile_program,
+    env_engine,
     fast_engine_for,
     make_simulator,
     try_compile,
@@ -18,17 +33,30 @@ from .stream import (
 from .trace import StreamTrace
 
 __all__ = [
+    "BatchResult",
+    "BatchStats",
+    "BatchStreamSimulator",
+    "BatchUnit",
     "CompiledSimulator",
     "CompiledUnit",
     "StreamTrace",
     "UnitSimulator",
     "VirtualCycle",
+    "batch_backend_env",
+    "batch_engine_for",
+    "batch_support",
     "bytes_from_tokens",
+    "cc_available",
+    "compile_batch",
     "compile_program",
+    "env_engine",
     "fast_engine_for",
     "make_simulator",
+    "numpy_available",
+    "run_batch_streams",
     "tokens_from_bytes",
     "tokens_to_words",
     "try_compile",
+    "try_compile_batch",
     "words_to_tokens",
 ]

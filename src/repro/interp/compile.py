@@ -47,7 +47,11 @@ path globally and force the authoritative interpreter oracle.
 import os
 
 from ..lang import ast
-from ..lang.errors import FleetLoopLimitError, FleetSimulationError
+from ..lang.errors import (
+    FleetConfigError,
+    FleetLoopLimitError,
+    FleetSimulationError,
+)
 from ..lang.types import mask
 from .trace import StreamTrace
 
@@ -617,12 +621,40 @@ def _checks_elidable(program):
     return certificate.ok and certificate.covers(program)
 
 
+#: Engines selectable through the ``FLEET_ENGINE`` environment variable.
+_ENGINE_CHOICES = ("auto", "interp", "compiled", "batch")
+
+
+def env_engine():
+    """The validated ``FLEET_ENGINE`` environment setting (``"auto"``
+    when unset or empty).
+
+    A typo like ``FLEET_ENGINE=compield`` would otherwise silently fall
+    back to the default engine — precisely when the user is trying to
+    pin one — so unknown values raise :class:`FleetConfigError` at the
+    first engine-selection point instead.
+    """
+    value = os.environ.get("FLEET_ENGINE")
+    if not value:
+        return "auto"
+    norm = value.strip().lower()
+    if norm not in _ENGINE_CHOICES:
+        raise FleetConfigError(
+            f"FLEET_ENGINE={value!r} is not a recognized engine: "
+            f"choose one of {', '.join(_ENGINE_CHOICES)}"
+        )
+    return norm
+
+
 def fast_engine_for(program, check_restrictions=True):
     """The :class:`CompiledUnit` to use for ``program``, or ``None`` when
     the interpreter must run (unsupported program, restriction checks
     not provably elidable, or ``FLEET_ENGINE=interp`` in the
-    environment)."""
-    if os.environ.get("FLEET_ENGINE") == "interp":
+    environment). ``FLEET_ENGINE=batch`` selects the batch engine only
+    for whole-batch entry points; per-stream callers keep the compiled
+    engine, which the batch engine itself uses as its incremental
+    fallback."""
+    if env_engine() == "interp":
         return None
     unit = try_compile(program)
     if unit is None:
@@ -738,8 +770,11 @@ def make_simulator(program, *, check_restrictions=True,
     """Build the best available simulator for ``program``.
 
     ``engine`` is ``"auto"`` (compiled when provably equivalent, else the
-    interpreter), ``"interp"`` (force the oracle), or ``"compiled"``
-    (force the fast engine; raises when unsupported). ``certificate``
+    interpreter; ``FLEET_ENGINE=batch`` upgrades supported programs to
+    the batch engine), ``"interp"`` (force the oracle), ``"compiled"``
+    (force the fast engine; raises when unsupported), or ``"batch"``
+    (force the SIMD batch engine; raises when unsupported).
+    ``certificate``
     is forwarded to the interpreter (a clean covering
     :class:`~repro.lint.certificate.RestrictionCertificate` disables the
     dynamic restriction checks); the compiled engine performs no dynamic
@@ -758,8 +793,25 @@ def make_simulator(program, *, check_restrictions=True,
             program, check_restrictions=check_restrictions,
             max_vcycles_per_token=max_vcycles_per_token,
         )
+    if engine == "batch":
+        from .batch import BatchStreamSimulator
+
+        return BatchStreamSimulator(
+            program, check_restrictions=check_restrictions,
+            max_vcycles_per_token=max_vcycles_per_token,
+        )
     if engine != "auto":
         raise FleetSimulationError(f"unknown engine {engine!r}")
+    if env_engine() == "batch":
+        from .batch import BatchStreamSimulator, batch_engine_for
+
+        batch_unit = batch_engine_for(program)
+        if batch_unit is not None:
+            return BatchStreamSimulator(
+                program, check_restrictions=check_restrictions,
+                max_vcycles_per_token=max_vcycles_per_token,
+                unit=batch_unit,
+            )
     if certificate is not None and certificate.ok \
             and certificate.covers(program):
         check_restrictions = False
@@ -780,6 +832,7 @@ __all__ = [
     "CompiledSimulator",
     "CompiledUnit",
     "compile_program",
+    "env_engine",
     "fast_engine_for",
     "make_simulator",
     "try_compile",

@@ -15,6 +15,7 @@ from .prover import ProofReport, prove_program
 from .errors import (
     FleetAddressError,
     FleetAssignConflictError,
+    FleetConfigError,
     FleetDependentReadError,
     FleetEmitConflictError,
     FleetError,
@@ -33,6 +34,7 @@ __all__ = [
     "Expr",
     "FleetAddressError",
     "FleetAssignConflictError",
+    "FleetConfigError",
     "FleetDependentReadError",
     "FleetEmitConflictError",
     "FleetError",

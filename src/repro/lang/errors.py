@@ -58,6 +58,12 @@ class FleetAssignConflictError(FleetRestrictionError):
     vector-register element, in a single virtual cycle."""
 
 
+class FleetConfigError(FleetError):
+    """The toolchain was configured incorrectly (an unrecognized
+    ``FLEET_ENGINE`` value, for example). Raised eagerly so typos fail
+    loudly instead of silently selecting a default engine."""
+
+
 class FleetSimulationError(FleetError):
     """The simulator was driven incorrectly (reading outputs before running,
     token values that do not fit the declared token width, etc.)."""

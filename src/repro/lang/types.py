@@ -59,3 +59,27 @@ def bits_for(value):
 def fits(value, width):
     """Whether the non-negative integer ``value`` fits in ``width`` bits."""
     return 0 <= value <= mask(width)
+
+
+#: Widest value a single machine word (and therefore the vectorized batch
+#: engine's fixed-width lanes) can hold exactly.
+MACHINE_WIDTH = 64
+
+#: Machine storage widths a Fleet value can be packed into.
+MACHINE_BITS = (8, 16, 32, 64)
+
+
+def machine_bits(width):
+    """Smallest machine storage width (8/16/32/64) holding ``width`` bits,
+    or ``None`` when the value exceeds :data:`MACHINE_WIDTH`.
+
+    This is the packing rule shared by :mod:`repro.ops` consumers and the
+    :mod:`repro.interp.batch` struct-of-arrays lowering: a value of width
+    ``w`` is stored in the narrowest machine word ``b >= w``, and all
+    arithmetic on it wraps modulo ``2**b``, which is exact for any result
+    that (like every Fleet expression of width ``<= b``) fits ``b`` bits.
+    """
+    for bits in MACHINE_BITS:
+        if width <= bits:
+            return bits
+    return None

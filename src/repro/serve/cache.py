@@ -18,7 +18,12 @@ misses, regardless of thread interleaving.
 
 import threading
 
-from ..interp import CompiledSimulator, UnitSimulator, fast_engine_for
+from ..interp import (
+    CompiledSimulator,
+    UnitSimulator,
+    batch_engine_for,
+    fast_engine_for,
+)
 
 
 class ServedApp:
@@ -39,13 +44,16 @@ class _Entry:
     (or None when only the interpreter applies), and cached
     calibration/slot data filled in lazily by the cost model/server."""
 
-    __slots__ = ("app", "program", "fast_unit", "engine", "cost_coeffs",
-                 "pu_slots", "lock")
+    __slots__ = ("app", "program", "fast_unit", "batch_unit", "engine",
+                 "cost_coeffs", "pu_slots", "lock")
 
     def __init__(self, app):
         self.app = app
         self.program = app.unit_factory()
         self.fast_unit = fast_engine_for(self.program)
+        # Whole-batch SIMD engine for the device workers' batch slots
+        # (None when unsupported or vetoed; workers then run per-stream).
+        self.batch_unit = batch_engine_for(self.program)
         self.engine = "compiled" if self.fast_unit is not None else "interp"
         self.cost_coeffs = None  # (per_token, fixed) — see cost.py
         self.pu_slots = None  # area-model slot count, filled by the server
@@ -105,5 +113,9 @@ class CompiledAppCache:
                 "interpreted": sorted(
                     name for name, e in self._entries.items()
                     if e.fast_unit is None
+                ),
+                "batched": sorted(
+                    name for name, e in self._entries.items()
+                    if e.batch_unit is not None
                 ),
             }

@@ -88,10 +88,7 @@ class DeviceWorker:
         server = self.server
         app = server.cache.app(batch.app)
         entry_obj = server.cache.entry(batch.app)
-        runtime = FleetRuntime(
-            entry_obj.program, header=app.header,
-            simulator_factory=lambda: server.cache.simulator(batch.app),
-        )
+        live = []
         for entry in batch.entries:
             job = entry.job
             if job.cancelled:  # cooperative mid-batch cancellation
@@ -100,11 +97,30 @@ class DeviceWorker:
                 continue
             if job.status == PENDING:
                 job.status = RUNNING
-            (outputs, vcycles), = runtime.run_traced([entry.stream])
-            entry.outputs = outputs
-            entry.vcycles = vcycles
-            if job.stream_done(entry.stream_index, outputs, vcycles):
-                server._job_done(job)
+            live.append(entry)
+        batch_unit = (
+            entry_obj.batch_unit if server.config.batch_engine else None
+        )
+        if batch_unit is not None and live:
+            # SIMD path: the whole slot group runs as one ragged batch
+            # on the vectorized engine (bit-identical outputs and
+            # per-stream virtual-cycle counts). Cancellation was checked
+            # once above, so its granularity coarsens from per-stream to
+            # per-batch here — the price of lockstep execution.
+            self._execute_batched(batch, app, entry_obj, live)
+        elif live:
+            runtime = FleetRuntime(
+                entry_obj.program, header=app.header,
+                simulator_factory=lambda: server.cache.simulator(batch.app),
+            )
+            for entry in live:
+                (outputs, vcycles), = runtime.run_traced([entry.stream])
+                entry.outputs = outputs
+                entry.vcycles = vcycles
+                if entry.job.stream_done(
+                    entry.stream_index, outputs, vcycles
+                ):
+                    server._job_done(entry.job)
         batch.makespan = max(
             (e.vcycles for e in batch.entries), default=0
         )
@@ -117,6 +133,31 @@ class DeviceWorker:
         self.batches_run += 1
         self.executed.append(batch)
         server._batch_done(batch)
+
+    def _execute_batched(self, batch, app, entry_obj, live):
+        """Run ``live`` entries as one ragged batch on the SIMD engine.
+
+        Attaches the engine's :class:`~repro.interp.batch.BatchStats`
+        (replicas active per virtual cycle, ragged-tail waste fraction)
+        to the batch for the observability report.
+        """
+        from ..interp.batch import run_batch_streams
+
+        header = list(app.header)
+        streams = [header + list(bytes(e.stream)) for e in live]
+        result = run_batch_streams(
+            entry_obj.program, streams, unit=entry_obj.batch_unit,
+        )
+        batch.batch_stats = result.stats
+        for entry, outputs, trace in zip(
+            live, result.outputs, result.traces
+        ):
+            entry.outputs = outputs
+            entry.vcycles = trace.total_vcycles
+            if entry.job.stream_done(
+                entry.stream_index, outputs, entry.vcycles
+            ):
+                self.server._job_done(entry.job)
 
     def _slot_stats(self, batch):
         """Per-slot accounting in the observability layer's own

@@ -44,7 +44,8 @@ class Batch:
     stream per PU slot (entry order == slot index)."""
 
     __slots__ = ("batch_id", "app", "entries", "slots", "device_index",
-                 "makespan", "start_vtime", "attribution", "pu_stats")
+                 "makespan", "start_vtime", "attribution", "pu_stats",
+                 "batch_stats")
 
     def __init__(self, batch_id, app, entries, slots=None):
         self.batch_id = batch_id
@@ -56,6 +57,7 @@ class Batch:
         self.start_vtime = 0.0
         self.attribution = None  # filled when memory_sim is on
         self.pu_stats = None  # per-slot PuStats (repro.obs)
+        self.batch_stats = None  # SIMD-engine BatchStats when batched
 
     @property
     def predicted_makespan(self):

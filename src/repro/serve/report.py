@@ -139,6 +139,8 @@ def build_serve_report(server):
             }
             if batch.attribution is not None:
                 row["attribution"] = dict(batch.attribution)
+            if batch.batch_stats is not None:
+                row["batch_engine"] = batch.batch_stats.as_dict()
             batches.append(row)
     batches.sort(key=lambda row: row["batch_id"])
     statuses = {}
@@ -224,6 +226,23 @@ def format_serve_report(report):
         f"  app cache: {cache['hits']} hits / {cache['misses']} misses, "
         f"compiled: {', '.join(cache['compiled']) or '(none)'}"
     )
+    simd = [b for b in report["batches"] if "batch_engine" in b]
+    if simd:
+        busy = sum(b["batch_engine"]["busy_lane_cycles"] for b in simd)
+        slots = sum(
+            b["batch_engine"]["lanes"] * b["batch_engine"]["cycles"]
+            for b in simd
+        )
+        waste = 1.0 - busy / slots if slots else 0.0
+        mean_lanes = (
+            sum(b["batch_engine"]["mean_active_lanes"] for b in simd)
+            / len(simd)
+        )
+        lines.append(
+            f"  batch engine: {len(simd)}/{len(report['batches'])} "
+            f"batches SIMD, mean {mean_lanes:.1f} replicas/vcycle, "
+            f"ragged-tail waste {waste:.1%}"
+        )
     return "\n".join(lines)
 
 
@@ -249,6 +268,22 @@ def validate_serve_report(report):
             raise AssertionError("batch span does not match makespan")
         if batch["busy_vcycles"] > batch["slots"] * batch["makespan"]:
             raise AssertionError("batch busier than slot capacity")
+        if "batch_engine" in batch:
+            stats = batch["batch_engine"]
+            if not 0 <= stats["lanes"] <= batch["streams"]:
+                raise AssertionError(
+                    "batch-engine lane count exceeds batch streams"
+                )
+            if not 0.0 <= stats["waste_fraction"] <= 1.0:
+                raise AssertionError(
+                    "batch-engine waste fraction out of [0, 1]"
+                )
+            if stats["busy_lane_cycles"] > (
+                stats["lanes"] * stats["cycles"]
+            ):
+                raise AssertionError(
+                    "batch-engine busier than lane capacity"
+                )
     dist = report["latency"]
     if not dist["p50"] <= dist["p95"] <= dist["p99"] <= dist["max"]:
         raise AssertionError("latency percentiles are not monotone")

@@ -56,7 +56,8 @@ class ServeConfig:
     def __init__(self, *, devices=2, pu_slots=8, packer="skew",
                  window_streams=64, max_pending_streams=4096,
                  tenant_weights=None, default_weight=1.0,
-                 arrival_spacing=0.0, memory_sim=False, slot_cap=64):
+                 arrival_spacing=0.0, memory_sim=False, slot_cap=64,
+                 batch_engine=True):
         #: number of independent device shards
         self.devices = devices
         #: PU slots per device; ``None`` sizes each app's batches from
@@ -79,6 +80,10 @@ class ServeConfig:
         self.memory_sim = memory_sim
         #: cap on area-model slot counts (keeps pure-Python batches sane)
         self.slot_cap = slot_cap
+        #: execute each batch's streams as one SIMD batch on the
+        #: vectorized engine when the app supports it (bit-identical to
+        #: per-stream simulation; falls back automatically otherwise)
+        self.batch_engine = batch_engine
 
     def as_dict(self):
         return {
@@ -91,6 +96,7 @@ class ServeConfig:
             "default_weight": self.default_weight,
             "arrival_spacing": self.arrival_spacing,
             "memory_sim": self.memory_sim,
+            "batch_engine": self.batch_engine,
         }
 
 

@@ -29,6 +29,10 @@ def main(argv=None):
                         help="number of programs to generate and check")
     parser.add_argument("--max-seconds", type=float, default=None,
                         help="stop starting new programs after this long")
+    parser.add_argument("--engines", default="interp,compiled",
+                        help="comma-separated software-engine axis "
+                             "(interp,compiled,batch); batch runs each "
+                             "program's streams as one ragged SIMD batch")
     parser.add_argument("--no-rtl", action="store_true",
                         help="skip the cycle-accurate RTL model")
     parser.add_argument("--no-verilog", action="store_true",
@@ -45,8 +49,20 @@ def main(argv=None):
                         help="suppress progress logging")
     options = parser.parse_args(argv)
 
+    engines = tuple(
+        name.strip() for name in options.engines.split(",") if name.strip()
+    )
+    known = {"interp", "compiled", "batch"}
+    unknown = [name for name in engines if name not in known]
+    if unknown:
+        parser.error(
+            f"unknown engine(s) {', '.join(unknown)}: "
+            f"choose from {', '.join(sorted(known))}"
+        )
+
     engine = ConformanceEngine(
         seed=options.seed,
+        engines=engines,
         max_programs=options.max_programs,
         max_seconds=options.max_seconds,
         rtl=not options.no_rtl,

@@ -92,9 +92,24 @@ def run_compiled(program, stream, unit):
     return outputs, state
 
 
+#: Default engine axis: the oracle plus the fast engine. Add ``"batch"``
+#: (``--engines interp,compiled,batch``) to also run every program's
+#: streams as one ragged SIMD batch.
+DEFAULT_ENGINES = ("interp", "compiled")
+
+
 def check_program(spec, streams, *, rtl=True, verilog=True,
-                  source_transform=None):
+                  source_transform=None, engines=DEFAULT_ENGINES):
     """Run every stream through every enabled model.
+
+    ``engines`` selects the software-engine axis: the interpreter oracle
+    always runs; ``"compiled"`` enables the per-stream fast-engine
+    comparison and ``"batch"`` additionally executes all of the
+    program's streams as *one ragged batch* on the SIMD engine (plus an
+    empty-stream lane and a batch-of-1 run), comparing outputs,
+    per-token virtual-cycle traces, and final register state against the
+    compiled engine. Batch-unsupported programs skip that stage — the
+    engine itself refuses them — so the axis is safe on any corpus.
 
     Returns the per-stream interpreter outputs on full agreement; raises
     :class:`Mismatch` on any disagreement or model crash. Raises the
@@ -166,4 +181,85 @@ def check_program(spec, streams, *, rtl=True, verilog=True,
                     f"stream {index}: outputs differ: interp={want} "
                     f"rtl={got_rtl} (stalls={sorted(stalls)})",
                 )
+
+    if "batch" in engines:
+        check_batch(program, streams)
     return expected
+
+
+def check_batch(program, streams):
+    """Differential stage for the SIMD batch engine.
+
+    Runs all ``streams`` plus one always-empty lane as a single ragged
+    batch and — when a non-empty stream exists — a batch of exactly one
+    lane, comparing outputs, per-token virtual-cycle and emit traces,
+    and final register state against per-stream
+    :class:`~repro.interp.compile.CompiledSimulator` runs (the
+    batch-of-1 == compiled property from the batch engine's contract).
+    No-op when the program is outside the batch engine's support set.
+    """
+    from ..interp.batch import batch_support, compile_batch, \
+        run_batch_streams
+
+    ok, _reason = batch_support(program)
+    if not ok:
+        return
+    try:
+        unit = compile_batch(program)
+    except FleetError as exc:
+        raise Mismatch(
+            "batch-compile",
+            f"batch engine rejected the program: {exc}",
+        )
+
+    lanes = [list(stream) for stream in streams] + [[]]
+    refs = []
+    for stream in lanes:
+        sim = CompiledSimulator(program, max_vcycles_per_token=MAX_VCYCLES)
+        outs = list(sim.run(stream))
+        state = {r.name: sim.peek_reg(r.name) for r in program.regs}
+        refs.append((outs, sim.trace, state))
+
+    batches = [("batch", lanes)]
+    if any(lanes[:-1]):
+        batches.append(("batch-of-1", [lanes[0]]))
+    for stage, batch_lanes in batches:
+        try:
+            result = run_batch_streams(
+                program, batch_lanes,
+                max_vcycles_per_token=MAX_VCYCLES, unit=unit,
+            )
+        except FleetError as exc:
+            raise Mismatch(
+                stage,
+                f"batch engine crashed: {type(exc).__name__}: {exc}",
+            )
+        for lane in range(len(batch_lanes)):
+            outs, trace, state = refs[lane]
+            if result.outputs[lane] != outs:
+                raise Mismatch(
+                    stage,
+                    f"lane {lane}: outputs differ: compiled={outs} "
+                    f"batch={result.outputs[lane]}",
+                )
+            got_trace = result.traces[lane]
+            if got_trace.vcycles_per_token != trace.vcycles_per_token:
+                raise Mismatch(
+                    stage,
+                    f"lane {lane}: virtual-cycle traces differ: "
+                    f"compiled={trace.vcycles_per_token} "
+                    f"batch={got_trace.vcycles_per_token}",
+                )
+            if got_trace.emits_per_token != trace.emits_per_token:
+                raise Mismatch(
+                    stage,
+                    f"lane {lane}: emit traces differ: "
+                    f"compiled={trace.emits_per_token} "
+                    f"batch={got_trace.emits_per_token}",
+                )
+            if result.reg_state(lane) != state:
+                raise Mismatch(
+                    stage,
+                    f"lane {lane}: final register state differs: "
+                    f"compiled={state} batch={result.reg_state(lane)}",
+                )

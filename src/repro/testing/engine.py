@@ -79,8 +79,10 @@ class ConformanceEngine:
     def __init__(self, *, seed=0, max_programs=100, max_seconds=None,
                  rtl=True, verilog=True, corpus_dir=None,
                  source_transform=None, shrink_failures=True,
-                 max_failures=5, config=None, log=None):
+                 max_failures=5, config=None, log=None,
+                 engines=differential.DEFAULT_ENGINES):
         self.seed = seed
+        self.engines = tuple(engines)
         self.max_programs = max_programs
         self.max_seconds = max_seconds
         self.rtl = rtl
@@ -120,6 +122,7 @@ class ConformanceEngine:
             differential.check_program(
                 spec, streams, rtl=self.rtl, verilog=self.verilog,
                 source_transform=self.source_transform,
+                engines=self.engines,
             )
             return None
         except differential.Mismatch as exc:
@@ -135,6 +138,7 @@ class ConformanceEngine:
             small, small_streams, _, attempts = shrinker.shrink(
                 spec, streams, rtl=self.rtl, verilog=self.verilog,
                 source_transform=self.source_transform,
+                engines=self.engines,
             )
             failure.shrunk_spec = small
             failure.shrunk_streams = small_streams

@@ -43,10 +43,12 @@ class Shrinker:
     failure stage reported by the differential runner."""
 
     def __init__(self, spec, streams, *, rtl=True, verilog=True,
-                 source_transform=None):
+                 source_transform=None,
+                 engines=differential.DEFAULT_ENGINES):
         self.rtl = rtl
         self.verilog = verilog
         self.source_transform = source_transform
+        self.engines = tuple(engines)
         self.stage = self._failure_stage(spec, streams)
         if self.stage is None:
             raise ValueError("program does not fail; nothing to shrink")
@@ -59,6 +61,7 @@ class Shrinker:
             differential.check_program(
                 spec, streams, rtl=self.rtl, verilog=self.verilog,
                 source_transform=self.source_transform,
+                engines=self.engines,
             )
         except differential.Mismatch as exc:
             return exc.stage
@@ -259,9 +262,10 @@ class Shrinker:
         return False
 
 
-def shrink(spec, streams, *, rtl=True, verilog=True, source_transform=None):
+def shrink(spec, streams, *, rtl=True, verilog=True, source_transform=None,
+           engines=differential.DEFAULT_ENGINES):
     """Convenience wrapper; returns ``(spec, streams, stage, attempts)``."""
     shrinker = Shrinker(spec, streams, rtl=rtl, verilog=verilog,
-                        source_transform=source_transform)
+                        source_transform=source_transform, engines=engines)
     spec, streams = shrinker.run()
     return spec, streams, shrinker.stage, shrinker.attempts

@@ -32,6 +32,21 @@ def test_quick_run_structure_and_exactness():
     assert overhead["overhead_ratio"] > 0
     assert isinstance(overhead["disabled_faster"], bool)
 
+    # Batch-engine section: exactness always holds; the 10x aggregate
+    # floor is only asserted by the full benchmark run.
+    batch = results["batch_engine"]
+    if "cases" in batch:  # skipped when numpy is unavailable
+        assert [c["name"] for c in batch["cases"]] == [
+            f"batch_engine/{name}"
+            for name in ("bloom_filter", "regex_match", "int_coding",
+                         "smith_waterman")
+        ]
+        for case in batch["cases"]:
+            assert case["match"], case["name"]
+            assert case["backend"] in ("numpy", "cc")
+            assert 0.0 <= case["occupancy"]["waste_fraction"] <= 1.0
+        assert batch["aggregate"]["all_match"]
+
     rendered = render_perf_json(results)
     parsed = json.loads(rendered)
     assert parsed["aggregate"]["all_match"] is True
@@ -39,3 +54,6 @@ def test_quick_run_structure_and_exactness():
     table = format_perf(results)
     assert "unit_sim/json_parsing" in table
     assert "aggregate" in table
+    if "cases" in batch:
+        assert "batch_engine/bloom_filter" in table
+        assert "batch aggregate" in table

@@ -1,0 +1,199 @@
+"""The SIMD batch engine must be indistinguishable from N independent
+compiled-engine runs: identical output tokens, identical per-token
+virtual-cycle and emit traces, identical final architectural state —
+across ragged batches, empty streams, batch-of-1, and both the NumPy and
+native-kernel backends."""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    block_frequencies_unit,
+    bloom_filter_unit,
+    identity_unit,
+    int_coding_unit,
+    regex_match_unit,
+    smith_waterman_unit,
+)
+from repro.interp import (
+    BatchStreamSimulator,
+    CompiledSimulator,
+    batch_engine_for,
+    batch_support,
+    cc_available,
+    compile_batch,
+    env_engine,
+    make_simulator,
+    numpy_available,
+    run_batch_streams,
+)
+from repro.lang import FleetConfigError, UnitBuilder
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy unavailable"
+)
+
+APPS = {
+    "identity": (identity_unit, lambda rng: rng.randrange(256)),
+    "block_frequencies": (block_frequencies_unit,
+                          lambda rng: rng.randrange(256)),
+    "bloom_filter": (bloom_filter_unit, lambda rng: rng.randrange(256)),
+    "int_coding": (int_coding_unit, lambda rng: rng.randrange(256)),
+    "regex_match": (regex_match_unit,
+                    lambda rng: rng.choice(b"ab.@x \nuser@host.com")),
+    "smith_waterman": (smith_waterman_unit, lambda rng: rng.randrange(4)),
+}
+
+
+def _ragged_streams(sample, *, lanes=7, tokens=60, seed=0):
+    rng = random.Random(seed)
+    streams = [
+        [sample(rng) for _ in range(rng.randrange(tokens))]
+        for _ in range(lanes)
+    ]
+    streams[1] = []  # always cover an empty lane
+    return streams
+
+
+def _reference(program, stream):
+    sim = CompiledSimulator(program, unit=None)
+    outputs = sim.run(stream)
+    regs = {r.name: sim.peek_reg(r.name) for r in program.regs}
+    brams = {b.name: sim.peek_bram(b.name) for b in program.brams}
+    return (outputs, sim.trace.vcycles_per_token,
+            sim.trace.emits_per_token, regs, brams)
+
+
+def _check_batch(program, streams, unit=None):
+    result = run_batch_streams(program, streams, unit=unit)
+    for lane, stream in enumerate(streams):
+        outputs, vcycles, emits, regs, brams = _reference(program, stream)
+        assert result.outputs[lane] == outputs, lane
+        assert result.traces[lane].vcycles_per_token == vcycles, lane
+        assert result.traces[lane].emits_per_token == emits, lane
+        assert result.reg_state(lane) == regs, lane
+        for name, contents in brams.items():
+            assert result.peek_bram(lane, name) == contents, (lane, name)
+    return result
+
+
+@requires_numpy
+@pytest.mark.parametrize("key", sorted(APPS))
+def test_apps_ragged_batch_trace_exact(key):
+    make, sample = APPS[key]
+    program = make()
+    _check_batch(program, _ragged_streams(sample, seed=hash(key) & 0xFF))
+
+
+@requires_numpy
+@pytest.mark.parametrize("key", ["block_frequencies", "int_coding"])
+def test_batch_of_one_matches_compiled(key):
+    make, sample = APPS[key]
+    program = make()
+    rng = random.Random(3)
+    _check_batch(program, [[sample(rng) for _ in range(120)]])
+
+
+@requires_numpy
+def test_all_empty_batch():
+    program = block_frequencies_unit()
+    result = _check_batch(program, [[], [], []])
+    assert result.stats.lanes == 3
+    # Every lane still runs its cleanup cycle.
+    assert all(t.vcycles_per_token == [1] for t in result.traces)
+
+
+@requires_numpy
+@pytest.mark.parametrize(
+    "backend",
+    ["numpy"] + (["cc"] if cc_available() else []),
+)
+def test_backends_agree(backend):
+    program = bloom_filter_unit()
+    unit = compile_batch(program, backend=backend)
+    assert (unit.cc is not None) == (backend == "cc")
+    _check_batch(program, _ragged_streams(APPS["bloom_filter"][1]),
+                 unit=unit)
+
+
+@requires_numpy
+def test_batch_stats_occupancy():
+    program = identity_unit()
+    result = run_batch_streams(program, [[1, 2, 3], [7], []])
+    stats = result.stats
+    # identity: 1 vcycle per token + 1 cleanup cycle per lane.
+    assert stats.lane_vcycles == [4, 2, 1]
+    assert stats.lanes == 3 and stats.cycles == 4
+    assert stats.busy_lane_cycles == 7
+    assert stats.active_lanes_at(1) == 3
+    assert stats.active_lanes_at(4) == 1
+    assert stats.waste_fraction == pytest.approx(1 - 7 / 12)
+    d = stats.as_dict()
+    assert d["lanes"] == 3 and d["busy_lane_cycles"] == 7
+
+
+@requires_numpy
+def test_batch_stream_simulator_is_drop_in():
+    program = block_frequencies_unit()
+    stream = [(i * 31) % 256 for i in range(300)]
+    batch = make_simulator(program, engine="batch")
+    assert isinstance(batch, BatchStreamSimulator)
+    compiled = make_simulator(program, engine="compiled")
+    assert batch.run(stream) == compiled.run(stream)
+    assert batch.trace.vcycles_per_token == \
+        compiled.trace.vcycles_per_token
+    for reg in program.regs:
+        assert batch.peek_reg(reg.name) == compiled.peek_reg(reg.name)
+
+
+def test_fleet_engine_typo_raises(monkeypatch):
+    monkeypatch.setenv("FLEET_ENGINE", "bacth")
+    with pytest.raises(FleetConfigError, match="FLEET_ENGINE"):
+        env_engine()
+
+
+def test_fleet_batch_backend_typo_raises(monkeypatch):
+    from repro.interp.batch import batch_backend_env
+
+    monkeypatch.setenv("FLEET_BATCH_BACKEND", "native")
+    with pytest.raises(FleetConfigError, match="FLEET_BATCH_BACKEND"):
+        batch_backend_env()
+
+
+@requires_numpy
+def test_fleet_engine_batch_upgrades_auto(monkeypatch):
+    monkeypatch.setenv("FLEET_ENGINE", "batch")
+    program = identity_unit()
+    sim = make_simulator(program, engine="auto")
+    assert isinstance(sim, BatchStreamSimulator)
+    assert sim.run([5, 6, 7]) == [5, 6, 7]
+
+
+def test_unsupported_program_falls_back():
+    # A 100-element BRAM fails the power-of-two state-shape gate shared
+    # with the compiled engine's totality condition.
+    b = UnitBuilder("odd_bram", input_width=8, output_width=8)
+    table = b.bram("table", elements=100, width=8)
+    b.emit(b.input)
+    table[b.input & 63] = b.input
+    program = b.finish()
+    ok, reason = batch_support(program)
+    assert not ok and reason
+    assert batch_engine_for(program) is None
+    with pytest.raises(Exception):
+        compile_batch(program)
+
+
+@requires_numpy
+def test_loop_limit_message_matches_compiled():
+    b = UnitBuilder("spin", input_width=8, output_width=8)
+    r = b.reg("r", width=8, init=0)
+    with b.while_(r < 200):
+        r.set(r & 0)  # r stays 0: never terminates
+    program = b.finish()
+    with pytest.raises(Exception) as batch_err:
+        run_batch_streams(program, [[1]], max_vcycles_per_token=50)
+    with pytest.raises(Exception) as compiled_err:
+        CompiledSimulator(program, max_vcycles_per_token=50).run([1])
+    assert str(batch_err.value) == str(compiled_err.value)

@@ -78,3 +78,49 @@ def test_rtl_model_runs_under_stalls():
     outputs = differential.check_program(spec, streams, rtl=True,
                                          verilog=False)
     assert len(outputs) == 3
+
+
+def test_batch_engine_axis_agrees():
+    pytest.importorskip("numpy")
+    spec = {
+        "name": "acc", "input_width": 8, "output_width": 10,
+        "regs": [["acc", 10, 0]], "vregs": [], "brams": [],
+        "body": [
+            ["set", "acc", ["bin", "add", ["reg", "acc"], ["input"]]],
+            ["emit", ["reg", "acc"]],
+        ],
+    }
+    # Ragged streams incl. an empty one; check_batch also appends an
+    # extra empty lane and a batch-of-1 re-run internally.
+    differential.check_program(
+        spec, [[1, 2, 3], [], [9]], rtl=False, verilog=False,
+        engines=("interp", "compiled", "batch"),
+    )
+
+
+def test_batch_engine_axis_detects_injected_bug():
+    pytest.importorskip("numpy")
+    spec = {
+        "name": "sub", "input_width": 8, "output_width": 8,
+        "regs": [], "vregs": [], "brams": [],
+        "body": [["emit", ["bin", "sub", ["const", 10, 4], ["input"]]]],
+    }
+    # The planted miscompile lives in the *compiled* engine, so the
+    # batch stage (which compares against a clean compiled reference)
+    # must not mask it: the run still fails at the compiled stage.
+    with pytest.raises(differential.Mismatch) as info:
+        differential.check_program(
+            spec, [[3]], rtl=False, verilog=False,
+            engines=("interp", "compiled", "batch"),
+            source_transform=lambda src: src.replace(" - ", " + "),
+        )
+    assert info.value.stage == "compiled"
+
+
+def test_small_fuzz_budget_with_batch_axis():
+    pytest.importorskip("numpy")
+    report = ConformanceEngine(
+        seed="pytest-batch", max_programs=15, rtl=False, verilog=False,
+        engines=("interp", "compiled", "batch"),
+    ).run()
+    assert report.ok, report.summary()
