@@ -40,6 +40,15 @@ def test_perf_regression(once):
         "instrumented one — instrumentation cost leaked into the "
         "disabled path"
     )
+    telemetry = results["telemetry_overhead"]
+    assert telemetry["reports_identical"], (
+        "serve reports diverged with telemetry enabled — metrics leaked "
+        "into the deterministic report"
+    )
+    assert telemetry["pass"], (
+        f"telemetry overhead {telemetry['overhead_ratio']:.2f}x exceeds "
+        f"the {telemetry['ceiling']:.2f}x ceiling (or recorded nothing)"
+    )
     lint = results["lint_certified"]
     assert lint["all_certified"], (
         "a catalog unit lost its clean restriction certificate"
@@ -79,6 +88,13 @@ def main(argv):
         return 1
     if not quick and not results["obs_overhead"]["disabled_faster"]:
         print("ERROR: obs-disabled run not faster than instrumented")
+        return 1
+    telemetry = results["telemetry_overhead"]
+    if not telemetry["pass"]:
+        print(f"ERROR: telemetry overhead "
+              f"{telemetry['overhead_ratio']:.2f}x exceeds the "
+              f"{telemetry['ceiling']:.2f}x ceiling, recorded nothing, "
+              f"or changed the serve report")
         return 1
     lint = results["lint_certified"]
     if not (lint["all_certified"] and lint["all_match"]):

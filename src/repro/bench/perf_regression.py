@@ -20,8 +20,11 @@ ratios — and is the number the CI smoke check watches.
 The results also carry an ``obs_overhead`` section
 (:func:`run_obs_overhead`): the same memory simulation timed with
 observability (:mod:`repro.obs`) disabled and enabled, guarding that the
-disabled path never inherits instrumentation cost — a ``serve``
-section (:func:`repro.bench.serve_perf.run_serve_comparison`): the
+disabled path never inherits instrumentation cost — a
+``telemetry_overhead`` section (:func:`run_telemetry_overhead`): the
+same serve workload with live telemetry (:mod:`repro.telemetry`)
+disabled and enabled, guarding the <= 5% overhead ceiling and that
+reports stay byte-identical — a ``serve`` section (:func:`repro.bench.serve_perf.run_serve_comparison`): the
 serving scheduler's FIFO-vs-skew-packing and 1-vs-2-device makespans on
 a Zipf stream-length workload, with their CI speedup floors — and a
 ``lint_certified`` section (:func:`run_lint_certified`): the same
@@ -142,6 +145,133 @@ def run_obs_overhead(quick=False, pus=128, stream_bytes=1 << 16,
         "enabled_seconds": enabled,
         "overhead_ratio": enabled / disabled if disabled else 0.0,
         "disabled_faster": disabled < enabled,
+    }
+
+
+#: CI ceiling on serve CPU time with telemetry enabled vs disabled.
+TELEMETRY_OVERHEAD_CEILING = 1.05
+
+
+def run_telemetry_overhead(quick=False, rounds=5, seed=20260809,
+                           slots=8):
+    """Guard that live telemetry (:mod:`repro.telemetry`) is cheap
+    enough to leave on: time the same seeded Zipf serve workload with
+    telemetry disabled and enabled. The bench asserts
+    ``overhead_ratio`` stays at or below
+    :data:`TELEMETRY_OVERHEAD_CEILING`, that the enabled run actually
+    recorded samples, and that the two runs' reports stayed
+    byte-identical (metrics must never feed reports).
+
+    A 5% bound sits at the noise floor of wall-clock timing on a
+    threaded workload, so the measurement is built for robustness
+    rather than speed: process CPU time (``time.process_time`` sums
+    compute across threads and ignores condition-variable waits, which
+    is where scheduler jitter lands), the cyclic GC parked during each
+    timed run (collector pauses otherwise dominate the delta), and
+    disabled/enabled runs interleaved in adjacent pairs — alternating
+    which side of the pair runs first — with the *median* per-pair
+    ratio reported (adjacent pairs cancel machine drift, alternation
+    cancels within-pair ordering bias, the median sheds one-off
+    outliers). Quick mode uses a
+    looser ceiling — its workload is too short for a stable 5% bound —
+    while the committed full-mode ``BENCH_PERF.json`` number holds the
+    real one."""
+    import gc
+    import json as _json
+    import random
+    import statistics
+
+    from ..serve import FleetServer, ServeConfig
+    from ..serve.workload import make_streams, zipf_lengths
+    from ..telemetry import metrics
+
+    n, lo, hi = (120, 32, 1_200) if quick else (1_200, 256, 6_000)
+    rnd = random.Random(seed)
+    streams = make_streams(
+        rnd, zipf_lengths(rnd, n, alpha=1.2, lo=lo, hi=hi)
+    )
+
+    def run():
+        config = ServeConfig(
+            devices=1, pu_slots=slots, packer="skew",
+            window_streams=64, max_pending_streams=1 << 30,
+        )
+        with FleetServer(config=config) as server:
+            # Four streams per job — the serving model's natural shape
+            # (one request carries many records).
+            for index in range(0, len(streams), 4):
+                server.submit(
+                    "identity", streams[index:index + 4],
+                    tenant=f"tenant{(index // 4) % 4}",
+                )
+            server.drain()
+            return _json.dumps(server.report(), sort_keys=True)
+
+    def timed():
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.process_time()
+            report = run()
+            return time.process_time() - start, report
+        finally:
+            gc.enable()
+
+    # Warm both paths (imports, compiled-app cache, allocator pools).
+    with metrics.enabled_scope(False):
+        run()
+    with metrics.enabled_scope():
+        metrics.reset()
+        run()
+        metrics.reset()
+    pair_ratios = []
+    disabled_runs = []
+    enabled_runs = []
+    samples = 0
+
+    def timed_disabled():
+        with metrics.enabled_scope(False):
+            disabled_runs.append(timed())
+
+    def timed_enabled():
+        nonlocal samples
+        with metrics.enabled_scope():
+            metrics.reset()
+            enabled_runs.append(timed())
+            samples = sum(
+                len(f["samples"]) for f in metrics.snapshot().values()
+            )
+            metrics.reset()
+
+    for index in range(rounds):
+        if index % 2:
+            timed_enabled()
+            timed_disabled()
+        else:
+            timed_disabled()
+            timed_enabled()
+        pair_ratios.append(
+            enabled_runs[-1][0] / disabled_runs[-1][0]
+            if disabled_runs[-1][0] else 0.0
+        )
+    disabled = min(seconds for seconds, _ in disabled_runs)
+    enabled = min(seconds for seconds, _ in enabled_runs)
+    ratio = statistics.median(pair_ratios) if pair_ratios else 0.0
+    identical = disabled_runs[-1][1] == enabled_runs[-1][1]
+    ceiling = 1.25 if quick else TELEMETRY_OVERHEAD_CEILING
+    return {
+        "workload": {
+            "streams": n, "min_bytes": lo, "max_bytes": hi,
+            "seed": seed, "rounds": rounds,
+        },
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_ratio": ratio,
+        "pair_ratios": pair_ratios,
+        "ceiling": ceiling,
+        "samples_recorded": samples,
+        "reports_identical": identical,
+        "pass": ratio <= ceiling and identical and samples > 0,
     }
 
 
@@ -331,6 +461,7 @@ def run_perf_regression(quick=False):
             "all_match": all(b["match"] for b in benchmarks),
         },
         "obs_overhead": run_obs_overhead(quick),
+        "telemetry_overhead": run_telemetry_overhead(quick),
         "serve": run_serve_comparison(quick),
         "lint_certified": run_lint_certified(quick),
         "batch_engine": run_batch_engine(quick),

@@ -139,6 +139,17 @@ def format_perf(results):
             f"{overhead['overhead_ratio']:>8.2f}x"
             f"{'yes' if overhead['disabled_faster'] else 'NO':>7}"
         )
+    telemetry = results.get("telemetry_overhead")
+    if telemetry:
+        # Same serve workload with repro.telemetry disabled vs enabled;
+        # "exact" = ratio under the ceiling AND reports byte-identical.
+        lines.append(
+            f"{'telemetry off vs on':<28}"
+            f"{telemetry['disabled_seconds']:>9.3f}s"
+            f"{telemetry['enabled_seconds']:>9.3f}s"
+            f"{telemetry['overhead_ratio']:>8.2f}x"
+            f"{'yes' if telemetry['pass'] else 'NO':>7}"
+        )
     lint = results.get("lint_certified")
     if lint:
         # Same interpreter, dynamic restriction checks on vs disabled by

@@ -65,12 +65,14 @@ import importlib.util
 import os
 import re
 import tempfile
+import time
 
 try:  # pragma: no cover - exercised both ways across environments
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None
 
+from ..envcfg import env_choice
 from ..lang import ast
 from ..lang.errors import (
     FleetConfigError,
@@ -78,8 +80,27 @@ from ..lang.errors import (
     FleetSimulationError,
 )
 from ..lang.types import MACHINE_WIDTH, machine_bits, mask
+from ..telemetry.metrics import counter as _tm_counter
+from ..telemetry.metrics import enabled as _tm_enabled
+from ..telemetry.metrics import histogram as _tm_histogram
 from .compile import _Codegen as _ScalarCodegen
 from .trace import StreamTrace
+
+#: Live telemetry (repro.telemetry; zero-cost unless FLEET_METRICS).
+_BATCH_FALLBACKS = _tm_counter(
+    "fleet_batch_fallback_total",
+    "batch_engine_for() declined and callers fell back to per-stream "
+    "engines",
+    ("reason",),
+)
+_BATCH_COMPILES = _tm_counter(
+    "fleet_batch_compiles_total",
+    "Unit programs lowered to the SIMD batch engine",
+)
+_NATIVE_BUILD_SECONDS = _tm_histogram(
+    "fleet_batch_native_build_seconds",
+    "Wall-clock seconds per native (cffi) batch-kernel build or load",
+)
 
 #: Shown when the batch engine is requested but NumPy is not importable.
 NUMPY_HINT = (
@@ -1795,18 +1816,10 @@ def batch_backend_env():
     ``auto`` (the default) uses the native tier when a C toolchain is
     available and falls back to NumPy; ``numpy``/``cc`` force a tier.
     Unknown values raise :class:`FleetConfigError` immediately rather
-    than silently running the wrong backend.
+    than silently running the wrong backend (the shared
+    :func:`repro.envcfg.env_choice` validator).
     """
-    value = os.environ.get("FLEET_BATCH_BACKEND")
-    if not value:
-        return "auto"
-    norm = value.strip().lower()
-    if norm not in _CC_BACKENDS:
-        raise FleetConfigError(
-            f"FLEET_BATCH_BACKEND={value!r} is not a recognized batch "
-            f"backend: choose one of {', '.join(_CC_BACKENDS)}"
-        )
-    return norm
+    return env_choice("FLEET_BATCH_BACKEND", _CC_BACKENDS, "auto")
 
 
 def _cc_cache_dir():
@@ -1886,6 +1899,7 @@ def _try_cc_build(program, unit, required=False):
             )
         return None
     try:
+        started = time.perf_counter() if _tm_enabled() else None
         source = _CCodegen(program, unit).generate()
         nsg = len(unit.state_groups)
         sg_params = "".join(f", uint64_t *sg{g}" for g in range(nsg))
@@ -1898,6 +1912,8 @@ def _try_cc_build(program, unit, required=False):
         )
         tag = re.sub(r"\W+", "_", program.name)[:24] or "prog"
         lib, ffi = _cc_load(cdef, source, tag)
+        if started is not None:
+            _NATIVE_BUILD_SECONDS.observe(time.perf_counter() - started)
         return _CcKernel(lib, ffi, source, nsg)
     except Exception as exc:
         _CC_LAST_ERROR = exc
@@ -2080,6 +2096,7 @@ def compile_batch(program, backend=None):
     }
     code = compile(source, f"<fleet-batch:{program.name}>", "exec")
     exec(code, namespace)
+    _BATCH_COMPILES.inc()
     unit = BatchUnit(program, namespace["run_batch"], source, codegen)
     want = batch_backend_env() if backend is None else backend
     if want not in _CC_BACKENDS:
@@ -2122,13 +2139,16 @@ def batch_engine_for(program, check_restrictions=True):
 
     env = env_engine()
     if env in ("interp", "compiled"):
+        _BATCH_FALLBACKS.inc(reason="env_veto")
         return None
     unit = try_compile_batch(program)
     if unit is None:
+        _BATCH_FALLBACKS.inc(reason="unsupported")
         return None
     if env == "batch":
         return unit
     if check_restrictions and not _checks_elidable(program):
+        _BATCH_FALLBACKS.inc(reason="no_certificate")
         return None
     return unit
 

@@ -44,16 +44,39 @@ Set the environment variable ``FLEET_ENGINE=interp`` to disable the fast
 path globally and force the authoritative interpreter oracle.
 """
 
-import os
+import time
 
+from ..envcfg import env_choice
 from ..lang import ast
 from ..lang.errors import (
-    FleetConfigError,
     FleetLoopLimitError,
     FleetSimulationError,
 )
 from ..lang.types import mask
+from ..telemetry.metrics import counter as _tm_counter
+from ..telemetry.metrics import enabled as _tm_enabled
+from ..telemetry.metrics import histogram as _tm_histogram
 from .trace import StreamTrace
+
+#: Live telemetry (repro.telemetry; zero-cost unless FLEET_METRICS).
+_ENGINE_SELECTED = _tm_counter(
+    "fleet_interp_engine_selected_total",
+    "Simulator engines handed out by make_simulator()",
+    ("engine",),
+)
+_COMPILES = _tm_counter(
+    "fleet_interp_compiles_total",
+    "Unit programs lowered by the compiled engine",
+)
+_COMPILE_SECONDS = _tm_histogram(
+    "fleet_interp_compile_seconds",
+    "Wall-clock seconds per compiled-engine lowering",
+)
+_CHECK_ELISIONS = _tm_counter(
+    "fleet_lint_check_elisions_total",
+    "Dynamic restriction-check elision decisions, by outcome",
+    ("result",),
+)
 
 #: Maximum nesting of a rendered (inline) expression; deeper chains are
 #: hoisted into temporaries so generated source never stresses the parser.
@@ -563,6 +586,7 @@ def compile_program(program):
             f"program {program.name!r} is not compilable: every BRAM and "
             "vector register needs a power-of-two element count"
         )
+    started = time.perf_counter() if _tm_enabled() else None
     try:
         source = _Codegen(program).generate()
     except _Unsupported as exc:
@@ -577,6 +601,9 @@ def compile_program(program):
     }
     code = compile(source, f"<fleet-compiled:{program.name}>", "exec")
     exec(code, namespace)
+    if started is not None:
+        _COMPILES.inc()
+        _COMPILE_SECONDS.observe(time.perf_counter() - started)
     return CompiledUnit(
         program, namespace["run_token"], namespace["run_stream"], source
     )
@@ -618,7 +645,9 @@ def _checks_elidable(program):
     from ..lint.certificate import certificate_for
 
     certificate = certificate_for(program)
-    return certificate.ok and certificate.covers(program)
+    elidable = certificate.ok and certificate.covers(program)
+    _CHECK_ELISIONS.inc(result="elided" if elidable else "kept")
+    return elidable
 
 
 #: Engines selectable through the ``FLEET_ENGINE`` environment variable.
@@ -631,19 +660,12 @@ def env_engine():
 
     A typo like ``FLEET_ENGINE=compield`` would otherwise silently fall
     back to the default engine — precisely when the user is trying to
-    pin one — so unknown values raise :class:`FleetConfigError` at the
-    first engine-selection point instead.
+    pin one — so unknown values raise
+    :class:`~repro.lang.errors.FleetConfigError` at the first
+    engine-selection point instead (via the shared
+    :func:`repro.envcfg.env_choice` validator).
     """
-    value = os.environ.get("FLEET_ENGINE")
-    if not value:
-        return "auto"
-    norm = value.strip().lower()
-    if norm not in _ENGINE_CHOICES:
-        raise FleetConfigError(
-            f"FLEET_ENGINE={value!r} is not a recognized engine: "
-            f"choose one of {', '.join(_ENGINE_CHOICES)}"
-        )
-    return norm
+    return env_choice("FLEET_ENGINE", _ENGINE_CHOICES, "auto")
 
 
 def fast_engine_for(program, check_restrictions=True):
@@ -783,12 +805,14 @@ def make_simulator(program, *, check_restrictions=True,
     from .simulator import UnitSimulator
 
     if engine == "interp":
+        _ENGINE_SELECTED.inc(engine="interp")
         return UnitSimulator(
             program, check_restrictions=check_restrictions,
             max_vcycles_per_token=max_vcycles_per_token, engine="interp",
             certificate=certificate,
         )
     if engine == "compiled":
+        _ENGINE_SELECTED.inc(engine="compiled")
         return CompiledSimulator(
             program, check_restrictions=check_restrictions,
             max_vcycles_per_token=max_vcycles_per_token,
@@ -796,6 +820,7 @@ def make_simulator(program, *, check_restrictions=True,
     if engine == "batch":
         from .batch import BatchStreamSimulator
 
+        _ENGINE_SELECTED.inc(engine="batch")
         return BatchStreamSimulator(
             program, check_restrictions=check_restrictions,
             max_vcycles_per_token=max_vcycles_per_token,
@@ -807,6 +832,7 @@ def make_simulator(program, *, check_restrictions=True,
 
         batch_unit = batch_engine_for(program)
         if batch_unit is not None:
+            _ENGINE_SELECTED.inc(engine="batch")
             return BatchStreamSimulator(
                 program, check_restrictions=check_restrictions,
                 max_vcycles_per_token=max_vcycles_per_token,
@@ -817,10 +843,12 @@ def make_simulator(program, *, check_restrictions=True,
         check_restrictions = False
     unit = fast_engine_for(program, check_restrictions)
     if unit is not None:
+        _ENGINE_SELECTED.inc(engine="compiled")
         return CompiledSimulator(
             program, check_restrictions=check_restrictions,
             max_vcycles_per_token=max_vcycles_per_token, unit=unit,
         )
+    _ENGINE_SELECTED.inc(engine="interp")
     return UnitSimulator(
         program, check_restrictions=check_restrictions,
         max_vcycles_per_token=max_vcycles_per_token, engine="interp",

@@ -31,6 +31,19 @@ import hashlib
 
 from ..lang import ast
 from ..lang.errors import FleetError
+from ..telemetry.metrics import counter as _tm_counter
+
+#: Live telemetry (repro.telemetry; zero-cost unless FLEET_METRICS).
+_CERTIFICATES = _tm_counter(
+    "fleet_lint_certificates_total",
+    "Restriction certificates issued, by verdict",
+    ("verdict",),
+)
+_CERT_LOOKUPS = _tm_counter(
+    "fleet_lint_certificate_lookups_total",
+    "certificate_for() lookups, by cache outcome",
+    ("result",),
+)
 
 
 class RestrictionCertificate:
@@ -200,6 +213,7 @@ def certify_program(program, report=None):
         )
     for finding in report.errors:
         reasons.append(f"error finding: {finding.render()}")
+    _CERTIFICATES.inc(verdict="clean" if not reasons else "rejected")
     return RestrictionCertificate(
         program_name=program.name,
         fingerprint=program_fingerprint(program),
@@ -216,7 +230,9 @@ def certificate_for(program):
     object; programs are immutable after ``finish()``)."""
     cached = getattr(program, "_fleet_certificate", None)
     if cached is not None:
+        _CERT_LOOKUPS.inc(result="hit")
         return cached
+    _CERT_LOOKUPS.inc(result="miss")
     try:
         certificate = certify_program(program)
     except FleetError as exc:

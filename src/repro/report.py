@@ -17,6 +17,14 @@ written by ``python -m repro.serve --json PATH``): per-job latency
 percentiles, queue wait vs device time, and per-tenant share. Pass
 ``--serve demo`` to run the deterministic demo workload inline.
 
+``--metrics`` runs the demo serve workload with live telemetry
+(:mod:`repro.telemetry`) enabled and renders the metrics dashboard;
+``--watch`` turns it into a refreshing terminal dashboard over repeated
+workload rounds, ``--prometheus PATH`` writes the Prometheus text
+exposition, and ``--metrics --selftest`` validates the zero-cost-when-
+disabled contract, the exposition schema, and snapshot/delta semantics
+(the CI step).
+
 ``--prove APP`` renders the restriction prover's
 :meth:`~repro.lang.prover.ProofReport.render` output and the resulting
 lint :class:`~repro.lint.RestrictionCertificate` for one application
@@ -154,6 +162,132 @@ def _serve_section(source):
     return report
 
 
+def _metrics_demo_round(jobs=12, seed=1234):
+    """One demo serve round feeding the process-wide registry (the
+    workload ``--metrics`` observes)."""
+    from .serve.__main__ import run_demo
+
+    report, server = run_demo(jobs=jobs, seed=seed)
+    server.stop()
+    return report
+
+
+def _metrics_selftest():
+    """CI contract for the telemetry stack: disabled runs record
+    nothing, enabled runs produce a schema-valid Prometheus exposition
+    and a coherent dashboard, and delta(snapshot2, snapshot1) matches
+    the second round's activity."""
+    from .telemetry import metrics
+    from .telemetry.dashboard import render_dashboard
+    from .telemetry.prometheus import render_prometheus, validate_prometheus
+
+    # 1. Zero-cost when disabled: a full serve round must not record.
+    with metrics.enabled_scope(False):
+        metrics.reset()
+        _metrics_demo_round()
+        empty = metrics.snapshot()
+    recorded = sum(len(f["samples"]) for f in empty.values())
+    assert recorded == 0, (
+        f"telemetry disabled but {recorded} samples recorded — the "
+        "disabled path is not zero-cost"
+    )
+    print("metrics selftest: disabled run recorded nothing")
+
+    # 2. Enabled: expected families populate, exposition validates.
+    with metrics.enabled_scope():
+        metrics.reset()
+        _metrics_demo_round()
+        first = metrics.snapshot()
+        _metrics_demo_round()
+        second = metrics.snapshot()
+    for name in (
+        "fleet_serve_jobs_submitted_total",
+        "fleet_serve_batches_executed_total",
+        "fleet_serve_stream_vcycles",
+        "fleet_interp_compiles_total",
+        "fleet_serve_app_cache_lookups_total",
+    ):
+        family = first.get(name)
+        assert family and family["samples"], (
+            f"expected metric {name} not recorded by the demo workload"
+        )
+    text = render_prometheus(second)
+    validate_prometheus(text)
+    print(f"metrics selftest: exposition OK "
+          f"({len(text.splitlines())} lines, "
+          f"{len(second)} families)")
+
+    # 3. Delta semantics: the second round's job count must equal the
+    # counter delta (both rounds are the same deterministic workload).
+    change = metrics.delta(second, first)
+    jobs_first = sum(
+        s["value"]
+        for s in first["fleet_serve_jobs_submitted_total"]["samples"]
+    )
+    jobs_delta = sum(
+        s["value"]
+        for s in change["fleet_serve_jobs_submitted_total"]["samples"]
+    )
+    assert jobs_delta == jobs_first, (
+        f"delta jobs {jobs_delta} != one round's jobs {jobs_first}"
+    )
+    validate_prometheus(render_prometheus(change))
+    dashboard = render_dashboard(second)
+    assert "jobs accepted" in dashboard and "stream vcycles" in dashboard
+    print("metrics selftest: snapshot/delta + dashboard OK")
+    return 0
+
+
+def _metrics_section(args):
+    """The ``--metrics`` mode: demo workload + dashboard (or ``--watch``
+    live refresh / ``--prometheus`` exposition / ``--selftest``)."""
+    from .telemetry import metrics
+    from .telemetry.dashboard import render_dashboard
+    from .telemetry.prometheus import render_prometheus, validate_prometheus
+
+    if args.selftest:
+        return _metrics_selftest()
+
+    with metrics.enabled_scope():
+        metrics.reset()
+        if args.watch:
+            previous = metrics.snapshot()
+            frame = 0
+            try:
+                while args.frames <= 0 or frame < args.frames:
+                    _metrics_demo_round(seed=args.seed + frame)
+                    current = metrics.snapshot()
+                    view = metrics.delta(current, previous)
+                    previous = current
+                    frame += 1
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                    print(render_dashboard(
+                        view,
+                        title=f"fleet telemetry — frame {frame} "
+                              f"(delta per round)",
+                    ))
+                    sys.stdout.flush()
+                    if args.frames <= 0 or frame < args.frames:
+                        time.sleep(args.interval)
+            except KeyboardInterrupt:
+                pass
+            return 0
+        _metrics_demo_round(seed=args.seed)
+        snap = metrics.snapshot()
+    print(render_dashboard(snap))
+    if args.prometheus:
+        text = render_prometheus(snap)
+        validate_prometheus(text)
+        if args.prometheus == "-":
+            print()
+            print(text, end="")
+        else:
+            with open(args.prometheus, "w") as fh:
+                fh.write(text)
+            print(f"\nwrote Prometheus exposition to {args.prometheus}")
+    return 0
+
+
 def _prove_section(name):
     """Render the ``--prove`` section: the restriction prover's report
     and the resulting lint certificate for one application unit (or all
@@ -205,8 +339,26 @@ def main(argv=None):
                         help="render the restriction prover's report and "
                              "the lint certificate for one application "
                              "unit ('all' for every unit)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="run the demo serve workload with live "
+                             "telemetry enabled and render the metrics "
+                             "dashboard (combine with --watch, "
+                             "--prometheus, or --selftest)")
+    parser.add_argument("--watch", action="store_true",
+                        help="with --metrics: refresh the dashboard "
+                             "live over repeated workload rounds")
+    parser.add_argument("--frames", type=int, default=0,
+                        help="with --watch: stop after N frames "
+                             "(0 = until interrupted)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="with --watch: seconds between frames")
+    parser.add_argument("--prometheus", metavar="PATH",
+                        help="with --metrics: write the Prometheus text "
+                             "exposition ('-' for stdout)")
     args = parser.parse_args(argv)
 
+    if args.metrics:
+        return _metrics_section(args)
     if args.prove:
         _prove_section(args.prove)
         return 0

@@ -37,9 +37,12 @@ from .errors import (
 )
 from .job import JobFuture, JobResult, gather_async
 from .packing import FifoPacker, SkewAwarePacker, make_packer
+from ..telemetry.slo import SLO
 from .report import (
     SERVE_REPORT_SCHEMA,
     build_serve_report,
+    build_trace,
+    build_trace_log,
     format_serve_report,
     percentile,
     validate_serve_report,
@@ -55,6 +58,7 @@ __all__ = [
     "JobCancelled",
     "JobFuture",
     "JobResult",
+    "SLO",
     "SERVE_REPORT_SCHEMA",
     "ServeConfig",
     "ServeError",
@@ -65,6 +69,8 @@ __all__ = [
     "UnknownApp",
     "WeightedFairQueue",
     "build_serve_report",
+    "build_trace",
+    "build_trace_log",
     "default_apps",
     "format_serve_report",
     "gather_async",

@@ -23,14 +23,25 @@ from .server import FleetServer, ServeConfig
 from .workload import demo_jobs, demo_weights
 
 
+def demo_slos():
+    """The demo workload's service-level objectives (``--slo``)."""
+    from ..telemetry.slo import SLO
+
+    return (
+        SLO.latency("p99-latency", percentile=99,
+                    target_vcycles=200_000),
+        SLO.error_rate("job-errors", max_rate=0.01),
+    )
+
+
 def run_demo(*, devices=2, pu_slots=8, packer="skew", jobs=24, seed=1234,
              window_streams=32, memory_sim=False, app="identity",
-             hi=3000):
+             hi=3000, slos=()):
     """One deterministic demo serve run; returns (report, server)."""
     config = ServeConfig(
         devices=devices, pu_slots=pu_slots, packer=packer,
         window_streams=window_streams, tenant_weights=demo_weights(),
-        memory_sim=memory_sim,
+        memory_sim=memory_sim, slos=slos,
     )
     server = FleetServer(config=config)
     server.start()
@@ -91,7 +102,55 @@ def _selftest(args):
     print(f"selftest: packing OK (fifo {fifo['totals']['makespan']} -> "
           f"skew {skew['totals']['makespan']} vcycles)")
 
-    # 3. Edge cases: empty job, overload shedding, cancellation,
+    # 3. Tracing: every job must carry a complete submit -> done span
+    # chain, and the structured log must satisfy the chain invariants.
+    from ..telemetry.tracing import validate_trace_log
+    from .report import build_trace, build_trace_log
+
+    events = validate_trace_log(build_trace_log(server2))
+    traces = {e["trace"] for e in events}
+    assert len(traces) == second["totals"]["jobs"], (
+        "trace log does not cover every job"
+    )
+    chrome = build_trace(server2).to_chrome()
+    job_events = [
+        e for e in chrome["traceEvents"]
+        if e["ph"] in ("X", "i") and e["args"].get("trace")
+    ]
+    per_trace = {}
+    for event in job_events:
+        per_trace.setdefault(event["args"]["trace"], set()).add(
+            event["name"].split()[0]
+        )
+    assert len(per_trace) == second["totals"]["jobs"]
+    for trace_id, hops in per_trace.items():
+        assert {"submit", "queue", "done"} <= hops, (
+            f"trace {trace_id}: incomplete span chain {sorted(hops)}"
+        )
+    print(f"selftest: tracing OK ({len(events)} log events, "
+          f"{len(traces)} complete job chains)")
+
+    # 4. SLOs: the demo objectives evaluate and render.
+    slo_report, server_slo = run_demo(
+        devices=args.devices, pu_slots=args.slots, packer=args.packer,
+        jobs=args.jobs, seed=args.seed, slos=demo_slos(),
+    )
+    server_slo.stop()
+    assert len(slo_report["slo"]) == len(demo_slos())
+    validate_serve_report(slo_report)
+    baseline = dict(slo_report)
+    baseline.pop("slo")
+    baseline["config"] = {
+        k: v for k, v in baseline["config"].items() if k != "slos"
+    }
+    assert _report_json(baseline) == _report_json(first), (
+        "attaching SLOs changed the rest of the report"
+    )
+    print(f"selftest: SLOs OK ({len(slo_report['slo'])} objectives, "
+          f"all met: "
+          f"{all(row['met'] for row in slo_report['slo'])})")
+
+    # 5. Edge cases: empty job, overload shedding, cancellation,
     # unknown app.
     config = ServeConfig(
         devices=1, pu_slots=4, window_streams=1_000_000,
@@ -147,9 +206,15 @@ def main(argv=None):
                              "python -m repro.report --serve PATH")
     parser.add_argument("--trace", metavar="PATH",
                         help="write a Perfetto-loadable Chrome trace")
+    parser.add_argument("--trace-log", metavar="PATH",
+                        help="write the per-job span chains as "
+                             "structured JSON log lines")
+    parser.add_argument("--slo", action="store_true",
+                        help="attach the demo service-level objectives "
+                             "and report compliance/burn rate")
     parser.add_argument("--selftest", action="store_true",
-                        help="determinism + invariants + edge cases "
-                             "(CI)")
+                        help="determinism + invariants + tracing + SLOs "
+                             "+ edge cases (CI)")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -158,7 +223,7 @@ def main(argv=None):
     report, server = run_demo(
         devices=args.devices, pu_slots=args.slots, packer=args.packer,
         jobs=args.jobs, seed=args.seed, memory_sim=args.memory_sim,
-        app=args.app,
+        app=args.app, slos=demo_slos() if args.slo else (),
     )
     print(format_serve_report(report))
     if args.json:
@@ -172,6 +237,9 @@ def main(argv=None):
         server.write_trace(args.trace)
         print(f"wrote Chrome trace to {args.trace} "
               f"(open in https://ui.perfetto.dev)")
+    if args.trace_log:
+        server.write_trace_log(args.trace_log)
+        print(f"wrote span-chain log lines to {args.trace_log}")
     server.stop()
     return 0
 

@@ -24,6 +24,14 @@ from ..interp import (
     batch_engine_for,
     fast_engine_for,
 )
+from ..telemetry.metrics import counter as _tm_counter
+
+#: Live telemetry (repro.telemetry; zero-cost unless FLEET_METRICS).
+_CACHE_LOOKUPS = _tm_counter(
+    "fleet_serve_app_cache_lookups_total",
+    "Compiled-app cache lookups, by outcome",
+    ("result",),
+)
 
 
 class ServedApp:
@@ -85,8 +93,10 @@ class CompiledAppCache:
             entry = self._entries.get(name)
             if entry is not None:
                 self._hits += 1
+                _CACHE_LOOKUPS.inc(result="hit")
                 return entry
             self._misses += 1
+            _CACHE_LOOKUPS.inc(result="miss")
             # Compile under the cache lock: a second worker racing on the
             # same cold key must wait for the one compilation, not start
             # its own. Compilation is fast relative to a serve batch and

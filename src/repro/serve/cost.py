@@ -36,6 +36,10 @@ class CostModel:
 
     def __init__(self, cache):
         self.cache = cache
+        # Per-model memo over the entry-resident coefficients: predict()
+        # runs once per stream per window, so it must not pay the cache
+        # lock + entry lookup every call.
+        self._coeffs = {}
 
     def _calibrate(self, entry):
         header = list(entry.app.header)
@@ -53,10 +57,14 @@ class CostModel:
 
     def coefficients(self, name):
         """The app's ``(per_token, fixed)`` pair, calibrating once."""
+        coeffs = self._coeffs.get(name)
+        if coeffs is not None:
+            return coeffs
         entry = self.cache.entry(name)
         with entry.lock:
             if entry.cost_coeffs is None:
                 entry.cost_coeffs = self._calibrate(entry)
+        self._coeffs[name] = entry.cost_coeffs
         return entry.cost_coeffs
 
     def predict(self, name, stream):

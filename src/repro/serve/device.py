@@ -32,7 +32,76 @@ import threading
 
 from ..obs.observe import PuStats
 from ..system.runtime import FleetRuntime
+from ..telemetry.metrics import counter as _tm_counter
+from ..telemetry.metrics import enabled as _tm_enabled
+from ..telemetry.metrics import histogram as _tm_histogram
 from .job import PENDING, RUNNING
+
+#: Live telemetry (repro.telemetry; zero-cost unless FLEET_METRICS).
+#: Values observed here are the same measured virtual cycles the report
+#: reconstructs — metrics are a live view, never a report input.
+_BATCHES_EXECUTED = _tm_counter(
+    "fleet_serve_batches_executed_total",
+    "Batches executed, by device shard",
+    ("device",),
+)
+_DEVICE_BUSY = _tm_counter(
+    "fleet_serve_device_busy_vcycles_total",
+    "Sum of per-stream virtual cycles executed, by device shard",
+    ("device",),
+)
+_DEVICE_SPAN = _tm_counter(
+    "fleet_serve_device_makespan_vcycles_total",
+    "Cumulative batch makespans (device clock advance), by device shard",
+    ("device",),
+)
+_TENANT_VCYCLES = _tm_counter(
+    "fleet_serve_tenant_device_vcycles_total",
+    "Device virtual cycles consumed, by tenant (live WFQ share view)",
+    ("tenant",),
+)
+_STREAM_VCYCLES = _tm_histogram(
+    "fleet_serve_stream_vcycles",
+    "Per-stream measured virtual cycles",
+)
+_BATCH_MAKESPAN = _tm_histogram(
+    "fleet_serve_batch_makespan_vcycles",
+    "Per-batch makespan in virtual cycles",
+)
+_SLOT_OCCUPANCY = _tm_histogram(
+    "fleet_serve_batch_slot_occupancy",
+    "Fraction of a batch's PU slots holding a stream",
+)
+_TAIL_WASTE = _tm_histogram(
+    "fleet_serve_batch_tail_waste_fraction",
+    "SIMD ragged-tail waste fraction per batch (idle lane-cycles)",
+)
+
+#: Batches a worker accumulates locally before flushing into the
+#: registry. Per-batch registry writes are what the telemetry_overhead
+#: guard pays for, so workers buffer in plain Python (no locks) and
+#: flush every N batches, whenever their queue idles, and at stop —
+#: the registry lags sustained load by at most this many batches.
+FLUSH_BATCHES = 16
+
+
+class _PendingMetrics:
+    """A worker's locally buffered telemetry between registry flushes —
+    plain Python, no locks (only the owning worker thread touches it
+    until the worker is joined)."""
+
+    __slots__ = ("batches", "makespan_sum", "busy_sum", "makespans",
+                 "occupancies", "wastes", "vcycles", "by_tenant")
+
+    def __init__(self):
+        self.batches = 0
+        self.makespan_sum = 0
+        self.busy_sum = 0
+        self.makespans = []
+        self.occupancies = []
+        self.wastes = []
+        self.vcycles = []
+        self.by_tenant = {}
 
 
 class DeviceWorker:
@@ -46,6 +115,7 @@ class DeviceWorker:
         self.clock = 0  # measured virtual cycles
         self.scheduled_load = 0.0  # predicted, charged at placement
         self.batches_run = 0
+        self._pending = _PendingMetrics()
         self._cond = threading.Condition()
         self._stop = False
         self._thread = threading.Thread(
@@ -62,6 +132,7 @@ class DeviceWorker:
             self._stop = True
             self._cond.notify()
         self._thread.join()
+        self._flush_metrics()
 
     def enqueue(self, batch):
         with self._cond:
@@ -71,6 +142,10 @@ class DeviceWorker:
     def _loop(self):
         while True:
             with self._cond:
+                if not self.queue and self._pending.batches:
+                    # About to idle: surface buffered telemetry now so
+                    # the live registry is current between bursts.
+                    self._flush_metrics()
                 while not self.queue and not self._stop:
                     self._cond.wait()
                 if not self.queue and self._stop:
@@ -132,6 +207,8 @@ class DeviceWorker:
         self.clock += batch.makespan
         self.batches_run += 1
         self.executed.append(batch)
+        if _tm_enabled():
+            self._record_metrics(batch)
         server._batch_done(batch)
 
     def _execute_batched(self, batch, app, entry_obj, live):
@@ -158,6 +235,50 @@ class DeviceWorker:
                 entry.stream_index, outputs, entry.vcycles
             ):
                 self.server._job_done(entry.job)
+
+    def _record_metrics(self, batch):
+        """Buffer the executed batch's telemetry locally (only called
+        when telemetry is enabled); registry writes happen in
+        :meth:`_flush_metrics` every :data:`FLUSH_BATCHES` batches, on
+        queue idle, and at stop. Per-batch registry operations are what
+        the ``telemetry_overhead`` perf guard pays for — buffering in
+        plain Python keeps the hot path lock-free."""
+        pending = self._pending
+        pending.batches += 1
+        pending.makespan_sum += batch.makespan
+        pending.makespans.append(batch.makespan)
+        if batch.slots:
+            pending.occupancies.append(len(batch.entries) / batch.slots)
+        if batch.batch_stats is not None:
+            pending.wastes.append(batch.batch_stats.waste_fraction)
+        by_tenant = pending.by_tenant
+        for entry in batch.entries:
+            if entry.skipped:
+                continue
+            pending.vcycles.append(entry.vcycles)
+            pending.busy_sum += entry.vcycles
+            tenant = entry.job.tenant
+            by_tenant[tenant] = by_tenant.get(tenant, 0) + entry.vcycles
+        if pending.batches >= FLUSH_BATCHES:
+            self._flush_metrics()
+
+    def _flush_metrics(self):
+        """Drain the local buffer into the process-wide registry."""
+        pending = self._pending
+        if not pending.batches:
+            return
+        self._pending = _PendingMetrics()
+        device = str(self.index)
+        _BATCHES_EXECUTED.inc(pending.batches, device=device)
+        _DEVICE_SPAN.inc(pending.makespan_sum, device=device)
+        _BATCH_MAKESPAN.observe_many(pending.makespans)
+        _SLOT_OCCUPANCY.observe_many(pending.occupancies)
+        _TAIL_WASTE.observe_many(pending.wastes)
+        if pending.vcycles:
+            _DEVICE_BUSY.inc(pending.busy_sum, device=device)
+            _STREAM_VCYCLES.observe_many(pending.vcycles)
+            for tenant, total in pending.by_tenant.items():
+                _TENANT_VCYCLES.inc(total, tenant=tenant)
 
     def _slot_stats(self, batch):
         """Per-slot accounting in the observability layer's own

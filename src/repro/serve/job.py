@@ -14,6 +14,7 @@ All *reported* timing is in deterministic virtual cycles (see
 
 import threading
 
+from ..telemetry.tracing import SpanContext
 from .errors import JobCancelled
 
 #: Job lifecycle states (reported in serve run reports).
@@ -125,7 +126,7 @@ class Job:
     __slots__ = (
         "job_id", "app", "tenant", "streams", "arrival_vtime", "future",
         "cancelled", "status", "outputs", "vcycles", "remaining",
-        "batch_ids", "vfinish", "lock",
+        "batch_ids", "vfinish", "lock", "trace",
     )
 
     def __init__(self, job_id, app, tenant, streams, arrival_vtime):
@@ -134,6 +135,10 @@ class Job:
         self.tenant = tenant
         self.streams = streams  # list of bytes
         self.arrival_vtime = arrival_vtime
+        # End-to-end trace identity, minted at submission and carried
+        # through queue -> packer -> device -> batch engine; IDs are
+        # deterministic so traces inherit the report contract.
+        self.trace = SpanContext.for_job(job_id, app, tenant)
         self.future = JobFuture(self)
         self.cancelled = False
         self.status = PENDING

@@ -11,6 +11,7 @@ batch's end. All times are virtual cycles.
 """
 
 from ..obs.tracer import TraceRecorder
+from ..telemetry.slo import evaluate_slos, format_slo_section
 from .job import CANCELLED, DONE, FAILED
 
 #: Bumped when the serve report layout changes incompatibly.
@@ -147,7 +148,7 @@ def build_serve_report(server):
     for job in server._jobs:
         statuses[job.status] = statuses.get(job.status, 0) + 1
 
-    return {
+    report = {
         "schema": SERVE_REPORT_SCHEMA,
         "config": server.config.as_dict(),
         "totals": {
@@ -170,6 +171,11 @@ def build_serve_report(server):
         "jobs": jobs,
         "cache": server.cache.stats(),
     }
+    # SLO section only when objectives are configured, so legacy runs
+    # stay byte-identical.
+    if server.config.slos:
+        report["slo"] = evaluate_slos(server.config.slos, jobs)
+    return report
 
 
 def format_serve_report(report):
@@ -243,6 +249,9 @@ def format_serve_report(report):
             f"batches SIMD, mean {mean_lanes:.1f} replicas/vcycle, "
             f"ragged-tail waste {waste:.1%}"
         )
+    if "slo" in report:
+        lines.append("")
+        lines.append(format_slo_section(report["slo"]))
     return "\n".join(lines)
 
 
@@ -299,15 +308,80 @@ def validate_serve_report(report):
         0.99 <= shares <= 1.01
     ):
         raise AssertionError("tenant shares do not sum to 1")
+    for slo in report.get("slo", ()):
+        if not 0.0 <= slo["compliance"] <= 1.0:
+            raise AssertionError(
+                f"SLO {slo['name']}: compliance out of [0, 1]"
+            )
+        if slo["good"] > slo["population"]:
+            raise AssertionError(
+                f"SLO {slo['name']}: good exceeds population"
+            )
+        if slo["burn_rate"] < 0.0:
+            raise AssertionError(
+                f"SLO {slo['name']}: negative burn rate"
+            )
+        if slo["met"] != (slo["compliance"] >= slo["objective"]):
+            raise AssertionError(
+                f"SLO {slo['name']}: met flag contradicts compliance"
+            )
     return report
+
+
+def _job_chain(job, batch_span):
+    """One job's deterministic span chain as ``(queue_span_id,
+    [(hop, span_id, parent_id, start, end, extras), ...])`` — the shared
+    skeleton both trace exporters render. ``batch_span`` maps batch_id
+    -> (start, end, device_index)."""
+    ctx = job.trace
+    # The device timeline clock and arrival vtimes are distinct
+    # virtual-time bases (the report clamps queue_wait the same way);
+    # clamp so the chain stays monotone under its parents.
+    spans = []
+    for batch_id in sorted(set(job.batch_ids)):
+        if batch_id not in batch_span:
+            continue
+        start, end, device = batch_span[batch_id]
+        start = max(start, job.arrival_vtime)
+        spans.append((batch_id, start, max(end, start), device))
+    first = min((s for _, s, _, _ in spans), default=job.arrival_vtime)
+    last = max((e for _, _, e, _ in spans), default=job.arrival_vtime)
+    queue_span = ctx.child("queue")
+    chain = [
+        ("submit", ctx.root_span_id, None,
+         job.arrival_vtime, job.arrival_vtime, {
+             "app": job.app, "tenant": job.tenant,
+             "streams": len(job.streams),
+         }),
+        ("queue", queue_span, ctx.root_span_id,
+         job.arrival_vtime, first, {}),
+    ]
+    for batch_id, start, end, device in spans:
+        chain.append((
+            "batch", ctx.child("batch", batch_id), queue_span,
+            start, end, {"batch": batch_id, "device": device},
+        ))
+    chain.append((
+        "done", ctx.child("done"), ctx.root_span_id,
+        last, last, {"status": job.status},
+    ))
+    return queue_span, chain
 
 
 def build_trace(server):
     """A :class:`~repro.obs.tracer.TraceRecorder` for the run: one
-    process per device shard, one thread per PU slot, one complete span
-    per executed stream (timestamps in virtual cycles)."""
+    process per device shard (one thread per PU slot, one complete span
+    per executed stream), plus a ``jobs`` process with one thread per
+    job carrying its submit → queue → batch → done span chain. Every
+    span's ``args`` carry the deterministic trace/span ids
+    (:mod:`repro.telemetry.tracing`), so the chain survives the Perfetto
+    round trip. Timestamps are virtual cycles."""
     tracer = TraceRecorder()
     timelines = _timeline(server)
+    batch_span = {}
+    for rows in timelines:
+        for batch, start, end in rows:
+            batch_span[batch.batch_id] = (start, end, batch.device_index)
     for device, rows in zip(server.devices, timelines):
         tracer.process_name(device.index, f"device {device.index}")
         max_slots = max((batch.slots for batch, _, _ in rows), default=0)
@@ -317,6 +391,7 @@ def build_trace(server):
             for slot, entry in enumerate(batch.entries):
                 if entry.skipped:
                     continue
+                ctx = entry.job.trace
                 tracer.complete(
                     f"{batch.app} j{entry.job.job_id}"
                     f"s{entry.stream_index}",
@@ -327,6 +402,90 @@ def build_trace(server):
                         "tenant": entry.job.tenant,
                         "batch": batch.batch_id,
                         "bytes": len(entry.stream),
+                        "trace": ctx.trace_id,
+                        "span": ctx.child(
+                            "stream", batch.batch_id, entry.stream_index
+                        ),
+                        "parent": ctx.child("batch", batch.batch_id),
                     },
                 )
+    jobs_pid = len(server.devices)
+    tracer.process_name(jobs_pid, "jobs")
+    for job in server._jobs:
+        tracer.thread_name(jobs_pid, job.job_id, f"job {job.job_id}")
+        _queue_span, chain = _job_chain(job, batch_span)
+        for hop, span, parent, start, end, extras in chain:
+            args = {"trace": job.trace.trace_id, "span": span}
+            if parent is not None:
+                args["parent"] = parent
+            args.update(extras)
+            name = f"{hop} j{job.job_id}"
+            if start == end:
+                tracer.instant(
+                    name, start, pid=jobs_pid, tid=job.job_id, args=args
+                )
+            else:
+                tracer.complete(
+                    name, start, end, pid=jobs_pid, tid=job.job_id,
+                    args=args,
+                )
     return tracer
+
+
+def build_trace_log(server):
+    """The run's span chains as structured log events (list of dicts;
+    render with :func:`repro.telemetry.tracing.render_log_lines`).
+
+    One ``submit`` → ``queue`` → ``batch``* → ``stream``* → ``done``
+    chain per job, in (timestamp, job, hop-rank) order so every event's
+    parent appears earlier in the list; satisfies
+    :func:`repro.telemetry.tracing.validate_trace_log`."""
+    timelines = _timeline(server)
+    batch_span = {}
+    for rows in timelines:
+        for batch, start, end in rows:
+            batch_span[batch.batch_id] = (start, end, batch.device_index)
+    rank = {"submit": 0, "queue": 1, "batch": 2, "stream": 3, "done": 4}
+    events = []
+    for job in server._jobs:
+        _queue_span, chain = _job_chain(job, batch_span)
+        for hop, span, parent, start, end, extras in chain:
+            event = {
+                "ts": start,
+                "event": hop,
+                "trace": job.trace.trace_id,
+                "span": span,
+                "job": job.job_id,
+            }
+            if parent is not None:
+                event["parent"] = parent
+            if end != start:
+                event["end"] = end
+            event.update(extras)
+            events.append(event)
+    for rows in timelines:
+        for batch, start, _end in rows:
+            for entry in batch.entries:
+                if entry.skipped:
+                    continue
+                ctx = entry.job.trace
+                ts = max(start, entry.job.arrival_vtime)
+                events.append({
+                    "ts": ts,
+                    "event": "stream",
+                    "trace": ctx.trace_id,
+                    "span": ctx.child(
+                        "stream", batch.batch_id, entry.stream_index
+                    ),
+                    "parent": ctx.child("batch", batch.batch_id),
+                    "job": entry.job.job_id,
+                    "batch": batch.batch_id,
+                    "stream": entry.stream_index,
+                    "end": max(start + entry.vcycles, ts),
+                    "vcycles": entry.vcycles,
+                })
+    events.sort(
+        key=lambda e: (e["ts"], e["job"], rank[e["event"]],
+                       e.get("batch", -1), e.get("stream", -1))
+    )
+    return events

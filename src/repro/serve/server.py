@@ -30,6 +30,11 @@ repro.serve --selftest` asserts exactly this.
 
 import threading
 
+from ..envcfg import env_path
+from ..telemetry.metrics import counter as _tm_counter
+from ..telemetry.metrics import gauge as _tm_gauge
+from ..telemetry.metrics import histogram as _tm_histogram
+from ..telemetry.slo import SLO
 from .cache import CompiledAppCache, ServedApp
 from .cost import CostModel
 from .errors import ServeError, ServerClosed, ServerOverloaded, UnknownApp
@@ -37,6 +42,37 @@ from .device import DeviceWorker
 from .job import DONE, Job, JobResult
 from .packing import Batch, BatchEntry, make_packer
 from .scheduler import WeightedFairQueue, place_batch
+
+#: Live telemetry (repro.telemetry; zero-cost unless FLEET_METRICS).
+#: Metrics observe the run — they never feed reports, which stay a pure
+#: function of (submission sequence, config, measured virtual cycles).
+_JOBS_SUBMITTED = _tm_counter(
+    "fleet_serve_jobs_submitted_total",
+    "Jobs admitted by the serving runtime, by tenant",
+    ("tenant",),
+)
+_JOBS_REJECTED = _tm_counter(
+    "fleet_serve_jobs_rejected_total",
+    "Jobs rejected at submission, by reason",
+    ("reason",),
+)
+_QUEUE_DEPTH = _tm_gauge(
+    "fleet_serve_queue_depth",
+    "Streams admitted but not yet packed into device batches",
+)
+_WINDOWS_SCHEDULED = _tm_counter(
+    "fleet_serve_windows_scheduled_total",
+    "Scheduling windows closed and packed into batches",
+)
+_BATCHES_SCHEDULED = _tm_counter(
+    "fleet_serve_batches_scheduled_total",
+    "Batches placed on a device shard, by device",
+    ("device",),
+)
+_JOB_DEVICE_VCYCLES = _tm_histogram(
+    "fleet_serve_job_device_vcycles",
+    "Total device virtual cycles per completed job",
+)
 
 
 def default_apps():
@@ -57,7 +93,7 @@ class ServeConfig:
                  window_streams=64, max_pending_streams=4096,
                  tenant_weights=None, default_weight=1.0,
                  arrival_spacing=0.0, memory_sim=False, slot_cap=64,
-                 batch_engine=True):
+                 batch_engine=True, slos=()):
         #: number of independent device shards
         self.devices = devices
         #: PU slots per device; ``None`` sizes each app's batches from
@@ -84,9 +120,16 @@ class ServeConfig:
         #: vectorized engine when the app supports it (bit-identical to
         #: per-stream simulation; falls back automatically otherwise)
         self.batch_engine = batch_engine
+        #: service-level objectives evaluated over the deterministic
+        #: report (:class:`repro.telemetry.slo.SLO` instances or their
+        #: ``as_dict()`` forms); empty = no SLO section in reports
+        self.slos = tuple(
+            s if isinstance(s, SLO) else SLO.from_dict(s)
+            for s in (slos or ())
+        )
 
     def as_dict(self):
-        return {
+        out = {
             "devices": self.devices,
             "pu_slots": self.pu_slots,
             "packer": self.packer,
@@ -98,6 +141,11 @@ class ServeConfig:
             "memory_sim": self.memory_sim,
             "batch_engine": self.batch_engine,
         }
+        # Only when configured, so reports without SLOs are byte-for-
+        # byte identical to reports from before SLOs existed.
+        if self.slos:
+            out["slos"] = [slo.as_dict() for slo in self.slos]
+        return out
 
 
 class FleetServer:
@@ -134,11 +182,20 @@ class FleetServer:
         return self
 
     def stop(self):
-        """Drain outstanding work, then stop the device threads."""
+        """Drain outstanding work, then stop the device threads.
+
+        When the ``FLEET_TRACE`` environment variable names a path, the
+        run's Perfetto trace is written there after the drain — the same
+        auto-enable contract :func:`repro.system.run_full_system` honors
+        for single-run traces.
+        """
         if not self._started or self._closed:
             self._closed = True
             return
         self.drain()
+        trace_path = env_path("FLEET_TRACE")
+        if trace_path:
+            self.write_trace(trace_path)
         self._closed = True
         for device in self.devices:
             device.stop()
@@ -160,16 +217,19 @@ class FleetServer:
         control), or :class:`~repro.serve.errors.ServerClosed`.
         """
         if app not in self.cache:
+            _JOBS_REJECTED.inc(reason="unknown_app")
             raise UnknownApp(app, self.cache.app_names())
         streams = [bytes(s) for s in streams]
         with self._lock:
             if self._closed:
+                _JOBS_REJECTED.inc(reason="closed")
                 raise ServerClosed("server is stopped")
             job_id = len(self._jobs)
             if streams and (
                 self._pending_streams + len(streams)
                 > self.config.max_pending_streams
             ):
+                _JOBS_REJECTED.inc(reason="overloaded")
                 raise ServerOverloaded(
                     self._pending_streams,
                     self.config.max_pending_streams, len(streams),
@@ -179,6 +239,7 @@ class FleetServer:
                 arrival_vtime=job_id * self.config.arrival_spacing,
             )
             self._jobs.append(job)
+            _JOBS_SUBMITTED.inc(tenant=tenant)
             tenant_state = self.wfq.tenant(tenant)
             tenant_state.jobs += 1
             tenant_state.streams += len(streams)
@@ -191,6 +252,7 @@ class FleetServer:
                 return job.future
             self._window.append(job)
             self._pending_streams += len(streams)
+            _QUEUE_DEPTH.set(self._pending_streams)
             if self._pending_streams >= self.config.window_streams:
                 self._schedule_window_locked()
         return job.future
@@ -225,6 +287,7 @@ class FleetServer:
         window, self._window = self._window, []
         if not window:
             return
+        _WINDOWS_SCHEDULED.inc()
         live = []
         for job in window:
             if job.cancelled:
@@ -266,7 +329,9 @@ class FleetServer:
                 self.devices[index].scheduled_load = device_loads[index]
                 self._pending_streams -= len(packed)
                 self._dispatched += 1
+                _BATCHES_SCHEDULED.inc(device=str(index))
                 self.devices[index].enqueue(batch)
+        _QUEUE_DEPTH.set(self._pending_streams)
 
     # -- device-worker callbacks ---------------------------------------------
     def _batch_done(self, batch):
@@ -275,6 +340,7 @@ class FleetServer:
             self._done_cond.notify_all()
 
     def _job_done(self, job):
+        _JOB_DEVICE_VCYCLES.observe(sum(job.vcycles))
         job.future._resolve(
             JobResult(job.job_id, job.outputs, self._job_fragment(job))
         )
@@ -312,8 +378,22 @@ class FleetServer:
     def write_trace(self, path):
         """Write a Perfetto-loadable Chrome trace of the run: one
         process per device shard, one thread per PU slot, one span per
-        stream. Built from the deterministic reconstruction (not from
-        worker threads), so the file is byte-stable. Returns ``path``."""
+        stream, plus a ``jobs`` process carrying every job's
+        submit → queue → batch → done span chain with propagated
+        trace/span ids. Built from the deterministic reconstruction (not
+        from worker threads), so the file is byte-stable. Returns
+        ``path``."""
         from .report import build_trace
 
         return build_trace(self).write(path)
+
+    def write_trace_log(self, path):
+        """Write the run's span chains as structured JSON log lines
+        (one event per line; see :mod:`repro.telemetry.tracing`).
+        Deterministic for a deterministic workload. Returns ``path``."""
+        from ..telemetry.tracing import render_log_lines
+        from .report import build_trace_log
+
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_log_lines(build_trace_log(self)))
+        return path

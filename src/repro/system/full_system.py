@@ -11,8 +11,7 @@ the processing units compose correctly (no lost, duplicated, or
 reordered bytes under real backpressure).
 """
 
-import os
-
+from ..envcfg import env_path
 from ..lang.errors import FleetSimulationError
 from ..memory import ChannelSystem, MemoryConfig
 from ..memory.functional_pu import FunctionalPu
@@ -67,7 +66,7 @@ def run_full_system(unit, streams, *, header=b"", config=None,
     config = config or MemoryConfig()
     env_trace_path = None
     if obs is None:
-        env_trace_path = os.environ.get("FLEET_TRACE")
+        env_trace_path = env_path("FLEET_TRACE")
         if env_trace_path:
             from ..obs import Observation
             obs = Observation(trace=True)

@@ -1,0 +1,158 @@
+"""Terminal dashboard over metric snapshots (``python -m repro.report
+--metrics --watch``).
+
+Renders a point-in-time (or delta) snapshot as a compact fixed-width
+frame: the serving headline (queue depth, admitted/rejected jobs, device
+busy split), rolling latency percentiles from the log-bucketed
+histograms, and a generic spill of every other metric so nothing
+instrumented is invisible. Pure string building — the CLI owns the
+refresh loop and screen clearing.
+"""
+
+from .metrics import histogram_percentile
+
+#: Histograms the headline percentiles row tracks, in display order.
+HEADLINE_HISTOGRAMS = (
+    ("fleet_serve_stream_vcycles", "stream vcycles"),
+    ("fleet_serve_batch_makespan_vcycles", "batch makespan"),
+    ("fleet_serve_job_device_vcycles", "job device vcycles"),
+)
+
+
+def _sample_total(snapshot, name):
+    family = snapshot.get(name)
+    if not family:
+        return 0
+    return sum(s.get("value", 0) for s in family["samples"])
+
+
+def _by_label(snapshot, name, label):
+    family = snapshot.get(name)
+    out = {}
+    if family:
+        for sample in family["samples"]:
+            key = sample["labels"].get(label, "")
+            out[key] = out.get(key, 0) + sample.get("value", 0)
+    return out
+
+
+def render_dashboard(snapshot, title="fleet telemetry"):
+    """One dashboard frame, as a string."""
+    lines = [f"== {title} ==", ""]
+
+    accepted = _by_label(
+        snapshot, "fleet_serve_jobs_submitted_total", "tenant"
+    )
+    rejected = _by_label(
+        snapshot, "fleet_serve_jobs_rejected_total", "reason"
+    )
+    depth = _sample_total(snapshot, "fleet_serve_queue_depth")
+    lines.append(
+        f"  jobs accepted {int(sum(accepted.values()))}"
+        f"  rejected {int(sum(rejected.values()))}"
+        f"  queue depth {int(depth)} streams"
+    )
+    if rejected:
+        lines.append("    rejections: " + ", ".join(
+            f"{reason or '(none)'}={int(count)}"
+            for reason, count in sorted(rejected.items())
+        ))
+
+    busy = _by_label(
+        snapshot, "fleet_serve_device_busy_vcycles_total", "device"
+    )
+    span = _by_label(
+        snapshot, "fleet_serve_device_makespan_vcycles_total", "device"
+    )
+    batches = _by_label(
+        snapshot, "fleet_serve_batches_executed_total", "device"
+    )
+    for device in sorted(span):
+        capacity = span[device]
+        # busy sums per-stream vcycles across concurrent slots, so the
+        # ratio to the device clock is mean occupied slots, not a %.
+        occupancy = busy.get(device, 0) / capacity if capacity else 0.0
+        lines.append(
+            f"  device {device}: {int(batches.get(device, 0))} batches, "
+            f"{int(capacity)} vcycles, {occupancy:.2f} busy slots/vcycle"
+        )
+
+    tenants = _by_label(
+        snapshot, "fleet_serve_tenant_device_vcycles_total", "tenant"
+    )
+    total = sum(tenants.values())
+    if total:
+        shares = ", ".join(
+            f"{tenant}={vcycles / total:.1%}"
+            for tenant, vcycles in sorted(tenants.items())
+        )
+        lines.append(f"  tenant shares: {shares}")
+
+    header_done = False
+    for name, label in HEADLINE_HISTOGRAMS:
+        family = snapshot.get(name)
+        if not family or not family["samples"]:
+            continue
+        if not header_done:
+            lines.append("")
+            lines.append(
+                f"  {'rolling':<22}{'p50':>10}{'p95':>10}{'p99':>10}"
+                f"{'n':>8}"
+            )
+            lines.append("  " + "-" * 58)
+            header_done = True
+        from .metrics import merge_histogram_samples
+
+        sample = merge_histogram_samples(family["samples"])
+        lines.append(
+            f"  {label:<22}"
+            f"{histogram_percentile(sample, 50):>10g}"
+            f"{histogram_percentile(sample, 95):>10g}"
+            f"{histogram_percentile(sample, 99):>10g}"
+            f"{sample['count']:>8}"
+        )
+
+    shown = {name for name, _ in HEADLINE_HISTOGRAMS} | {
+        "fleet_serve_jobs_submitted_total",
+        "fleet_serve_jobs_rejected_total",
+        "fleet_serve_queue_depth",
+        "fleet_serve_device_busy_vcycles_total",
+        "fleet_serve_device_makespan_vcycles_total",
+        "fleet_serve_batches_executed_total",
+        "fleet_serve_tenant_device_vcycles_total",
+    }
+    other = []
+    for name in sorted(snapshot):
+        if name in shown:
+            continue
+        family = snapshot[name]
+        if not family["samples"]:
+            continue
+        if family["type"] == "histogram":
+            count = sum(s["count"] for s in family["samples"])
+            if not count:
+                continue
+            total_sum = sum(s["sum"] for s in family["samples"])
+            other.append(
+                f"  {name}: n={count} mean={total_sum / count:.4g}"
+            )
+        else:
+            value = _sample_total(snapshot, name)
+            if not value:
+                continue
+            parts = ""
+            labelled = snapshot[name]["samples"]
+            if len(labelled) > 1:
+                parts = " (" + ", ".join(
+                    "|".join(s["labels"].values())
+                    + f"={s['value']:g}"
+                    for s in labelled
+                ) + ")"
+            other.append(f"  {name}: {value:g}{parts}")
+    if other:
+        lines.append("")
+        lines.extend(other)
+    return "\n".join(lines)
+
+
+__all__ = ["HEADLINE_HISTOGRAMS", "render_dashboard"]

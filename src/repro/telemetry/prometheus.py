@@ -1,0 +1,163 @@
+"""Prometheus text exposition (version 0.0.4) for metric snapshots.
+
+:func:`render_prometheus` turns a :func:`repro.telemetry.snapshot` dict
+into the plain-text format every Prometheus-compatible scraper ingests
+(``# HELP`` / ``# TYPE`` headers, one sample per line, histograms as
+cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``).
+:func:`validate_prometheus` re-parses a rendered page and asserts the
+schema invariants CI relies on — it is deliberately strict about
+exactly the subset this module emits rather than a general parser.
+"""
+
+import re
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$"
+)
+
+
+def _escape(value):
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r'\"')
+        .replace("\n", r"\n")
+    )
+
+
+def _labelstr(labels):
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value):
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot):
+    """Render a metrics snapshot (or delta) as Prometheus text
+    exposition; families in name order, samples in label order."""
+    lines = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        lines.append(f"# HELP {name} {_escape(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if family["type"] == "histogram":
+                for bound, count in sample["buckets"]:
+                    le = dict(labels)
+                    le["le"] = _fmt(bound) if bound != "+Inf" else "+Inf"
+                    lines.append(
+                        f"{name}_bucket{_labelstr(le)} {count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_labelstr(labels)} "
+                    f"{_fmt(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_labelstr(labels)} "
+                    f"{sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_labelstr(labels)} {_fmt(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def validate_prometheus(text):
+    """Schema-check a rendered exposition page; returns ``text``.
+
+    Asserts: every sample line parses; every sample is preceded by a
+    ``# HELP`` + ``# TYPE`` pair for its family; histogram families have
+    monotone non-decreasing cumulative buckets ending at ``le="+Inf"``
+    whose count equals the ``_count`` sample; counter values are
+    non-negative. Raises :class:`AssertionError` on violation (the CI
+    step and the ``--metrics --selftest`` mode call this).
+    """
+    typed = {}
+    helped = set()
+    hist = {}  # (family, labelkey) -> {"buckets": [...], "count": ...}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), (
+                f"unknown metric type {kind!r}"
+            )
+            assert name in helped, f"# TYPE before # HELP for {name}"
+            typed[name] = kind
+            continue
+        assert not line.startswith("#"), f"unparseable comment: {line!r}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, labels, value = (
+            match.group("name"), match.group("labels") or "",
+            match.group("value"),
+        )
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                break
+        assert family in typed, f"sample {name} has no # TYPE header"
+        kind = typed[family]
+        number = float(value) if value != "+Inf" else float("inf")
+        if kind == "counter":
+            assert number >= 0, f"negative counter sample: {line!r}"
+        if kind == "histogram":
+            labelkey = tuple(sorted(
+                part for part in labels.split(",")
+                if part and not part.startswith("le=")
+            ))
+            entry = hist.setdefault(
+                (family, labelkey), {"buckets": [], "count": None}
+            )
+            if name.endswith("_bucket"):
+                le = [p for p in labels.split(",")
+                      if p.startswith("le=")]
+                assert le, f"histogram bucket without le: {line!r}"
+                entry["buckets"].append(
+                    (le[0][4:].strip('"'), number)
+                )
+            elif name.endswith("_count"):
+                entry["count"] = number
+    for (family, labelkey), entry in hist.items():
+        buckets = entry["buckets"]
+        assert buckets, f"histogram {family} has no buckets"
+        assert buckets[-1][0] == "+Inf", (
+            f"histogram {family} does not end at le=+Inf"
+        )
+        counts = [count for _le, count in buckets]
+        assert counts == sorted(counts), (
+            f"histogram {family} buckets are not cumulative"
+        )
+        assert entry["count"] is not None, (
+            f"histogram {family} is missing _count"
+        )
+        assert counts[-1] == entry["count"], (
+            f"histogram {family}: +Inf bucket != _count"
+        )
+    assert typed, "exposition page has no metric families"
+    return text
+
+
+__all__ = ["render_prometheus", "validate_prometheus"]

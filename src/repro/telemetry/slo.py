@@ -1,0 +1,143 @@
+"""Service-level objectives for the serving runtime.
+
+An :class:`SLO` states an objective over a serve run — "99% of jobs
+complete within 5000 virtual cycles", "at most 1% of jobs fail" — and
+:func:`evaluate_slos` scores a run's job rows against it, reporting
+attainment, remaining error budget, and **burn rate** (the ratio of the
+observed bad fraction to the budgeted bad fraction: 1.0 means the run
+consumed its budget exactly, 2.0 means twice as fast as sustainable,
+0.0 means a clean run).
+
+Latency is the serve report's deterministic virtual-cycle latency, so
+SLO results inherit the byte-identical report contract; attach
+objectives via ``ServeConfig(slos=[...])`` and the serve report grows an
+``"slo"`` section (absent when no objectives are configured, keeping
+legacy reports unchanged).
+"""
+
+
+class SLO:
+    """One objective. Use the :meth:`latency` / :meth:`error_rate`
+    constructors rather than ``__init__`` directly."""
+
+    __slots__ = ("name", "kind", "objective", "threshold")
+
+    def __init__(self, name, kind, objective, threshold):
+        if kind not in ("latency", "error_rate"):
+            raise ValueError(f"unknown SLO kind {kind!r}")
+        if not 0.0 < objective <= 1.0:
+            raise ValueError(
+                f"SLO objective must be in (0, 1], got {objective}"
+            )
+        self.name = name
+        self.kind = kind
+        #: fraction of jobs that must be good (latency) — or, for
+        #: error-rate SLOs, 1 - the maximum tolerated error rate
+        self.objective = objective
+        #: latency threshold in virtual cycles (latency SLOs only)
+        self.threshold = threshold
+
+    @classmethod
+    def latency(cls, name, *, percentile=99, target_vcycles=None):
+        """``percentile``\\ % of completed jobs finish within
+        ``target_vcycles`` (deterministic report latency)."""
+        if target_vcycles is None or target_vcycles <= 0:
+            raise ValueError("latency SLO needs target_vcycles > 0")
+        return cls(name, "latency", percentile / 100.0,
+                   float(target_vcycles))
+
+    @classmethod
+    def error_rate(cls, name, *, max_rate=0.01):
+        """At most ``max_rate`` of admitted jobs end failed."""
+        if not 0.0 < max_rate < 1.0:
+            raise ValueError("error-rate SLO needs 0 < max_rate < 1")
+        return cls(name, "error_rate", 1.0 - max_rate, None)
+
+    def as_dict(self):
+        out = {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": round(self.objective, 6),
+        }
+        if self.threshold is not None:
+            out["target_vcycles"] = self.threshold
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["name"], data["kind"], data["objective"],
+                   data.get("target_vcycles"))
+
+    def __repr__(self):
+        if self.kind == "latency":
+            return (
+                f"SLO({self.name!r}: p{self.objective * 100:g} latency "
+                f"<= {self.threshold:g} vcycles)"
+            )
+        return (
+            f"SLO({self.name!r}: error rate <= "
+            f"{1.0 - self.objective:g})"
+        )
+
+
+def _evaluate_one(slo, job_rows):
+    """Score one SLO against serve-report job rows; returns the report
+    fragment."""
+    if slo.kind == "latency":
+        population = [
+            row for row in job_rows
+            if row["status"] == "done" and "latency" in row
+        ]
+        good = sum(
+            1 for row in population if row["latency"] <= slo.threshold
+        )
+    else:
+        population = list(job_rows)
+        good = sum(
+            1 for row in population if row["status"] != "failed"
+        )
+    total = len(population)
+    compliance = good / total if total else 1.0
+    budget = 1.0 - slo.objective  # tolerated bad fraction
+    bad_fraction = 1.0 - compliance
+    burn_rate = bad_fraction / budget if budget else float("inf")
+    out = dict(slo.as_dict())
+    out.update({
+        "population": total,
+        "good": good,
+        "compliance": round(compliance, 6),
+        "budget_fraction": round(budget, 6),
+        "burn_rate": round(burn_rate, 4),
+        "met": compliance >= slo.objective,
+    })
+    return out
+
+
+def evaluate_slos(slos, job_rows):
+    """Score every SLO; returns the serve report's ``"slo"`` section
+    (a list, in configuration order)."""
+    return [_evaluate_one(slo, job_rows) for slo in slos]
+
+
+def format_slo_section(section):
+    """Render an evaluated SLO section as report lines."""
+    lines = [
+        f"{'  objective':<26}{'target':>10}{'compliance':>12}"
+        f"{'burn rate':>11}{'met':>6}",
+        "  " + "-" * 63,
+    ]
+    for row in section:
+        if row["kind"] == "latency":
+            target = f"{row['target_vcycles']:g}vc"
+        else:
+            target = f"<={row['budget_fraction']:.2%}"
+        lines.append(
+            f"  {row['name']:<24}{target:>10}"
+            f"{row['compliance']:>11.2%}"
+            f"{row['burn_rate']:>10.2f}x"
+            f"{'yes' if row['met'] else 'NO':>6}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["SLO", "evaluate_slos", "format_slo_section"]

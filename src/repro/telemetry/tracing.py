@@ -1,0 +1,129 @@
+"""End-to-end job tracing: trace/span identity and structured logs.
+
+A *trace* follows one submitted job through the serving pipeline::
+
+    submit -> queue (WFQ window) -> pack (batch) -> device -> done
+
+The trace ID is minted at :meth:`repro.serve.FleetServer.submit` and
+every downstream hop derives its span ID from it, so the whole chain
+is reconstructable from any single record. IDs are **deterministic**
+functions of the job's identity — the serve layer's byte-identical
+report/trace contract extends to traces, and two runs of the same
+workload emit the same IDs.
+
+Two export paths, both deterministic reconstructions (worker threads
+never write trace state):
+
+* the Perfetto Chrome trace (:func:`repro.serve.report.build_trace`)
+  grows a ``jobs`` process whose spans carry these IDs in ``args``;
+* :func:`repro.serve.report.build_trace_log` renders the same chain as
+  structured JSON log lines (one object per line, ``ts`` in virtual
+  cycles) for log-pipeline ingestion.
+"""
+
+import hashlib
+import json
+
+
+def _digest(*parts):
+    joined = "\x1f".join(str(part) for part in parts)
+    return hashlib.sha256(joined.encode()).hexdigest()
+
+
+def mint_trace_id(job_id, app, tenant):
+    """The 16-hex-digit trace ID for one job — deterministic in the
+    job's identity (submission index, app, tenant)."""
+    return _digest("fleet-trace", job_id, app, tenant)[:16]
+
+
+def span_id(trace_id, hop, *qualifiers):
+    """A 16-hex-digit span ID within ``trace_id`` for one pipeline hop
+    (``"submit"``, ``"queue"``, ``"batch"``, ``"device"``, ...);
+    ``qualifiers`` disambiguate repeated hops (batch IDs, stream
+    indices)."""
+    return _digest("fleet-span", trace_id, hop, *qualifiers)[:16]
+
+
+class SpanContext:
+    """The identity a job carries through the pipeline."""
+
+    __slots__ = ("trace_id", "root_span_id")
+
+    def __init__(self, trace_id, root_span_id):
+        self.trace_id = trace_id
+        self.root_span_id = root_span_id
+
+    @classmethod
+    def for_job(cls, job_id, app, tenant):
+        trace_id = mint_trace_id(job_id, app, tenant)
+        return cls(trace_id, span_id(trace_id, "submit"))
+
+    def child(self, hop, *qualifiers):
+        """The span ID of a downstream hop in this trace."""
+        return span_id(self.trace_id, hop, *qualifiers)
+
+    def __repr__(self):
+        return f"SpanContext({self.trace_id})"
+
+
+def render_log_lines(events):
+    """Render trace events (dicts with at least ``ts`` and ``event``)
+    as JSON log lines — one compact, key-sorted object per line, so the
+    output is byte-stable and ``grep``/``jq`` friendly."""
+    return "".join(
+        json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        for event in events
+    )
+
+
+def parse_log_lines(text):
+    """Inverse of :func:`render_log_lines` (tests, CLI validation)."""
+    return [
+        json.loads(line)
+        for line in text.splitlines() if line.strip()
+    ]
+
+
+def validate_trace_log(events):
+    """Assert the span-chain invariants of a parsed trace log: every
+    trace has exactly one ``submit`` and at most one ``done``; every
+    non-submit event names a ``parent`` span that exists earlier in the
+    same trace; timestamps within a trace are non-decreasing along the
+    parent chain. Returns ``events``."""
+    by_trace = {}
+    for event in events:
+        for field in ("ts", "event", "trace", "span"):
+            assert field in event, f"log event missing {field!r}: {event}"
+        by_trace.setdefault(event["trace"], []).append(event)
+    for trace_id, chain in by_trace.items():
+        submits = [e for e in chain if e["event"] == "submit"]
+        assert len(submits) == 1, (
+            f"trace {trace_id}: expected exactly one submit, "
+            f"got {len(submits)}"
+        )
+        dones = [e for e in chain if e["event"] == "done"]
+        assert len(dones) <= 1, f"trace {trace_id}: multiple done events"
+        spans = {}
+        for event in chain:
+            if event["event"] != "submit":
+                parent = event.get("parent")
+                assert parent in spans, (
+                    f"trace {trace_id}: event {event['event']!r} has "
+                    f"unknown parent {parent!r}"
+                )
+                assert event["ts"] >= spans[parent], (
+                    f"trace {trace_id}: event {event['event']!r} "
+                    f"precedes its parent"
+                )
+            spans[event["span"]] = event["ts"]
+    return events
+
+
+__all__ = [
+    "SpanContext",
+    "mint_trace_id",
+    "parse_log_lines",
+    "render_log_lines",
+    "span_id",
+    "validate_trace_log",
+]

@@ -1,0 +1,47 @@
+"""Nearest-rank percentile (:func:`repro.serve.report.percentile`):
+the serve report's latency-summary primitive."""
+
+from repro.serve.report import percentile
+
+
+def test_empty_is_zero():
+    assert percentile([], 50) == 0
+    assert percentile([], 99) == 0
+
+
+def test_single_value_every_percentile():
+    for pct in (0, 1, 50, 99, 100):
+        assert percentile([42], pct) == 42
+
+
+def test_unsorted_input():
+    values = [30, 10, 50, 20, 40]
+    assert percentile(values, 50) == 30
+    assert percentile(values, 100) == 50
+
+
+def test_nearest_rank_boundaries():
+    values = list(range(1, 101))  # 1..100
+    assert percentile(values, 1) == 1
+    assert percentile(values, 50) == 50
+    assert percentile(values, 99) == 99
+    assert percentile(values, 100) == 100
+    # Rank is ceil(n * pct / 100): p50 of two values is the first.
+    assert percentile([1, 2], 50) == 1
+    assert percentile([1, 2], 51) == 2
+
+
+def test_p0_clamps_to_minimum():
+    assert percentile([5, 1, 9], 0) == 1
+
+
+def test_duplicates():
+    assert percentile([7, 7, 7, 7], 75) == 7
+
+
+def test_agrees_with_sorted_index():
+    values = [13, 2, 8, 40, 21, 5, 34, 1]
+    ordered = sorted(values)
+    for pct in range(1, 101):
+        rank = -(-len(values) * pct // 100)
+        assert percentile(values, pct) == ordered[rank - 1]

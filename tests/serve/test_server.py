@@ -187,16 +187,25 @@ def test_trace_export_one_span_per_stream(tmp_path):
     path = tmp_path / "serve_trace.json"
     server.write_trace(str(path))
     trace = json.loads(path.read_text())
-    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    # pid namespace is device shards, plus one "jobs" process carrying
+    # the per-job submit -> queue -> batch -> done span chains.
+    metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in metas
+             if e["name"] == "process_name"}
+    assert names == {"device 0", "device 1", "jobs"}
+    device_pids = {
+        e["pid"] for e in metas
+        if e["name"] == "process_name"
+        and e["args"]["name"].startswith("device ")
+    }
+    spans = [
+        e for e in trace["traceEvents"]
+        if e["ph"] == "X" and e["pid"] in device_pids
+    ]
     assert len(spans) == 5
     assert {e["args"]["tenant"] for e in spans} == {"gold", "silver"}
     for span in spans:
         assert span["dur"] > 0
-    # pid namespace is device shards; tid namespace is PU slots.
-    metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
-    names = {e["args"]["name"] for e in metas
-             if e["name"] == "process_name"}
-    assert names == {"device 0", "device 1"}
     server.stop()
 
 

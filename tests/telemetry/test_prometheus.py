@@ -1,0 +1,114 @@
+"""Prometheus text-exposition tests: rendering a snapshot, the strict
+validator, and round-trip of the serve demo's live registry."""
+
+import pytest
+
+from repro.telemetry import render_prometheus, validate_prometheus
+from repro.telemetry.metrics import MetricsRegistry, enabled_scope
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def _page(registry):
+    return render_prometheus(registry.snapshot())
+
+
+def test_render_counter_gauge(registry):
+    with enabled_scope():
+        registry.counter("t_reqs_total", "requests", ("code",)).inc(
+            3, code="200"
+        )
+        registry.gauge("t_depth", "queue depth").set(7)
+    page = _page(registry)
+    assert "# HELP t_reqs_total requests" in page
+    assert "# TYPE t_reqs_total counter" in page
+    assert 't_reqs_total{code="200"} 3' in page
+    assert "t_depth 7" in page
+    validate_prometheus(page)
+
+
+def test_render_histogram(registry):
+    with enabled_scope():
+        registry.histogram("t_lat", "latency").observe_many(
+            [0.5, 3.0, 100.0]
+        )
+    page = _page(registry)
+    assert 't_lat_bucket{le="+Inf"} 3' in page
+    assert "t_lat_count 3" in page
+    assert "t_lat_sum 103.5" in page
+    validate_prometheus(page)
+
+
+def test_label_escaping(registry):
+    with enabled_scope():
+        registry.counter("t_esc_total", "h", ("path",)).inc(
+            path='a"b\\c\nd'
+        )
+    page = _page(registry)
+    assert r'path="a\"b\\c\nd"' in page
+    validate_prometheus(page)
+
+
+def test_invalid_metric_name_raises():
+    snapshot = {
+        "bad-name": {
+            "type": "counter", "help": "h", "labelnames": [],
+            "samples": [{"labels": {}, "value": 1}],
+        }
+    }
+    with pytest.raises(ValueError):
+        render_prometheus(snapshot)
+
+
+def test_validator_rejects_missing_type():
+    with pytest.raises(AssertionError):
+        validate_prometheus("t_orphan_total 3\n")
+
+
+def test_validator_rejects_negative_counter():
+    page = (
+        "# HELP t_neg_total h\n"
+        "# TYPE t_neg_total counter\n"
+        "t_neg_total -1\n"
+    )
+    with pytest.raises(AssertionError):
+        validate_prometheus(page)
+
+
+def test_validator_rejects_non_cumulative_histogram():
+    page = (
+        "# HELP t_h h\n"
+        "# TYPE t_h histogram\n"
+        't_h_bucket{le="1"} 5\n'
+        't_h_bucket{le="2"} 3\n'
+        't_h_bucket{le="+Inf"} 5\n'
+        "t_h_sum 1\n"
+        "t_h_count 5\n"
+    )
+    with pytest.raises(AssertionError):
+        validate_prometheus(page)
+
+
+def test_validator_rejects_empty_page():
+    with pytest.raises(AssertionError):
+        validate_prometheus("\n")
+
+
+def test_serve_demo_page_validates():
+    """The live registry after a real serve run renders a page the
+    strict validator accepts — the same check CI runs."""
+    from repro.serve.__main__ import run_demo
+    from repro.telemetry import metrics
+
+    with enabled_scope():
+        metrics.reset()
+        _report, server = run_demo(jobs=6, seed=7)
+        server.stop()
+        page = render_prometheus(metrics.snapshot())
+        metrics.reset()
+    validate_prometheus(page)
+    assert "fleet_serve_jobs_submitted_total" in page
+    assert "fleet_serve_stream_vcycles_bucket" in page
