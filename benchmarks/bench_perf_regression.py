@@ -51,12 +51,29 @@ def test_perf_regression(once):
     )
     lint = results["lint_certified"]
     assert lint["all_certified"], (
-        "a catalog unit lost its clean restriction certificate"
+        "a catalog unit lost its clean restriction certificate (or its "
+        "specialized lowering)"
     )
     assert lint["all_match"], (
-        "certified (checks-off) interpreter outputs diverged from the "
-        "checked run"
+        "certified-specialized codegen diverged from the guarded "
+        "compiled engine"
     )
+    assert lint["aggregate"]["speedup"] >= lint["aggregate"]["floor"], (
+        f"certified-specialization speedup "
+        f"{lint['aggregate']['speedup']:.2f}x is below the "
+        f"{lint['aggregate']['floor']}x floor"
+    )
+    native = results["native_engine"]
+    if "cases" in native:  # skipped (no toolchain) otherwise
+        assert native["aggregate"]["all_match"], (
+            "native C engine diverged from the guarded compiled engine"
+        )
+        assert (native["aggregate"]["speedup"]
+                >= native["aggregate"]["floor"]), (
+            f"native-engine speedup "
+            f"{native['aggregate']['speedup']:.1f}x is below the "
+            f"{native['aggregate']['floor']}x floor"
+        )
     batch = results["batch_engine"]
     if "cases" in batch:  # skipped (numpy unavailable) otherwise
         assert batch["aggregate"]["all_match"], (
@@ -99,8 +116,23 @@ def main(argv):
     lint = results["lint_certified"]
     if not (lint["all_certified"] and lint["all_match"]):
         print("ERROR: lint-certified run lost its certificate or "
-              "diverged from the checked run")
+              "diverged from the guarded compiled engine")
         return 1
+    if not quick and lint["aggregate"]["speedup"] < lint["aggregate"]["floor"]:
+        print(f"ERROR: certified-specialization speedup below the "
+              f"{lint['aggregate']['floor']}x floor")
+        return 1
+    native = results["native_engine"]
+    if "cases" in native:
+        if not native["aggregate"]["all_match"]:
+            print("ERROR: native C engine diverged from the guarded "
+                  "compiled engine")
+            return 1
+        if not quick and (native["aggregate"]["speedup"]
+                          < native["aggregate"]["floor"]):
+            print(f"ERROR: native-engine speedup below the "
+                  f"{native['aggregate']['floor']}x floor")
+            return 1
     batch = results["batch_engine"]
     if "cases" in batch:
         if not batch["aggregate"]["all_match"]:

@@ -26,11 +26,15 @@ same serve workload with live telemetry (:mod:`repro.telemetry`)
 disabled and enabled, guarding the <= 5% overhead ceiling and that
 reports stay byte-identical — a ``serve`` section (:func:`repro.bench.serve_perf.run_serve_comparison`): the
 serving scheduler's FIFO-vs-skew-packing and 1-vs-2-device makespans on
-a Zipf stream-length workload, with their CI speedup floors — and a
-``lint_certified`` section (:func:`run_lint_certified`): the same
-interpreter workload with dynamic restriction checks on versus disabled
-by a lint :class:`~repro.lint.RestrictionCertificate`, guarding that
-the catalog units stay certified and byte-identical with checks off.
+a Zipf stream-length workload, with their CI speedup floors — a
+``lint_certified`` section (:func:`run_lint_certified`): the guarded
+compiled-Python lowering versus the certified-specialized one (the
+certificate consumed at codegen time), guarding that the catalog units
+stay certified, byte-identical, and at least
+:data:`LINT_CERTIFIED_FLOOR` faster — and a ``native_engine`` section
+(:func:`run_native_engine`): guarded compiled Python versus the native
+C engine (``FLEET_ENGINE=cc``), with its own
+:data:`NATIVE_ENGINE_FLOOR` and a graceful toolchain-absent skip.
 """
 
 import time
@@ -275,58 +279,189 @@ def run_telemetry_overhead(quick=False, rounds=5, seed=20260809,
     }
 
 
-def run_lint_certified(quick=False):
-    """Measure what a lint :class:`~repro.lint.RestrictionCertificate`
-    buys at simulation time: the same interpreter workload with dynamic
-    restriction checks on (no certificate, the historical default) and
-    off (certificate presented), outputs compared for exactness.
+#: CI floor on the certified-specialization aggregate speedup
+#: (certified-specialized compiled Python over guarded compiled Python).
+LINT_CERTIFIED_FLOOR = 1.3
 
-    The timing delta is informational (the certified run skips the
-    per-virtual-cycle conflict bookkeeping, a small share of interpreter
-    time); what the bench *asserts* is ``all_match`` (checks-off output
-    stays byte-identical) and ``all_certified`` (the catalog units stay
-    certifiable — losing a certificate would silently re-enable dynamic
-    checks in the compiled engine's elision path)."""
-    from ..interp.simulator import UnitSimulator
+
+def run_lint_certified(quick=False, reps=None):
+    """What a lint :class:`~repro.lint.RestrictionCertificate` buys the
+    compiled engine at **codegen** time: the same workload lowered twice
+    — the guarded Python body (certificate ignored) versus the
+    certified-specialized body (restriction checks deleted at codegen
+    time, proven truncation masks elided, the stream loop phase-split)
+    — with outputs *and* per-token virtual-cycle traces compared for
+    exactness.
+
+    The bench asserts ``all_certified`` (the catalog units stay
+    certifiable — losing a certificate silently falls every engine back
+    to the guarded lowering), ``all_match`` (specialization stays
+    byte-identical), and the aggregate speedup floor
+    (:data:`LINT_CERTIFIED_FLOOR`)."""
+    from ..interp.compile import CompiledSimulator, compile_program
     from ..lint import certificate_for
 
     sizes = (dict(small=400, large=1_600) if quick
              else dict(small=800, large=6_000))
+    reps = reps if reps is not None else (1 if quick else 3)
     cases = []
     for key in ("json_parsing", "integer_coding"):
         spec = catalog()[key]
-        unit = spec.unit()
-        certificate = certificate_for(unit)
+        program = spec.unit()
+        certificate = certificate_for(program)
+        guarded = compile_program(program)
+        specialized = (
+            compile_program(program, certificate=certificate)
+            if certificate.ok and certificate.facts is not None
+            else guarded
+        )
         streams = [large for _, large in spec.stream_pairs(**sizes)]
         if quick:
             streams = streams[:1]
 
-        def run(cert, unit=unit, streams=streams):
+        def run(unit, program=program, streams=streams):
             signatures = []
             for stream in streams:
-                sim = UnitSimulator(unit, engine="interp",
-                                    certificate=cert)
+                sim = CompiledSimulator(program, unit=unit)
                 sim.run(stream)
-                signatures.append(tuple(sim.outputs))
+                signatures.append(
+                    (tuple(sim.outputs),
+                     tuple(sim.trace.vcycles_per_token))
+                )
             return signatures
 
-        base_seconds, base_sig = _timed(lambda: run(None))
-        fast_seconds, fast_sig = _timed(lambda: run(certificate))
+        run(specialized)  # warm both code objects
+        run(guarded)
+        base_seconds, base_sig = min(
+            (_timed(lambda: run(guarded)) for _ in range(reps)),
+            key=lambda pair: pair[0],
+        )
+        fast_seconds, fast_sig = min(
+            (_timed(lambda: run(specialized)) for _ in range(reps)),
+            key=lambda pair: pair[0],
+        )
         cases.append({
             "name": f"lint_certified/{key}",
             "kind": "lint_certified",
             "certified": certificate.ok,
-            "baseline": {"engine": "interp+checks",
+            "specialized": specialized.specialized,
+            "baseline": {"engine": "compiled(guarded)",
                          "seconds": base_seconds},
-            "fast": {"engine": "interp+certificate",
+            "fast": {"engine": "compiled(specialized)",
                      "seconds": fast_seconds},
             "speedup": base_seconds / fast_seconds if fast_seconds else 0.0,
             "match": base_sig == fast_sig,
         })
+    base_total = sum(c["baseline"]["seconds"] for c in cases)
+    fast_total = sum(c["fast"]["seconds"] for c in cases)
     return {
         "cases": cases,
+        "aggregate": {
+            "baseline_seconds": base_total,
+            "fast_seconds": fast_total,
+            "speedup": base_total / fast_total if fast_total else 0.0,
+            "floor": LINT_CERTIFIED_FLOOR,
+        },
         "all_match": all(c["match"] for c in cases),
-        "all_certified": all(c["certified"] for c in cases),
+        "all_certified": all(c["certified"] and c["specialized"]
+                             for c in cases),
+    }
+
+
+#: CI floor on the native-engine aggregate speedup (the certified C
+#: kernel over guarded compiled Python).
+NATIVE_ENGINE_FLOOR = 3.0
+
+
+def run_native_engine(quick=False, reps=None):
+    """The native C engine (``FLEET_ENGINE=cc``) versus the guarded
+    compiled-Python engine on the same certified catalog units: one
+    compiled C loop per stream against the per-virtual-cycle Python
+    body, outputs and per-token virtual-cycle traces compared for
+    exactness.
+
+    Returns ``{"skipped": reason}`` when no C toolchain is available
+    (or ``FLEET_NATIVE=off``); otherwise the aggregate speedup must
+    clear :data:`NATIVE_ENGINE_FLOOR`."""
+    from ..interp.cc import (
+        CcSimulator, cc_available, cc_support, compile_cc,
+    )
+    from ..interp.compile import CompiledSimulator, compile_program
+    from ..lint import certificate_for
+
+    if not cc_available():
+        return {"skipped": "no C toolchain (or FLEET_NATIVE=off)"}
+
+    sizes = (dict(small=400, large=1_600) if quick
+             else dict(small=800, large=6_000))
+    reps = reps if reps is not None else (1 if quick else 3)
+    cases = []
+    for key in ("json_parsing", "integer_coding"):
+        spec = catalog()[key]
+        program = spec.unit()
+        supported, reason = cc_support(program)
+        certificate = certificate_for(program)
+        if not (supported and certificate.ok):
+            cases.append({
+                "name": f"native_engine/{key}",
+                "kind": "native_engine",
+                "skipped": reason if not supported else "uncertified",
+            })
+            continue
+        guarded = compile_program(program)
+        cc_unit = compile_cc(program, certificate=certificate)
+        streams = [large for _, large in spec.stream_pairs(**sizes)]
+        if quick:
+            streams = streams[:1]
+
+        def run(make, program=program, streams=streams):
+            signatures = []
+            for stream in streams:
+                sim = make(program)
+                sim.run(stream)
+                signatures.append(
+                    (tuple(sim.outputs),
+                     tuple(sim.trace.vcycles_per_token))
+                )
+            return signatures
+
+        def make_py(program, unit=guarded):
+            return CompiledSimulator(program, unit=unit)
+
+        def make_cc(program, unit=cc_unit):
+            return CcSimulator(program, unit=unit)
+
+        run(make_cc)  # warm (first call may hit the on-disk build cache)
+        run(make_py)
+        base_seconds, base_sig = min(
+            (_timed(lambda: run(make_py)) for _ in range(reps)),
+            key=lambda pair: pair[0],
+        )
+        fast_seconds, fast_sig = min(
+            (_timed(lambda: run(make_cc)) for _ in range(reps)),
+            key=lambda pair: pair[0],
+        )
+        cases.append({
+            "name": f"native_engine/{key}",
+            "kind": "native_engine",
+            "baseline": {"engine": "compiled(guarded)",
+                         "seconds": base_seconds},
+            "fast": {"engine": "cc", "seconds": fast_seconds},
+            "speedup": base_seconds / fast_seconds if fast_seconds else 0.0,
+            "match": base_sig == fast_sig,
+        })
+    timed = [c for c in cases if "skipped" not in c]
+    base_total = sum(c["baseline"]["seconds"] for c in timed)
+    fast_total = sum(c["fast"]["seconds"] for c in timed)
+    return {
+        "cases": cases,
+        "aggregate": {
+            "baseline_seconds": base_total,
+            "fast_seconds": fast_total,
+            "speedup": base_total / fast_total if fast_total else 0.0,
+            "floor": NATIVE_ENGINE_FLOOR,
+            "all_match": all(c["match"] for c in timed),
+        },
     }
 
 
@@ -464,5 +599,6 @@ def run_perf_regression(quick=False):
         "telemetry_overhead": run_telemetry_overhead(quick),
         "serve": run_serve_comparison(quick),
         "lint_certified": run_lint_certified(quick),
+        "native_engine": run_native_engine(quick),
         "batch_engine": run_batch_engine(quick),
     }

@@ -152,9 +152,9 @@ def format_perf(results):
         )
     lint = results.get("lint_certified")
     if lint:
-        # Same interpreter, dynamic restriction checks on vs disabled by
-        # a lint RestrictionCertificate; "exact" means outputs matched
-        # and the unit actually certified.
+        # Guarded compiled Python vs the certified-specialized lowering
+        # (certificate consumed at codegen time); "exact" means outputs
+        # and traces matched and the unit actually certified.
         for case in lint["cases"]:
             ok = case["match"] and case["certified"]
             lines.append(
@@ -163,6 +163,23 @@ def format_perf(results):
                 f"{case['fast']['seconds']:>9.3f}s"
                 f"{case['speedup']:>8.2f}x"
                 f"{'yes' if ok else 'NO':>7}"
+            )
+    native = results.get("native_engine")
+    if native and "cases" in native:
+        # Guarded compiled Python vs the native C engine on the same
+        # certified units; "exact" = bit-identical outputs and traces.
+        for case in native["cases"]:
+            if "skipped" in case:
+                lines.append(
+                    f"{case['name']:<28}skipped: {case['skipped']}"
+                )
+                continue
+            lines.append(
+                f"{case['name']:<28}"
+                f"{case['baseline']['seconds']:>9.3f}s"
+                f"{case['fast']['seconds']:>9.3f}s"
+                f"{case['speedup']:>8.1f}x"
+                f"{'yes' if case['match'] else 'NO':>7}"
             )
     batch = results.get("batch_engine")
     if batch and "cases" in batch:

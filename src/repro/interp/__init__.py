@@ -14,6 +14,14 @@ from .batch import (
     run_batch_streams,
     try_compile_batch,
 )
+from .cc import (
+    CcSimulator,
+    CcUnit,
+    cc_engine_for,
+    cc_support,
+    compile_cc,
+    try_compile_cc,
+)
 from .compile import (
     CompiledSimulator,
     CompiledUnit,
@@ -22,7 +30,9 @@ from .compile import (
     fast_engine_for,
     make_simulator,
     try_compile,
+    try_specialize,
 )
+from .native import native_enabled
 from .simulator import UnitSimulator, VirtualCycle
 from .stream import (
     bytes_from_tokens,
@@ -37,6 +47,8 @@ __all__ = [
     "BatchStats",
     "BatchStreamSimulator",
     "BatchUnit",
+    "CcSimulator",
+    "CcUnit",
     "CompiledSimulator",
     "CompiledUnit",
     "StreamTrace",
@@ -47,16 +59,22 @@ __all__ = [
     "batch_support",
     "bytes_from_tokens",
     "cc_available",
+    "cc_engine_for",
+    "cc_support",
     "compile_batch",
+    "compile_cc",
     "compile_program",
     "env_engine",
     "fast_engine_for",
     "make_simulator",
+    "native_enabled",
     "numpy_available",
     "run_batch_streams",
     "tokens_from_bytes",
     "tokens_to_words",
     "try_compile",
+    "try_compile_cc",
     "try_compile_batch",
+    "try_specialize",
     "words_to_tokens",
 ]

@@ -59,12 +59,7 @@ returns ``None`` so callers fall back to the compiled engine) and
 install hint.
 """
 
-import glob
-import hashlib
-import importlib.util
-import os
 import re
-import tempfile
 import time
 
 try:  # pragma: no cover - exercised both ways across environments
@@ -83,7 +78,9 @@ from ..lang.types import MACHINE_WIDTH, machine_bits, mask
 from ..telemetry.metrics import counter as _tm_counter
 from ..telemetry.metrics import enabled as _tm_enabled
 from ..telemetry.metrics import histogram as _tm_histogram
+from . import native as _native
 from .compile import _Codegen as _ScalarCodegen
+from .native import _cc_load, cc_available
 from .trace import StreamTrace
 
 #: Live telemetry (repro.telemetry; zero-cost unless FLEET_METRICS).
@@ -1238,11 +1235,23 @@ class _BatchCodegen:
 
     # -- assembly ------------------------------------------------------------
     def _has_live_while(self, plan):
+        """Whether any while under ``plan`` can actually activate,
+        mirroring :meth:`_emit_masks`'s arm pruning exactly: a
+        const-false if-arm is skipped, a const-false while is dead, and
+        a const-true or else arm shadows every later arm. Anything
+        looser would set ``has_whiles`` for a loop ``_emit_masks``
+        never visits, leaving ``self.whiles`` empty at assembly time."""
         for item in plan:
             if item[0] == "if":
-                for _, sub in item[1]:
+                for cocc, sub in item[1]:
+                    occ = None if cocc is None else self.occs[cocc]
+                    if occ is not None and occ.kind == "const" \
+                            and not occ.value:
+                        continue
                     if self._has_live_while(sub):
                         return True
+                    if occ is None or occ.kind == "const":
+                        break
             elif item[0] == "while":
                 occ = self.occs[item[1]]
                 if not (occ.kind == "const" and not occ.value):
@@ -1799,14 +1808,6 @@ class _CCodegen(_ScalarCodegen):
         return "\n".join(lines) + "\n"
 
 
-#: Memoized result of the one-shot toolchain probe (None = not yet run).
-_CC_OK = None
-#: In-process module cache: source hash -> (lib, ffi).
-_CC_MODCACHE = {}
-#: Last native-build failure, kept for debugging (`FLEET_BATCH_BACKEND=cc`
-#: re-raises it with context).
-_CC_LAST_ERROR = None
-
 _CC_BACKENDS = ("auto", "numpy", "cc")
 
 
@@ -1820,59 +1821,6 @@ def batch_backend_env():
     :func:`repro.envcfg.env_choice` validator).
     """
     return env_choice("FLEET_BATCH_BACKEND", _CC_BACKENDS, "auto")
-
-
-def _cc_cache_dir():
-    uid = getattr(os, "getuid", lambda: 0)()
-    path = os.path.join(tempfile.gettempdir(), f"fleet-cc-{uid}")
-    os.makedirs(path, exist_ok=True)
-    return path
-
-
-def _cc_load(cdef, source, tag):
-    """Compile-or-load a cffi extension module, content-addressed by its
-    C source so rebuilds are skipped across processes."""
-    import cffi
-
-    key = hashlib.sha256(source.encode()).hexdigest()[:16]
-    cached = _CC_MODCACHE.get(key)
-    if cached is not None:
-        return cached
-    modname = f"_fleet_cc_{tag}_{key}"
-    cachedir = _cc_cache_dir()
-    matches = glob.glob(os.path.join(cachedir, modname + "*.so"))
-    sopath = matches[0] if matches else None
-    if sopath is None:
-        ffi = cffi.FFI()
-        ffi.cdef(cdef)
-        ffi.set_source(modname, source,
-                       extra_compile_args=["-O2", "-w"])
-        sopath = ffi.compile(tmpdir=cachedir, verbose=False)
-    spec = importlib.util.spec_from_file_location(modname, sopath)
-    mod = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(mod)
-    result = (mod.lib, mod.ffi)
-    _CC_MODCACHE[key] = result
-    return result
-
-
-def cc_available():
-    """Whether the native batch tier can build kernels here (cffi plus a
-    working C compiler). Probed once per process with a trivial module;
-    the probe's build artifact is disk-cached like any kernel."""
-    global _CC_OK, _CC_LAST_ERROR
-    if _CC_OK is None:
-        try:
-            lib, _ = _cc_load(
-                "int fleet_probe(void);",
-                "int fleet_probe(void) { return 42; }",
-                "probe",
-            )
-            _CC_OK = lib.fleet_probe() == 42
-        except Exception as exc:  # pragma: no cover - toolchain-specific
-            _CC_LAST_ERROR = exc
-            _CC_OK = False
-    return _CC_OK
 
 
 class _CcKernel:
@@ -1890,12 +1838,11 @@ class _CcKernel:
 def _try_cc_build(program, unit, required=False):
     """Build the native kernel for ``unit``; ``None`` on any failure
     unless ``required`` (``FLEET_BATCH_BACKEND=cc``), which raises."""
-    global _CC_LAST_ERROR
     if not cc_available():
         if required:
             raise FleetSimulationError(
                 "FLEET_BATCH_BACKEND=cc but no working C toolchain: "
-                f"{_CC_LAST_ERROR!r}"
+                f"{_native.last_error()!r}"
             )
         return None
     try:
@@ -1916,7 +1863,7 @@ def _try_cc_build(program, unit, required=False):
             _NATIVE_BUILD_SECONDS.observe(time.perf_counter() - started)
         return _CcKernel(lib, ffi, source, nsg)
     except Exception as exc:
-        _CC_LAST_ERROR = exc
+        _native.set_last_error(exc)
         if required:
             raise FleetSimulationError(
                 f"native batch kernel build failed for "
@@ -2306,7 +2253,9 @@ def run_batch_streams(program, streams, *, max_vcycles_per_token=1_000_000,
     tok_dtype = _np.uint64
     arrs = [_validate_stream(program, s, tok_dtype) for s in streams]
     lens = _np.array([a.shape[0] for a in arrs], dtype=_np.intp)
-    if unit.cc is not None:
+    # FLEET_NATIVE=off must win over a kernel cached on the unit:
+    # flipping it mid-process (tests do) drops back to the NumPy tier.
+    if unit.cc is not None and _native.native_enabled():
         return _run_batch_cc(program, unit, arrs, lens, n,
                              max_vcycles_per_token)
     max_len = int(lens.max()) if n else 0

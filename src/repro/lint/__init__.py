@@ -23,10 +23,18 @@ from .certificate import (
     RestrictionCertificate,
     certificate_for,
     certify_program,
+    fingerprint_for,
     program_fingerprint,
 )
 from .domain import Interval
 from .engine import Analysis
+from .facts import (
+    ROLE_ADDR,
+    ROLE_VALUE,
+    SpecializationFacts,
+    build_facts,
+    expr_fact_key,
+)
 from .findings import (
     FINDING_CLASSES,
     SEVERITIES,
@@ -62,19 +70,25 @@ __all__ = [
     "LintFinding",
     "LintReport",
     "OutOfBoundsAddressFinding",
+    "ROLE_ADDR",
+    "ROLE_VALUE",
     "RestrictionCertificate",
     "RestrictionConflictFinding",
     "SEVERITIES",
     "SoundnessResult",
     "SoundnessViolation",
+    "SpecializationFacts",
     "UninitializedReadFinding",
     "UnreachableArmFinding",
     "build_app_unit",
+    "build_facts",
     "certificate_for",
     "certify_program",
     "check_corpus",
     "check_fuzz",
     "check_spec",
+    "expr_fact_key",
+    "fingerprint_for",
     "lint_program",
     "program_fingerprint",
     "reports_to_sarif",

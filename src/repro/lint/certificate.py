@@ -47,13 +47,23 @@ _CERT_LOOKUPS = _tm_counter(
 
 
 class RestrictionCertificate:
-    """The verdict of :func:`certify_program` for one program."""
+    """The verdict of :func:`certify_program` for one program.
+
+    A clean certificate additionally carries
+    :class:`~repro.lint.facts.SpecializationFacts` — the per-site
+    interval evidence (which reads, writes, and truncations are proven
+    safe, keyed by content-addressed expression keys and stable
+    statement locations) that the compiled engines' certified
+    specialization paths consume to delete guards at codegen time.
+    ``facts`` is ``None`` on rejected certificates: an uncertified
+    program never specializes.
+    """
 
     __slots__ = ("program_name", "fingerprint", "ok", "reasons",
-                 "finding_counts", "proof_ok", "vreg_exclusive")
+                 "finding_counts", "proof_ok", "vreg_exclusive", "facts")
 
     def __init__(self, program_name, fingerprint, ok, reasons,
-                 finding_counts, proof_ok, vreg_exclusive):
+                 finding_counts, proof_ok, vreg_exclusive, facts=None):
         self.program_name = program_name
         self.fingerprint = fingerprint
         self.ok = ok
@@ -61,10 +71,17 @@ class RestrictionCertificate:
         self.finding_counts = dict(finding_counts)
         self.proof_ok = proof_ok
         self.vreg_exclusive = vreg_exclusive
+        self.facts = facts if ok else None
 
     def covers(self, program):
         """Whether this certificate was issued for exactly ``program``
-        (same name and structural fingerprint)."""
+        (same name and structural fingerprint).
+
+        Deliberately refingerprints from scratch (no
+        :func:`fingerprint_for` memo): ``covers`` is the last line of
+        defense against a program mutated after certification, and a
+        memoized fingerprint would be stale in exactly that case.
+        """
         return (self.program_name == program.name
                 and self.fingerprint == program_fingerprint(program))
 
@@ -77,6 +94,7 @@ class RestrictionCertificate:
             "vreg_exclusive": self.vreg_exclusive,
             "finding_counts": self.finding_counts,
             "reasons": list(self.reasons),
+            "facts": None if self.facts is None else self.facts.to_json(),
         }
 
     def render(self):
@@ -194,8 +212,11 @@ def certify_program(program, report=None):
     """Produce a :class:`RestrictionCertificate` for ``program``.
 
     ``report`` may pass in an existing
-    :class:`~repro.lint.passes.LintReport` to avoid re-linting.
+    :class:`~repro.lint.passes.LintReport` to avoid re-linting. A clean
+    certificate carries :class:`~repro.lint.facts.SpecializationFacts`
+    built from the report's interval analysis.
     """
+    from .facts import build_facts
     from .passes import lint_program
 
     if report is None:
@@ -214,6 +235,7 @@ def certify_program(program, report=None):
     for finding in report.errors:
         reasons.append(f"error finding: {finding.render()}")
     _CERTIFICATES.inc(verdict="clean" if not reasons else "rejected")
+    facts = None if reasons else build_facts(report.analysis)
     return RestrictionCertificate(
         program_name=program.name,
         fingerprint=program_fingerprint(program),
@@ -222,15 +244,47 @@ def certify_program(program, report=None):
         finding_counts=report.counts(),
         proof_ok=report.proof.ok,
         vreg_exclusive=not report.vreg_conflicts,
+        facts=facts,
     )
 
 
+def fingerprint_for(program):
+    """:func:`program_fingerprint`, memoized on the (immutable after
+    ``finish()``) program object — serialization is linear but not free,
+    and hot callers fingerprint the same object repeatedly."""
+    cached = getattr(program, "_fleet_fingerprint", None)
+    if cached is None:
+        cached = program_fingerprint(program)
+        program._fleet_fingerprint = cached
+    return cached
+
+
+#: Process-wide certificate store keyed by structural fingerprint, so
+#: *structurally identical* program objects — e.g. a factory called once
+#: per ``make_simulator`` — share one lint pass instead of re-running
+#: the full pipeline per object. Bounded only by distinct program
+#: structures seen, which is small in practice (apps + fuzz shrinks).
+_CERT_BY_FINGERPRINT = {}
+
+
 def certificate_for(program):
-    """Cached certificate for ``program`` (memoized on the program
-    object; programs are immutable after ``finish()``)."""
+    """Cached certificate for ``program``.
+
+    Two cache levels: the program object itself (immutable after
+    ``finish()``), then the process-wide fingerprint store — a fresh but
+    structurally identical object costs one fingerprint serialization,
+    not a full lint pass. The returned certificate always ``covers``
+    ``program`` by construction (the fingerprint *is* the cache key).
+    """
     cached = getattr(program, "_fleet_certificate", None)
     if cached is not None:
         _CERT_LOOKUPS.inc(result="hit")
+        return cached
+    fingerprint = fingerprint_for(program)
+    cached = _CERT_BY_FINGERPRINT.get(fingerprint)
+    if cached is not None and cached.program_name == program.name:
+        _CERT_LOOKUPS.inc(result="fingerprint_hit")
+        program._fleet_certificate = cached
         return cached
     _CERT_LOOKUPS.inc(result="miss")
     try:
@@ -238,7 +292,7 @@ def certificate_for(program):
     except FleetError as exc:
         certificate = RestrictionCertificate(
             program_name=program.name,
-            fingerprint=program_fingerprint(program),
+            fingerprint=fingerprint,
             ok=False,
             reasons=[f"lint failed: {exc}"],
             finding_counts={"info": 0, "warning": 0, "error": 0},
@@ -246,4 +300,5 @@ def certificate_for(program):
             vreg_exclusive=False,
         )
     program._fleet_certificate = certificate
+    _CERT_BY_FINGERPRINT[fingerprint] = certificate
     return certificate

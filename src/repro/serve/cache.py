@@ -14,16 +14,30 @@ cheap per-stream simulator instances that share the compiled engine —
 Hit/miss totals are deterministic for a deterministic workload: misses
 equal the number of distinct apps compiled, hits are lookups minus
 misses, regardless of thread interleaving.
+
+Cache keys bind certificate fingerprints: each entry records the
+structural fingerprint of the program it compiled, and every lookup
+revalidates it from scratch (no memo — the memo is stale in exactly the
+case that matters). A program object mutated after compilation can
+therefore never be served by a specialized or native unit whose
+certificate no longer covers it; the entry is recompiled in place and
+the event is counted in :meth:`CompiledAppCache.stats` under
+``stale_recompiles``.
 """
 
 import threading
 
 from ..interp import (
+    CcSimulator,
     CompiledSimulator,
     UnitSimulator,
     batch_engine_for,
+    cc_engine_for,
+    env_engine,
     fast_engine_for,
+    native_enabled,
 )
+from ..lint import program_fingerprint
 from ..telemetry.metrics import counter as _tm_counter
 
 #: Live telemetry (repro.telemetry; zero-cost unless FLEET_METRICS).
@@ -48,24 +62,50 @@ class ServedApp:
 
 
 class _Entry:
-    """One compiled app: the checked program, its shared fast engine
-    (or None when only the interpreter applies), and cached
-    calibration/slot data filled in lazily by the cost model/server."""
+    """One compiled app: the checked program, its shared per-stream
+    engine (native ``cc``, then compiled Python, then the interpreter —
+    best available wins), and cached calibration/slot data filled in
+    lazily by the cost model/server."""
 
-    __slots__ = ("app", "program", "fast_unit", "batch_unit", "engine",
-                 "cost_coeffs", "pu_slots", "lock")
+    __slots__ = ("app", "program", "fast_unit", "cc_unit", "batch_unit",
+                 "engine", "fingerprint", "cost_coeffs", "pu_slots",
+                 "lock")
 
     def __init__(self, app):
         self.app = app
         self.program = app.unit_factory()
         self.fast_unit = fast_engine_for(self.program)
+        # Native scalar engine (certified programs only; None without a
+        # toolchain or under a forcing FLEET_ENGINE other than cc).
+        forced = env_engine()
+        self.cc_unit = (cc_engine_for(self.program)
+                        if forced in ("auto", "cc") else None)
         # Whole-batch SIMD engine for the device workers' batch slots
         # (None when unsupported or vetoed; workers then run per-stream).
         self.batch_unit = batch_engine_for(self.program)
-        self.engine = "compiled" if self.fast_unit is not None else "interp"
+        if self.cc_unit is not None:
+            self.engine = "cc"
+        elif self.fast_unit is not None:
+            self.engine = ("compiled-certified"
+                           if self.fast_unit.specialized else "compiled")
+        else:
+            self.engine = "interp"
+        # The structural fingerprint the engines were built against;
+        # lookups revalidate it so post-compile mutation forces a
+        # recompile instead of serving stale specialized code.
+        self.fingerprint = program_fingerprint(self.program)
         self.cost_coeffs = None  # (per_token, fixed) — see cost.py
         self.pu_slots = None  # area-model slot count, filled by the server
         self.lock = threading.Lock()
+
+    def stale(self):
+        """Whether the entry's program no longer matches the fingerprint
+        its engines (and their certificate) were bound to.
+
+        Refingerprints from scratch on every call — the memoized
+        fingerprint lives on the program object and is stale in exactly
+        the mutation case this guard exists for."""
+        return program_fingerprint(self.program) != self.fingerprint
 
 
 class CompiledAppCache:
@@ -77,6 +117,7 @@ class CompiledAppCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._stale_recompiles = 0
 
     def __contains__(self, name):
         return name in self._apps
@@ -92,8 +133,16 @@ class CompiledAppCache:
         with self._lock:
             entry = self._entries.get(name)
             if entry is not None:
-                self._hits += 1
-                _CACHE_LOOKUPS.inc(result="hit")
+                if not entry.stale():
+                    self._hits += 1
+                    _CACHE_LOOKUPS.inc(result="hit")
+                    return entry
+                # The program mutated under its certificate: the cached
+                # specialized/native units are bound to a fingerprint
+                # that no longer matches. Rebuild from the factory.
+                self._stale_recompiles += 1
+                _CACHE_LOOKUPS.inc(result="stale")
+                entry = self._entries[name] = _Entry(self._apps[name])
                 return entry
             self._misses += 1
             _CACHE_LOOKUPS.inc(result="miss")
@@ -105,8 +154,13 @@ class CompiledAppCache:
             return entry
 
     def simulator(self, name):
-        """A fresh per-stream simulator sharing the cached engine."""
+        """A fresh per-stream simulator sharing the cached engine
+        (native ``cc`` when built, else compiled Python, else the
+        interpreter)."""
         entry = self.entry(name)
+        # FLEET_NATIVE=off wins over a native unit cached before the flip.
+        if entry.cc_unit is not None and native_enabled():
+            return CcSimulator(entry.program, unit=entry.cc_unit)
         if entry.fast_unit is not None:
             return CompiledSimulator(entry.program, unit=entry.fast_unit)
         return UnitSimulator(entry.program)
@@ -116,6 +170,14 @@ class CompiledAppCache:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
+                "stale_recompiles": self._stale_recompiles,
+                # Per-app engine matrix: which per-stream engine each
+                # compiled app resolved to (cc / compiled-certified /
+                # compiled / interp).
+                "engines": {
+                    name: e.engine
+                    for name, e in sorted(self._entries.items())
+                },
                 "compiled": sorted(
                     name for name, e in self._entries.items()
                     if e.fast_unit is not None
@@ -127,5 +189,9 @@ class CompiledAppCache:
                 "batched": sorted(
                     name for name, e in self._entries.items()
                     if e.batch_unit is not None
+                ),
+                "native": sorted(
+                    name for name, e in self._entries.items()
+                    if e.cc_unit is not None
                 ),
             }

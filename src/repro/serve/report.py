@@ -232,6 +232,12 @@ def format_serve_report(report):
         f"  app cache: {cache['hits']} hits / {cache['misses']} misses, "
         f"compiled: {', '.join(cache['compiled']) or '(none)'}"
     )
+    engines = cache.get("engines") or {}
+    if engines:
+        matrix = ", ".join(
+            f"{name}={engine}" for name, engine in engines.items()
+        )
+        lines.append(f"  engines: {matrix}")
     simd = [b for b in report["batches"] if "batch_engine" in b]
     if simd:
         busy = sum(b["batch_engine"]["busy_lane_cycles"] for b in simd)

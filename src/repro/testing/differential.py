@@ -94,7 +94,9 @@ def run_compiled(program, stream, unit):
 
 #: Default engine axis: the oracle plus the fast engine. Add ``"batch"``
 #: (``--engines interp,compiled,batch``) to also run every program's
-#: streams as one ragged SIMD batch.
+#: streams as one ragged SIMD batch, ``"compiled-certified"`` to compare
+#: a fresh certified-specialized lowering, and ``"cc"`` to compare the
+#: native C engine (each skips programs outside its gate).
 DEFAULT_ENGINES = ("interp", "compiled")
 
 
@@ -108,8 +110,14 @@ def check_program(spec, streams, *, rtl=True, verilog=True,
     program's streams as *one ragged batch* on the SIMD engine (plus an
     empty-stream lane and a batch-of-1 run), comparing outputs,
     per-token virtual-cycle traces, and final register state against the
-    compiled engine. Batch-unsupported programs skip that stage — the
-    engine itself refuses them — so the axis is safe on any corpus.
+    compiled engine. ``"compiled-certified"`` builds a *fresh*
+    certified-specialized lowering (certificate facts consumed at
+    codegen time) and ``"cc"`` a fresh native C kernel, each compared
+    stream-for-stream — outputs, virtual-cycle and emit traces, final
+    register and BRAM state — against the guarded compiled engine.
+    Programs outside an axis's gate (uncertified, batch/cc-unsupported,
+    no C toolchain) skip that stage, so every axis is safe on any
+    corpus.
 
     Returns the per-stream interpreter outputs on full agreement; raises
     :class:`Mismatch` on any disagreement or model crash. Raises the
@@ -184,6 +192,10 @@ def check_program(spec, streams, *, rtl=True, verilog=True,
 
     if "batch" in engines:
         check_batch(program, streams)
+    if "compiled-certified" in engines:
+        check_specialized(program, streams)
+    if "cc" in engines:
+        check_cc(program, streams)
     return expected
 
 
@@ -263,3 +275,122 @@ def check_batch(program, streams):
                     f"lane {lane}: final register state differs: "
                     f"compiled={state} batch={result.reg_state(lane)}",
                 )
+
+
+def _full_state(sim, program):
+    """Final architectural state of a finished simulator: registers,
+    plus every BRAM's full contents (vector registers have no peek hook;
+    BRAM divergence is where address-guard elisions would show)."""
+    state = {r.name: sim.peek_reg(r.name) for r in program.regs}
+    for bram in program.brams:
+        state[bram.name] = sim.peek_bram(bram.name)
+    return state
+
+
+def _check_against_compiled(program, streams, stage, make_sim):
+    """Shared driver for the specializing axes: run every stream on a
+    fresh guarded compiled reference and on ``make_sim()``'s simulator,
+    comparing outputs, per-token virtual-cycle and emit traces, and
+    final register + BRAM state."""
+    for index, stream in enumerate(streams):
+        ref = CompiledSimulator(program, max_vcycles_per_token=MAX_VCYCLES)
+        want = list(ref.run(stream))
+        want_state = _full_state(ref, program)
+        sim = make_sim()
+        try:
+            got = list(sim.run(stream))
+        except FleetError as exc:
+            raise Mismatch(
+                stage,
+                f"stream {index}: {stage} engine crashed: "
+                f"{type(exc).__name__}: {exc}",
+            )
+        if got != want:
+            raise Mismatch(
+                stage,
+                f"stream {index}: outputs differ: compiled={want} "
+                f"{stage}={got}",
+            )
+        if sim.trace.vcycles_per_token != ref.trace.vcycles_per_token:
+            raise Mismatch(
+                stage,
+                f"stream {index}: virtual-cycle traces differ: "
+                f"compiled={ref.trace.vcycles_per_token} "
+                f"{stage}={sim.trace.vcycles_per_token}",
+            )
+        if sim.trace.emits_per_token != ref.trace.emits_per_token:
+            raise Mismatch(
+                stage,
+                f"stream {index}: emit traces differ: "
+                f"compiled={ref.trace.emits_per_token} "
+                f"{stage}={sim.trace.emits_per_token}",
+            )
+        got_state = _full_state(sim, program)
+        if got_state != want_state:
+            raise Mismatch(
+                stage,
+                f"stream {index}: final state differs: "
+                f"compiled={want_state} {stage}={got_state}",
+            )
+
+
+def check_specialized(program, streams):
+    """Differential stage for the certified-specialized lowering.
+
+    Builds a **fresh** specialized unit (no program-object cache), so
+    the comparison exercises the full certificate → facts → codegen
+    pipeline every time, and compares stream-for-stream against the
+    guarded compiled engine. No-op for uncertified programs — they have
+    no specialized engine by design.
+    """
+    from ..lint.certificate import certificate_for
+
+    certificate = certificate_for(program)
+    if not certificate.ok or certificate.facts is None:
+        return
+    try:
+        unit = compile_program(program, certificate=certificate)
+    except FleetError as exc:
+        raise Mismatch(
+            "specialize-compile",
+            f"certified specialization rejected the program: {exc}",
+        )
+    _check_against_compiled(
+        program, streams, "compiled-certified",
+        lambda: CompiledSimulator(program, unit=unit,
+                                  max_vcycles_per_token=MAX_VCYCLES),
+    )
+
+
+def check_cc(program, streams):
+    """Differential stage for the native C engine.
+
+    No-op when the program is outside the cc gate (unsupported shape,
+    uncertified) or no C toolchain is available; otherwise builds a
+    fresh kernel and compares stream-for-stream against the guarded
+    compiled engine.
+    """
+    from ..interp.cc import CcSimulator, cc_available, cc_support, \
+        compile_cc
+    from ..lint.certificate import certificate_for
+
+    ok, _reason = cc_support(program)
+    if not ok:
+        return
+    certificate = certificate_for(program)
+    if not certificate.ok or certificate.facts is None:
+        return
+    if not cc_available():
+        return
+    try:
+        unit = compile_cc(program, certificate=certificate)
+    except FleetError as exc:
+        raise Mismatch(
+            "cc-compile",
+            f"native cc engine rejected the program: {exc}",
+        )
+    _check_against_compiled(
+        program, streams, "cc",
+        lambda: CcSimulator(program, unit=unit,
+                            max_vcycles_per_token=MAX_VCYCLES),
+    )

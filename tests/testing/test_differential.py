@@ -124,3 +124,111 @@ def test_small_fuzz_budget_with_batch_axis():
         engines=("interp", "compiled", "batch"),
     ).run()
     assert report.ok, report.summary()
+
+
+# ---------------------------------------------------------------------------
+# Certified-specialized and native cc axes
+# ---------------------------------------------------------------------------
+
+SUB_SPEC = {
+    "name": "sub", "input_width": 8, "output_width": 8,
+    "regs": [], "vregs": [], "brams": [],
+    "body": [["emit", ["bin", "sub", ["const", 10, 4], ["input"]]]],
+}
+
+
+def test_specialized_and_cc_axes_agree():
+    spec = {
+        "name": "acc", "input_width": 8, "output_width": 10,
+        "regs": [["acc", 10, 0]], "vregs": [], "brams": [],
+        "body": [
+            ["set", "acc", ["bin", "add", ["reg", "acc"], ["input"]]],
+            ["emit", ["reg", "acc"]],
+        ],
+    }
+    differential.check_program(
+        spec, [[1, 2, 3], [], [9]], rtl=False, verilog=False,
+        engines=("interp", "compiled", "compiled-certified", "cc"),
+    )
+
+
+def test_specializing_axes_skip_uncertified_programs():
+    from repro.lang import UnitBuilder
+
+    b = UnitBuilder("conflict", input_width=8, output_width=8)
+    m = b.bram("m", elements=8, width=8)
+    m[0] = 1
+    m[1] = 2  # definite two-writes conflict: never certifies
+    program = b.finish()
+    # Both stages are silent no-ops — uncertified programs have no
+    # specialized or native engine by design.
+    differential.check_specialized(program, [[1]])
+    differential.check_cc(program, [[1]])
+
+
+def test_specialized_axis_detects_injected_bug(monkeypatch):
+    from repro.lang.errors import (
+        FleetLoopLimitError,
+        FleetSimulationError,
+    )
+    from repro.testing.differential import CompiledUnit, _NW
+
+    real = differential.compile_program
+
+    def faulty(program, certificate=None):
+        unit = real(program, certificate=certificate)
+        if certificate is None:
+            return unit  # leave the guarded reference clean
+        source = unit.source.replace(" - ", " + ")
+        namespace = {
+            "_NW": _NW,
+            "_SimError": FleetSimulationError,
+            "_LoopError": FleetLoopLimitError,
+        }
+        exec(compile(source, "<fleet-injected>", "exec"), namespace)
+        return CompiledUnit(
+            program, namespace["run_token"], namespace["run_stream"],
+            source,
+        )
+
+    monkeypatch.setattr(differential, "compile_program", faulty)
+    program = differential.spec_mod.build_unit(SUB_SPEC)
+    with pytest.raises(differential.Mismatch) as info:
+        differential.check_specialized(program, [[3]])
+    assert info.value.stage == "compiled-certified"
+
+
+def test_cc_axis_detects_injected_bug(monkeypatch):
+    import repro.interp.cc as cc_mod
+
+    if not cc_mod.cc_available():
+        pytest.skip("no C toolchain (or FLEET_NATIVE=off)")
+    from repro.lint import certificate_for
+
+    # Swap in a kernel built for a subtly different program (11 - x
+    # instead of 10 - x): a fresh, valid build whose outputs are wrong.
+    altered = dict(SUB_SPEC, name="sub-alt", body=[
+        ["emit", ["bin", "sub", ["const", 11, 4], ["input"]]],
+    ])
+    other = differential.spec_mod.build_unit(altered)
+    wrong_unit = cc_mod.compile_cc(
+        other, certificate=certificate_for(other)
+    )
+    monkeypatch.setattr(
+        cc_mod, "compile_cc",
+        lambda program, certificate=None: wrong_unit,
+    )
+    program = differential.spec_mod.build_unit(SUB_SPEC)
+    with pytest.raises(differential.Mismatch) as info:
+        differential.check_cc(program, [[3]])
+    assert info.value.stage == "cc"
+
+
+def test_small_fuzz_budget_with_all_axes():
+    pytest.importorskip("numpy")
+    report = ConformanceEngine(
+        seed="pytest-axes", max_programs=15, rtl=False, verilog=False,
+        engines=("interp", "compiled", "compiled-certified", "batch",
+                 "cc"),
+    ).run()
+    assert report.ok, report.summary()
