@@ -49,6 +49,16 @@ def test_perf_regression(once):
         f"telemetry overhead {telemetry['overhead_ratio']:.2f}x exceeds "
         f"the {telemetry['ceiling']:.2f}x ceiling (or recorded nothing)"
     )
+    dse = results["dse"]
+    assert dse["all_within_area"], (
+        "a DSE winner spent more modeled area than its hand-picked "
+        "baseline — the search may not grow the area budget"
+    )
+    assert dse["aggregate"]["speedup"] >= dse["aggregate"]["floor"], (
+        f"DSE tuned-over-baseline aggregate "
+        f"{dse['aggregate']['speedup']:.3f}x is below the "
+        f"{dse['aggregate']['floor']}x floor"
+    )
     lint = results["lint_certified"]
     assert lint["all_certified"], (
         "a catalog unit lost its clean restriction certificate (or its "
@@ -112,6 +122,13 @@ def main(argv):
               f"{telemetry['overhead_ratio']:.2f}x exceeds the "
               f"{telemetry['ceiling']:.2f}x ceiling, recorded nothing, "
               f"or changed the serve report")
+        return 1
+    dse = results["dse"]
+    if not dse["pass"]:
+        print(f"ERROR: DSE tuned-over-baseline aggregate "
+              f"{dse['aggregate']['speedup']:.3f}x missed the "
+              f"{dse['aggregate']['floor']}x floor, or a winner grew "
+              f"its area budget")
         return 1
     lint = results["lint_certified"]
     if not (lint["all_certified"] and lint["all_match"]):

@@ -9,6 +9,7 @@ from .harness import (
 )
 from .loc import count_source_lines, figure8_rows
 from .perf_regression import run_obs_overhead, run_perf_regression
+from .dse_perf import format_dse_comparison, run_dse_comparison
 from .serve_perf import format_serve_comparison, run_serve_comparison
 from .report import (
     PAPER_FIGURE7,
@@ -34,10 +35,12 @@ __all__ = [
     "format_figure7",
     "format_figure8",
     "format_figure9",
+    "format_dse_comparison",
     "format_figure9_attribution",
     "format_perf",
     "format_serve_comparison",
     "render_perf_json",
+    "run_dse_comparison",
     "run_serve_comparison",
     "run_figure7",
     "run_figure9",

@@ -1,0 +1,112 @@
+"""DSE benchmark: the automated search versus the hand-picked setting.
+
+For each catalog app, :func:`repro.dse.search` explores the design
+space and the winner is compared against the paper's hand-picked
+Figure-7 configuration (the search's own baseline evaluation — both
+sides run through the same :func:`repro.system.evaluate_fleet_app`
+path at the same horizon). Two guarantees the CI floor watches, both
+landing in the ``dse`` section of ``BENCH_PERF.json``:
+
+* ``aggregate.speedup`` — total tuned throughput over total baseline
+  throughput across the searched apps — must stay at or above
+  :data:`DSE_SPEEDUP_FLOOR`;
+* every tuned point's binding-resource area fraction must stay at or
+  below its baseline's (``all_within_area``): the search spends the
+  paper's area budget, never grows it.
+
+Quick mode searches two apps at the short horizons; the committed
+full-mode run covers the whole catalog.
+"""
+
+#: CI floor on total tuned throughput over total hand-picked baseline
+#: throughput across the searched apps.
+DSE_SPEEDUP_FLOOR = 1.1
+
+#: Apps quick (CI) mode searches: one memory-bound app the search
+#: actually improves and one whose layout it retunes.
+QUICK_APPS = ("bloom_filter", "json_parsing")
+
+
+def run_dse_comparison(quick=False, seed=0):
+    """Search each app; returns the ``dse`` results dict (see module
+    docstring). Deterministic in (quick, seed)."""
+    from ..bench.catalog import catalog
+    from ..dse import AppModel, EvalCache, search
+    from ..system import AMAZON_F1
+
+    specs = catalog()
+    keys = list(QUICK_APPS) if quick else sorted(specs)
+    cache = EvalCache()
+    cases = []
+    for key in keys:
+        result = search(
+            AppModel.from_spec(specs[key]), device=AMAZON_F1,
+            seed=seed, cache=cache, quick=quick,
+        )
+        base, best = result.baseline, result.best
+        cases.append({
+            "name": f"dse/{key}",
+            "kind": "dse",
+            "baseline": {
+                "gbps": base.gbps, "area_frac": base.area_frac,
+                "p99_ms": base.p99_ms,
+            },
+            "tuned": {
+                "gbps": best.gbps, "area_frac": best.area_frac,
+                "p99_ms": best.p99_ms, "point": best.point.as_dict(),
+            },
+            "speedup": result.speedup,
+            "within_area": best.area_frac <= base.area_frac + 1e-9,
+            "evaluated": result.evaluated,
+            "pruned": result.pruned,
+            "frontier_size": len(result.frontier),
+        })
+    base_total = sum(c["baseline"]["gbps"] for c in cases)
+    tuned_total = sum(c["tuned"]["gbps"] for c in cases)
+    speedup = tuned_total / base_total if base_total else 0.0
+    within = all(c["within_area"] for c in cases)
+    return {
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "cases": cases,
+        "aggregate": {
+            "baseline_gbps": base_total,
+            "tuned_gbps": tuned_total,
+            "speedup": speedup,
+            "floor": DSE_SPEEDUP_FLOOR,
+        },
+        "all_within_area": within,
+        "pass": speedup >= DSE_SPEEDUP_FLOOR and within,
+    }
+
+
+def format_dse_comparison(dse):
+    """Render the DSE comparison as a table."""
+    lines = [
+        f"dse: hand-picked baseline vs searched winner "
+        f"({dse['mode']} mode, seed {dse['seed']}; GB/s modeled, "
+        f"area = binding-resource fraction)",
+        f"{'app':<22}{'base GB/s':>10}{'tuned':>8}{'speedup':>9}"
+        f"{'base area':>11}{'tuned':>7}",
+        "-" * 67,
+    ]
+    for case in dse["cases"]:
+        lines.append(
+            f"{case['name']:<22}"
+            f"{case['baseline']['gbps']:>10.2f}"
+            f"{case['tuned']['gbps']:>8.2f}"
+            f"{case['speedup']:>8.3f}x"
+            f"{case['baseline']['area_frac']:>11.3f}"
+            f"{case['tuned']['area_frac']:>7.3f}"
+        )
+    agg = dse["aggregate"]
+    lines.append("-" * 67)
+    lines.append(
+        f"{'aggregate':<22}"
+        f"{agg['baseline_gbps']:>10.2f}"
+        f"{agg['tuned_gbps']:>8.2f}"
+        f"{agg['speedup']:>8.3f}x"
+        f"   floor {agg['floor']:.1f}x, within area: "
+        f"{'yes' if dse['all_within_area'] else 'NO'}"
+    )
+    return "\n".join(lines)

@@ -44,8 +44,24 @@ class Figure7Row:
         return self.fleet.perf_per_watt_dram / self.gpu.perf_per_watt_dram
 
 
-def run_figure7(apps=None, *, sim_cycles=30_000, gpu_lanes=32):
-    """Compute Figure 7: Fleet vs CPU vs GPU for the six applications."""
+def tuned_designs():
+    """The committed DSE winners as a Figure-7 ``designs`` mapping."""
+    from ..dse import TUNED, tuned_point
+
+    return {key: tuned_point(key) for key in TUNED}
+
+
+def run_figure7(apps=None, *, sim_cycles=30_000, gpu_lanes=32,
+                designs=None):
+    """Compute Figure 7: Fleet vs CPU vs GPU for the six applications.
+
+    ``designs`` maps app key -> :class:`repro.dse.DesignPoint`,
+    overriding the paper's hand-picked configuration (PU count,
+    burst-register depth, memory layout, channel map) for the Fleet
+    column — the hook through which the DSE search and the figures
+    share one evaluation path (:func:`tuned_designs` supplies the
+    committed search winners). Apps without an entry keep the defaults.
+    """
     specs = catalog()
     rows = []
     for key in apps or specs:
@@ -59,10 +75,26 @@ def run_figure7(apps=None, *, sim_cycles=30_000, gpu_lanes=32):
             spec.key, SMALL, LARGE,
             tuple(seed for seed, _ in spec.pair_makers),
         )
+        point = designs.get(key) if designs else None
+        overrides = {}
+        if point is not None:
+            from ..system import AMAZON_F1
+
+            overrides = dict(
+                config=point.memory_config(AMAZON_F1),
+                channels=point.channels,
+                fit_controllers=True,
+            )
+            if point.pu_count is not None:
+                overrides["pu_count"] = max(
+                    point.channels,
+                    point.pu_count - point.pu_count % point.channels,
+                )
         fleet = evaluate_fleet_app(
             spec.key, unit, sample_pairs=pairs,
             profile_unit_override=profile_override, sim_cycles=sim_cycles,
             profile_cache=_PROFILE_CACHE, profile_cache_key=cache_key,
+            **overrides,
         )
         program = spec.program()
         cpu = evaluate_cpu_app(
@@ -76,7 +108,7 @@ def run_figure7(apps=None, *, sim_cycles=30_000, gpu_lanes=32):
 
 
 def run_figure9(*, channels=4, pus_per_channel=128, stream_bytes=1 << 16,
-                fixed_cycles=40_000, attribution=False):
+                fixed_cycles=40_000, attribution=False, config=None):
     """Figure 9: the memory-controller optimization ablation, using the
     token-dropping sink unit to isolate the input path.
 
@@ -87,10 +119,16 @@ def run_figure9(*, channels=4, pus_per_channel=128, stream_bytes=1 << 16,
     supplied ahead of the data), the ``r = 1`` register ablation as
     ``no_burst_register``, and the full controller as ``data_beat_in``
     dominating.
+
+    ``config`` overrides the base :class:`~repro.memory.MemoryConfig`
+    the ablation is run against (e.g. a DSE design point's
+    ``memory_config``) — the "None" and "Async. Addr. Supply" rows
+    still force their own ``burst_registers``/``async_addressing``
+    ablations on top of it.
     """
     from ..obs import Observation
 
-    base = MemoryConfig()
+    base = config or MemoryConfig()
     variants = [
         ("None", base.replace(burst_registers=1, async_addressing=False)),
         ("Async. Addr. Supply", base.replace(burst_registers=1)),

@@ -27,6 +27,11 @@ disabled and enabled, guarding the <= 5% overhead ceiling and that
 reports stay byte-identical — a ``serve`` section (:func:`repro.bench.serve_perf.run_serve_comparison`): the
 serving scheduler's FIFO-vs-skew-packing and 1-vs-2-device makespans on
 a Zipf stream-length workload, with their CI speedup floors — a
+``dse`` section (:func:`repro.bench.dse_perf.run_dse_comparison`): the
+automated design-space search's winners versus the paper's hand-picked
+Figure-7 configurations, guarding that tuned aggregate throughput stays
+at least :data:`~repro.bench.dse_perf.DSE_SPEEDUP_FLOOR` above the
+baselines at equal-or-lower modeled area — a
 ``lint_certified`` section (:func:`run_lint_certified`): the guarded
 compiled-Python lowering versus the certified-specialized one (the
 certificate consumed at codegen time), guarding that the catalog units
@@ -43,6 +48,7 @@ from ..interp import make_simulator
 from ..memory import MemoryConfig, SinkPu, simulate_channels
 from ..obs import Observation
 from .catalog import catalog
+from .dse_perf import run_dse_comparison
 from .serve_perf import run_serve_comparison
 
 #: Unit-simulation cases: (catalog key, stream-pair sizes, repetitions).
@@ -598,6 +604,7 @@ def run_perf_regression(quick=False):
         "obs_overhead": run_obs_overhead(quick),
         "telemetry_overhead": run_telemetry_overhead(quick),
         "serve": run_serve_comparison(quick),
+        "dse": run_dse_comparison(quick),
         "lint_certified": run_lint_certified(quick),
         "native_engine": run_native_engine(quick),
         "batch_engine": run_batch_engine(quick),

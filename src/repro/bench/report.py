@@ -203,6 +203,14 @@ def format_perf(results):
             f"{bagg['speedup']:>8.1f}x"
             f"{'yes' if bagg['all_match'] else 'NO':>7}"
         )
+    dse = results.get("dse")
+    if dse:
+        # Automated design-space search vs the hand-picked Figure-7
+        # configuration, in modeled GB/s at equal-or-lower area.
+        from .dse_perf import format_dse_comparison
+
+        lines.append("")
+        lines.append(format_dse_comparison(dse))
     serve = results.get("serve")
     if serve:
         # Serving-scheduler makespans are virtual cycles, not seconds;

@@ -1,0 +1,213 @@
+"""Evaluating one design point: the DSE's bridge into the system models.
+
+:class:`AppModel` front-loads everything about an application that does
+*not* depend on the design point — the compiled unit's area and the
+functional-simulation profiles (virtual cycles per token, output ratio)
+— so the search loop pays for compilation and profiling once per app,
+then evaluates hundreds of points against the fast engines only.
+
+:func:`evaluate_point` is a thin shim over
+:func:`repro.system.evaluate_fleet_app` — the same evaluation path the
+Figure-7 harness uses — plus the point-dependent area accounting
+(:func:`repro.system.estimate_controllers` replaces the device's fixed
+controller fraction, so deep-burst layouts pay for their register
+storage) and the analytic serving-latency model
+(:mod:`repro.dse.latency`).
+"""
+
+import hashlib
+import json
+
+from ..compiler import compile_unit
+from ..obs import Observation
+from ..system import (
+    estimate_controllers,
+    estimate_module,
+    evaluate_fleet_app,
+    fit_processing_units,
+    pu_overhead,
+)
+from ..system.area import AreaEstimate, area_fraction
+from ..system.system_sim import profile_unit_marginal
+from .latency import p99_latency_ms
+
+
+class AppModel:
+    """Point-independent facts about one application on one device."""
+
+    def __init__(self, name, unit, area, profiles, token_bytes):
+        self.name = name
+        self.unit = unit
+        self.area = area
+        self.profiles = profiles
+        self.token_bytes = token_bytes
+        self.vcpt = (
+            sum(p.vcycles_per_token for p in profiles) / len(profiles)
+        )
+        self.output_ratio = (
+            sum(p.output_ratio for p in profiles) / len(profiles)
+        )
+
+    @classmethod
+    def from_spec(cls, spec, *, small=None, large=None):
+        """Build from a :class:`repro.bench.catalog.AppSpec` — compile
+        the production unit for area, profile the (possibly scaled-down)
+        profiling unit marginally on the catalog's seeded streams."""
+        from ..bench.catalog import LARGE, SMALL
+
+        unit = spec.unit()
+        profiled = spec.profile_unit() if spec.profile_unit else unit
+        pairs = spec.stream_pairs(small or SMALL, large or LARGE)
+        profiles = [
+            profile_unit_marginal(profiled, s, l) for s, l in pairs
+        ]
+        area = estimate_module(compile_unit(unit))
+        return cls(spec.key, unit, area, profiles,
+                   max(1, unit.input_width // 8))
+
+    def fingerprint(self):
+        """Content address of everything evaluation depends on: the
+        area estimate and the steady-state profile rates. Two apps with
+        the same fingerprint evaluate identically at every point, so
+        the cache may share their entries."""
+        payload = {
+            "name": self.name,
+            "token_bytes": self.token_bytes,
+            "area": {
+                "luts": self.area.luts,
+                "ffs": self.area.ffs,
+                "bram36": self.area.bram36,
+            },
+            "profiles": [
+                [p.vcycles_per_token, p.output_ratio]
+                for p in self.profiles
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+class PointEval:
+    """One evaluated design point."""
+
+    __slots__ = ("point", "pu_count", "max_pu_count", "feasible", "gbps",
+                 "theoretical_gbps", "area_frac", "p99_ms", "attribution")
+
+    def __init__(self, point, *, pu_count, max_pu_count, feasible, gbps,
+                 theoretical_gbps, area_frac, p99_ms, attribution):
+        self.point = point
+        self.pu_count = pu_count
+        self.max_pu_count = max_pu_count
+        self.feasible = feasible
+        self.gbps = gbps
+        self.theoretical_gbps = theoretical_gbps
+        self.area_frac = area_frac
+        self.p99_ms = p99_ms
+        self.attribution = attribution
+
+    def as_dict(self):
+        return {
+            "point": self.point.as_dict(),
+            "pu_count": self.pu_count,
+            "max_pu_count": self.max_pu_count,
+            "feasible": self.feasible,
+            "gbps": self.gbps,
+            "theoretical_gbps": self.theoretical_gbps,
+            "area_frac": self.area_frac,
+            "p99_ms": self.p99_ms,
+            "attribution": self.attribution,
+        }
+
+    @classmethod
+    def from_dict(cls, point, data):
+        return cls(
+            point,
+            pu_count=data["pu_count"],
+            max_pu_count=data["max_pu_count"],
+            feasible=data["feasible"],
+            gbps=data["gbps"],
+            theoretical_gbps=data["theoretical_gbps"],
+            area_frac=data["area_frac"],
+            p99_ms=data["p99_ms"],
+            attribution=data["attribution"],
+        )
+
+    def __repr__(self):
+        return (
+            f"PointEval({self.point!r}, {self.gbps:.2f} GB/s, "
+            f"area={self.area_frac:.3f}, p99={self.p99_ms:.2f} ms)"
+        )
+
+
+def resolve_pu_count(model, point, device):
+    """(pu_count, max_fit) for ``point`` with its controllers budgeted.
+
+    Explicit counts are rounded down to a whole number of PUs per used
+    channel; ``None`` takes the maximum that fits."""
+    config = point.memory_config(device)
+    controllers = estimate_controllers(config)
+    max_fit = fit_processing_units(
+        model.area, device, config, controller_area=controllers
+    )
+    if point.pu_count is None:
+        return max_fit, max_fit
+    count = max(point.channels,
+                point.pu_count - point.pu_count % point.channels)
+    return count, max_fit
+
+
+def design_area(model, point, pu_count, device):
+    """Total area of the design: replicated PUs (unit + per-PU IO
+    plumbing) plus the used channels' controller pairs."""
+    config = point.memory_config(device)
+    overhead = pu_overhead(config)
+    controllers = estimate_controllers(config).scaled(point.channels)
+    return AreaEstimate(
+        luts=pu_count * (model.area.luts + overhead.luts)
+        + controllers.luts,
+        ffs=pu_count * (model.area.ffs + overhead.ffs) + controllers.ffs,
+        bram36=pu_count * (model.area.bram36 + overhead.bram36)
+        + controllers.bram36,
+    )
+
+
+def evaluate_point(model, point, *, device, sim_cycles=4_000, seed=0,
+                   latency_streams=128):
+    """Evaluate ``point`` for ``model``'s app on ``device``.
+
+    Runs the event-driven memory simulation (with cycle attribution —
+    the pruning signal) through :func:`evaluate_fleet_app`, then the
+    analytic serving-latency model. Deterministic in all arguments.
+    """
+    pu_count, max_fit = resolve_pu_count(model, point, device)
+    feasible = pu_count <= max_fit
+    obs = Observation()
+    result = evaluate_fleet_app(
+        model.name, model.unit,
+        device=device,
+        config=point.memory_config(device),
+        sim_cycles=sim_cycles,
+        pu_count=pu_count,
+        channels=point.channels,
+        area=model.area,
+        profile_cache={"profiles": model.profiles},
+        profile_cache_key="profiles",
+        obs=obs,
+    )
+    frac = area_fraction(
+        design_area(model, point, pu_count, device), device
+    )
+    p99 = p99_latency_ms(
+        model, point, device=device, seed=seed, n_streams=latency_streams
+    )
+    return PointEval(
+        point,
+        pu_count=pu_count,
+        max_pu_count=max_fit,
+        feasible=feasible,
+        gbps=result.gbps,
+        theoretical_gbps=result.theoretical_gbps,
+        area_frac=frac,
+        p99_ms=p99,
+        attribution=result.attribution,
+    )

@@ -1,0 +1,95 @@
+"""Analytic p99 serving latency for a design point.
+
+The serving runtime (:mod:`repro.serve`) batches streams onto PU slots;
+tail latency at a design point comes from three competing effects the
+search must trade off:
+
+* **batch fill** — a stream waits for its window of ``serve_slots``
+  streams to fill before the batch launches;
+* **lockstep drag** — a batch runs as long as its longest stream (the
+  SIMD engine's lockstep cost), so bigger batches inherit heavier
+  tails from the length distribution;
+* **queueing** — consecutive batches serialize on the device, so any
+  makespan above the arrival rate's budget compounds.
+
+This module prices those effects in closed form over a seeded
+heavy-tailed workload (the same bounded Pareto the serve demo uses) —
+no discrete-event serve run, so a latency estimate costs microseconds
+and the search can afford one per candidate. Virtual cycles convert to
+milliseconds at the device clock; the compiler's one-virtual-cycle-per-
+real-cycle guarantee (paper Section 4) makes that exact.
+"""
+
+#: Workload shape: bounded Pareto exponent and payload-byte bounds.
+ALPHA = 1.3
+LEN_LO = 96
+LEN_HI = 4_096
+
+#: Offered load relative to the design's batch capacity — arrivals come
+#: in at 80% of the rate the device can drain, the regime where batch
+#: sizing actually moves the tail.
+UTILIZATION = 0.8
+
+
+def stream_cost_vcycles(model, point, device, length_bytes):
+    """Virtual cycles to serve one stream of ``length_bytes``: the
+    unit's steady-state rate over the stream, plus the per-stream fill
+    cost of moving its first burst through the memory system (DRAM
+    access latency, then the PU-port drain of one burst)."""
+    config = point.memory_config(device)
+    tokens = max(1, length_bytes // model.token_bytes)
+    fill = config.dram_latency + config.drain_cycles
+    return model.vcpt * tokens + fill
+
+
+def latency_samples_ms(model, point, *, device, seed=0, n_streams=128):
+    """Per-stream latencies (ms) of the modeled serve run, in arrival
+    order. Deterministic in (model, point, device, seed, n_streams)."""
+    import random
+
+    from ..serve.workload import zipf_lengths
+
+    rnd = random.Random(seed)
+    lengths = zipf_lengths(
+        rnd, n_streams, alpha=ALPHA, lo=LEN_LO, hi=LEN_HI
+    )
+    costs = [
+        stream_cost_vcycles(model, point, device, length)
+        for length in lengths
+    ]
+    mean_cost = sum(costs) / len(costs)
+
+    # Streams arrive one per spacing; a full batch of ``serve_slots``
+    # takes its max cost to run, and the device serves batches back to
+    # back. Spacing is set so offered load is UTILIZATION of the
+    # device's mean batch drain rate.
+    slots = point.serve_slots
+    spacing = mean_cost / (UTILIZATION * slots)
+    arrivals = [i * spacing for i in range(len(costs))]
+
+    latencies = []
+    device_free = 0.0
+    for start in range(0, len(costs), slots):
+        batch = list(range(start, min(start + slots, len(costs))))
+        ready = arrivals[batch[-1]]  # window fills with its last stream
+        begin = max(ready, device_free)
+        makespan = max(costs[i] for i in batch)
+        end = begin + makespan
+        device_free = end
+        for i in batch:
+            latencies.append(end - arrivals[i])
+
+    to_ms = 1_000.0 / device.frequency_hz
+    return [latency * to_ms for latency in latencies]
+
+
+def p99_latency_ms(model, point, *, device, seed=0, n_streams=128):
+    """Nearest-rank 99th-percentile latency of the modeled run."""
+    from ..serve.report import percentile
+
+    return percentile(
+        latency_samples_ms(
+            model, point, device=device, seed=seed, n_streams=n_streams
+        ),
+        99,
+    )

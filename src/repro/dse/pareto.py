@@ -1,0 +1,50 @@
+"""Pareto frontier over (throughput, area, tail latency).
+
+The search does not reduce the space to one scalar: a configuration
+that trades a little throughput for a lot of area is worth reporting
+even when it is not "the best". The frontier keeps every evaluated
+point no other point dominates — dominance being at-least-as-good on
+all three objectives (maximize GB/s, minimize binding-resource area
+fraction, minimize p99 latency) and strictly better on one.
+
+Ordering is deterministic (throughput descending, then area, then p99,
+then the point's identity key), so the rendered frontier is
+byte-identical run to run.
+"""
+
+
+def dominates(a, b):
+    """Whether eval ``a`` Pareto-dominates eval ``b``."""
+    as_good = (
+        a.gbps >= b.gbps
+        and a.area_frac <= b.area_frac
+        and a.p99_ms <= b.p99_ms
+    )
+    better = (
+        a.gbps > b.gbps
+        or a.area_frac < b.area_frac
+        or a.p99_ms < b.p99_ms
+    )
+    return as_good and better
+
+
+def frontier_sort_key(ev):
+    return (-ev.gbps, ev.area_frac, ev.p99_ms, ev.point.key())
+
+
+def pareto_frontier(evals):
+    """The non-dominated subset of ``evals``, deterministically ordered.
+
+    Duplicate points (same identity key) collapse to one entry; points
+    tied on every objective all survive — they are genuinely
+    incomparable alternatives.
+    """
+    unique = {}
+    for ev in evals:
+        unique.setdefault(ev.point.key(), ev)
+    candidates = sorted(unique.values(), key=frontier_sort_key)
+    front = []
+    for ev in candidates:
+        if not any(dominates(kept, ev) for kept in front):
+            front.append(ev)
+    return front

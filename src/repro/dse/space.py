@@ -1,0 +1,108 @@
+"""The design space: what a candidate Fleet configuration is.
+
+A :class:`DesignPoint` names one spot in the space the paper's authors
+explored by hand when they fixed the F1 configuration (Section 5's
+1024-bit bursts, ``r = 16`` burst registers, all four channels, and as
+many PUs as fit): how many processing units to instantiate, how deep the
+controllers' burst-register files are, how many beats each DRAM burst
+carries (the input memory layout — longer bursts amortize bus
+turnaround but deepen each PU's buffer drain), how many memory channels
+the design spreads over, and how many serve slots the serving runtime
+batches per device.
+
+Points are plain data: :meth:`DesignPoint.memory_config` maps one onto
+the memory simulator's :class:`~repro.memory.MemoryConfig`, and
+:meth:`DesignPoint.as_dict` is the canonical JSON form the evaluation
+cache keys on.
+"""
+
+from ..memory import MemoryConfig
+
+#: Grid axes of the coarse search phase (:mod:`repro.dse.search`).
+LAYOUT_BEATS = (2, 4, 8, 16)
+BURST_REGISTERS = (4, 8, 16, 32)
+PU_FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+#: Refinement-phase axes.
+CHANNEL_COUNTS = (1, 2, 4)
+SERVE_SLOTS = (16, 32, 64)
+
+
+class DesignPoint:
+    """One candidate configuration.
+
+    ``pu_count=None`` means "as many as fit" — resolved against the
+    area model (with the point's own controller cost budgeted) at
+    evaluation time.
+    """
+
+    __slots__ = ("pu_count", "burst_registers", "layout_beats",
+                 "channels", "serve_slots")
+
+    def __init__(self, *, pu_count=None, burst_registers=16,
+                 layout_beats=2, channels=4, serve_slots=32):
+        if burst_registers < 1:
+            raise ValueError("burst_registers must be >= 1")
+        if layout_beats < 1:
+            raise ValueError("layout_beats must be >= 1")
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        if serve_slots < 1:
+            raise ValueError("serve_slots must be >= 1")
+        self.pu_count = pu_count
+        self.burst_registers = burst_registers
+        self.layout_beats = layout_beats
+        self.channels = channels
+        self.serve_slots = serve_slots
+
+    @classmethod
+    def baseline(cls, device):
+        """The paper's hand-picked Figure-7 configuration on ``device``:
+        default bursts, ``r = 16``, every channel, maximal PU count."""
+        return cls(pu_count=None, burst_registers=16, layout_beats=2,
+                   channels=device.channels, serve_slots=32)
+
+    def memory_config(self, device):
+        """This point as a memory-simulator configuration."""
+        return MemoryConfig(frequency_hz=device.frequency_hz).replace(
+            burst_registers=self.burst_registers,
+            beats_per_burst=self.layout_beats,
+        )
+
+    def replace(self, **overrides):
+        fields = self.as_dict()
+        fields.update(overrides)
+        return DesignPoint(**fields)
+
+    def as_dict(self):
+        """Canonical JSON form (cache keys, reports)."""
+        return {
+            "pu_count": self.pu_count,
+            "burst_registers": self.burst_registers,
+            "layout_beats": self.layout_beats,
+            "channels": self.channels,
+            "serve_slots": self.serve_slots,
+        }
+
+    def key(self):
+        """A deterministic sort/identity key."""
+        return (
+            self.layout_beats, self.burst_registers,
+            -1 if self.pu_count is None else self.pu_count,
+            self.channels, self.serve_slots,
+        )
+
+    def __eq__(self, other):
+        if isinstance(other, DesignPoint):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        pus = "fit" if self.pu_count is None else str(self.pu_count)
+        return (
+            f"DesignPoint(pus={pus}, r={self.burst_registers}, "
+            f"beats={self.layout_beats}, ch={self.channels}, "
+            f"slots={self.serve_slots})"
+        )

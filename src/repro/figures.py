@@ -17,13 +17,41 @@ import argparse
 import sys
 
 
+def _figure7_designs(args, apps):
+    """The ``designs`` mapping the CLI flags describe (``None`` when no
+    override was requested)."""
+    if args.tuned:
+        from .bench.harness import tuned_designs
+
+        return tuned_designs()
+    fields = {}
+    if args.pu_count is not None:
+        fields["pu_count"] = args.pu_count
+    if args.burst_registers is not None:
+        fields["burst_registers"] = args.burst_registers
+    if args.layout_beats is not None:
+        fields["layout_beats"] = args.layout_beats
+    if args.channels is not None:
+        fields["channels"] = args.channels
+    if not fields:
+        return None
+    from .bench.catalog import catalog
+    from .dse import DesignPoint
+
+    point = DesignPoint(**fields)
+    return {key: point for key in (apps or catalog())}
+
+
 def _figure7(args):
     from .bench import format_figure7, run_figure7
 
     apps = args.apps.split(",") if args.apps else None
     sim_cycles = 6_000 if args.fast else 15_000
     lanes = 8 if args.fast else 32
-    rows = run_figure7(apps=apps, sim_cycles=sim_cycles, gpu_lanes=lanes)
+    rows = run_figure7(
+        apps=apps, sim_cycles=sim_cycles, gpu_lanes=lanes,
+        designs=_figure7_designs(args, apps),
+    )
     print(format_figure7(rows))
 
 
@@ -35,9 +63,16 @@ def _figure8(_args):
 
 def _figure9(args):
     from .bench import format_figure9, run_figure9
+    from .memory import MemoryConfig
 
     cycles = 15_000 if args.fast else 40_000
-    print(format_figure9(run_figure9(fixed_cycles=cycles)))
+    overrides = {}
+    if args.burst_registers is not None:
+        overrides["burst_registers"] = args.burst_registers
+    if args.layout_beats is not None:
+        overrides["beats_per_burst"] = args.layout_beats
+    config = MemoryConfig().replace(**overrides) if overrides else None
+    print(format_figure9(run_figure9(fixed_cycles=cycles, config=config)))
 
 
 def _sec73(args):
@@ -111,6 +146,27 @@ def main(argv=None):
     parser.add_argument(
         "--fast", action="store_true",
         help="shorter simulations (coarser numbers)",
+    )
+    parser.add_argument(
+        "--tuned", action="store_true",
+        help="figure7: evaluate the committed repro.dse winners "
+             "instead of the paper's hand-picked configuration",
+    )
+    parser.add_argument(
+        "--pu-count", type=int, default=None,
+        help="figure7: override the replicated PU count",
+    )
+    parser.add_argument(
+        "--burst-registers", type=int, default=None,
+        help="figure7/figure9: override burst-register depth r",
+    )
+    parser.add_argument(
+        "--layout-beats", type=int, default=None,
+        help="figure7/figure9: override beats per DRAM burst",
+    )
+    parser.add_argument(
+        "--channels", type=int, default=None,
+        help="figure7: override the memory-channel count",
     )
     args = parser.parse_args(argv)
     if args.command == "all":

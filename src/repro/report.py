@@ -17,6 +17,10 @@ written by ``python -m repro.serve --json PATH``): per-job latency
 percentiles, queue wait vs device time, and per-tenant share. Pass
 ``--serve demo`` to run the deterministic demo workload inline.
 
+``--dse PATH`` renders a design-space-exploration result (the JSON
+written by ``python -m repro.dse --json``; passing an app key instead
+runs a quick search inline). See ``docs/dse.md``.
+
 ``--metrics`` runs the demo serve workload with live telemetry
 (:mod:`repro.telemetry`) enabled and renders the metrics dashboard;
 ``--watch`` turns it into a refreshing terminal dashboard over repeated
@@ -288,6 +292,27 @@ def _metrics_section(args):
     return 0
 
 
+def _dse_section(source):
+    """Render the ``--dse`` section: a design-space-exploration result
+    loaded from JSON (written by ``python -m repro.dse --json``), or a
+    quick inline search when ``source`` is an app key."""
+    from .dse.report import format_dse_report, result_from_payload
+
+    try:
+        with open(source) as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        from .dse import run_dse
+
+        results = [run_dse(source, quick=True)]
+    else:
+        payloads = payload if isinstance(payload, list) else [payload]
+        results = [result_from_payload(p) for p in payloads]
+    for result in results:
+        print(format_dse_report(result))
+    return results
+
+
 def _prove_section(name):
     """Render the ``--prove`` section: the restriction prover's report
     and the resulting lint certificate for one application unit (or all
@@ -335,6 +360,10 @@ def main(argv=None):
                         help="render a serve run report (JSON from "
                              "python -m repro.serve --json; 'demo' "
                              "runs the demo workload inline)")
+    parser.add_argument("--dse", metavar="PATH",
+                        help="render a design-space-exploration result "
+                             "(JSON from python -m repro.dse --json; an "
+                             "app key runs a quick search inline)")
     parser.add_argument("--prove", metavar="APP",
                         help="render the restriction prover's report and "
                              "the lint certificate for one application "
@@ -359,6 +388,9 @@ def main(argv=None):
 
     if args.metrics:
         return _metrics_section(args)
+    if args.dse:
+        _dse_section(args.dse)
+        return 0
     if args.prove:
         _prove_section(args.prove)
         return 0

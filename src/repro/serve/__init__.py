@@ -26,6 +26,7 @@ prints the utilization/latency report; ``--selftest`` asserts the
 determinism contract. See ``docs/serving.md``.
 """
 
+from .apps import catalog_apps
 from .cache import CompiledAppCache, ServedApp
 from .cost import CostModel
 from .errors import (
@@ -71,6 +72,7 @@ __all__ = [
     "build_serve_report",
     "build_trace",
     "build_trace_log",
+    "catalog_apps",
     "default_apps",
     "format_serve_report",
     "gather_async",

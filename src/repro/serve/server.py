@@ -93,7 +93,7 @@ class ServeConfig:
                  window_streams=64, max_pending_streams=4096,
                  tenant_weights=None, default_weight=1.0,
                  arrival_spacing=0.0, memory_sim=False, slot_cap=64,
-                 batch_engine=True, slos=()):
+                 batch_engine=True, slos=(), app_slots=None):
         #: number of independent device shards
         self.devices = devices
         #: PU slots per device; ``None`` sizes each app's batches from
@@ -127,6 +127,33 @@ class ServeConfig:
             s if isinstance(s, SLO) else SLO.from_dict(s)
             for s in (slos or ())
         )
+        #: app name -> PU slots, consulted before ``pu_slots`` — the
+        #: hook :meth:`from_dse` fills with the committed search output
+        #: so each app batches at its tuned size
+        self.app_slots = dict(app_slots or {})
+
+    @classmethod
+    def from_dse(cls, apps=None, **overrides):
+        """A config whose per-app batch sizes come from the committed
+        :mod:`repro.dse` search output (:data:`repro.dse.tuned.TUNED`).
+
+        ``apps`` restricts which tuned apps are wired (default: all of
+        them); every other keyword passes through to the constructor.
+        Apps without a tuned entry fall back to ``pu_slots`` /
+        ``slot_cap`` exactly as before, and serve outputs stay
+        bit-identical run to run — the tuning changes batch shapes, not
+        the determinism contract.
+        """
+        from ..dse.tuned import TUNED, tuned_serve_slots
+
+        keys = sorted(TUNED) if apps is None else list(apps)
+        slots = {}
+        for key in keys:
+            tuned = tuned_serve_slots(key)
+            if tuned is not None:
+                slots[key] = tuned
+        overrides.setdefault("app_slots", slots)
+        return cls(**overrides)
 
     def as_dict(self):
         out = {
@@ -145,6 +172,9 @@ class ServeConfig:
         # byte identical to reports from before SLOs existed.
         if self.slos:
             out["slos"] = [slo.as_dict() for slo in self.slos]
+        # Same contract for per-app tuned slots.
+        if self.app_slots:
+            out["app_slots"] = dict(sorted(self.app_slots.items()))
         return out
 
 
@@ -271,6 +301,9 @@ class FleetServer:
 
     # -- scheduling (all under self._lock) -----------------------------------
     def _slots_for(self, app_name):
+        tuned = self.config.app_slots.get(app_name)
+        if tuned is not None:
+            return tuned
         if self.config.pu_slots is not None:
             return self.config.pu_slots
         entry = self.cache.entry(app_name)

@@ -3,7 +3,9 @@ replicated-design performance estimator, and the software runtime."""
 
 from .area import (
     AreaEstimate,
+    area_fraction,
     bram36_count,
+    estimate_controllers,
     estimate_module,
     fit_processing_units,
     pu_overhead,
@@ -42,7 +44,9 @@ __all__ = [
     "FullSystemResult",
     "GPU_PACKAGE_WATTS",
     "UnitProfile",
+    "area_fraction",
     "bram36_count",
+    "estimate_controllers",
     "estimate_module",
     "evaluate_fleet_app",
     "fit_processing_units",

@@ -123,6 +123,65 @@ def estimate_module(module):
     return AreaEstimate(int(math.ceil(luts)), ffs, brams)
 
 
+#: Controller cost model, calibrated to the paper's measurement that the
+#: input and output controllers together take about a tenth of the F1's
+#: logic at the default configuration (r = 16, 1024-bit bursts):
+#: 0.10 * 1,182,240 LUTs / 4 channels = 29,556 LUTs per channel pair =
+#: 2 * (CONTROLLER_BASE_LUTS + 16 * CONTROLLER_REGISTER_LUTS). The base
+#: covers one controller's AXI4 state machine and round-robin arbiter;
+#: the per-register term covers each burst register's drain mux and
+#: occupancy tracking.
+CONTROLLER_BASE_LUTS = 1_978
+CONTROLLER_REGISTER_LUTS = 800
+
+#: Burst-register storage above this many bits per controller moves from
+#: flip-flops into a BRAM FIFO (as a real controller would; the default
+#: 16 registers x 1024-bit bursts = 16 Kb stay in registers).
+CONTROLLER_FF_STORE_BITS = 64 * 1024
+
+#: Control-path flip-flops per controller (pointers, per-register
+#: occupancy/ownership state, AXI handshake registers).
+CONTROLLER_CONTROL_FFS = 1_024
+
+
+def estimate_controllers(config):
+    """Resources of ONE channel's input + output controller pair at
+    ``config`` — the piece of the design-space the fixed
+    ``Device.controller_lut_fraction`` hides. Logic grows with the
+    burst-register count ``r`` (each register adds a drain mux and
+    tracking state); storage is ``r`` bursts per controller, held in
+    flip-flops up to :data:`CONTROLLER_FF_STORE_BITS` and in a BRAM
+    FIFO beyond that (deep-burst layouts)."""
+    r = config.burst_registers
+    luts = CONTROLLER_BASE_LUTS + CONTROLLER_REGISTER_LUTS * r
+    store_bits = r * config.burst_bytes * 8
+    ffs = CONTROLLER_CONTROL_FFS
+    brams = 0
+    if store_bits <= CONTROLLER_FF_STORE_BITS:
+        ffs += store_bits
+    else:
+        brams = bram36_count(
+            r * config.beats_per_burst, config.bus_bytes * 8
+        )
+    return AreaEstimate(luts=2 * luts, ffs=2 * ffs, bram36=2 * brams)
+
+
+def area_fraction(estimate, device):
+    """``estimate`` as a fraction of ``device``'s usable envelope: the
+    *binding*-resource share (max over LUT/FF/BRAM fractions). The DSE
+    area objective — two designs compare by whichever resource each
+    would run out of first."""
+    luts = device.luts * device.usable_fraction
+    ffs = device.ffs * device.usable_fraction
+    brams = (device.bram36 + device.uram * 4) * \
+        device.bram_usable_fraction
+    return max(
+        estimate.luts / luts,
+        estimate.ffs / ffs,
+        estimate.bram36 / brams,
+    )
+
+
 #: Per-PU IO plumbing the replication layer adds around each unit: the
 #: input/output BRAM buffers (one burst each) and handshake glue.
 def pu_overhead(config):
@@ -135,16 +194,35 @@ def pu_overhead(config):
     return AreaEstimate(luts=40, ffs=60, bram36=buffer_brams)
 
 
-def fit_processing_units(unit_area, device, config):
+def fit_processing_units(unit_area, device, config, *,
+                         controller_area=None):
     """How many copies of a PU fit on ``device`` (paper Section 7.2 filled
-    the F1 with as many PUs as possible)."""
+    the F1 with as many PUs as possible).
+
+    By default the controllers' cost is the device's fixed
+    ``controller_lut_fraction`` (the paper's measured tenth at the
+    default configuration). Pass ``controller_area`` — one channel's
+    pair from :func:`estimate_controllers` — to budget the *actual*
+    configuration instead: the DSE path, where burst-register depth and
+    burst size move the controllers' share."""
     overhead = pu_overhead(config)
     per_pu_luts = unit_area.luts + overhead.luts
     per_pu_ffs = unit_area.ffs + overhead.ffs
     per_pu_bram = unit_area.bram36 + overhead.bram36
-    bound_luts = device.pu_luts // max(1, per_pu_luts)
-    bound_ffs = device.pu_ffs // max(1, per_pu_ffs)
-    bound_bram = device.pu_bram36 // max(1, per_pu_bram)
+    if controller_area is None:
+        budget_luts = device.pu_luts
+        budget_ffs = device.pu_ffs
+        budget_bram = device.pu_bram36
+    else:
+        controllers = controller_area.scaled(device.channels)
+        budget_luts = int(
+            device.luts * device.usable_fraction) - controllers.luts
+        budget_ffs = int(
+            device.ffs * device.usable_fraction) - controllers.ffs
+        budget_bram = device.pu_bram36 - controllers.bram36
+    bound_luts = max(0, budget_luts) // max(1, per_pu_luts)
+    bound_ffs = max(0, budget_ffs) // max(1, per_pu_ffs)
+    bound_bram = max(0, budget_bram) // max(1, per_pu_bram)
     count = min(bound_luts, bound_ffs, bound_bram, MAX_PUS_TIMING)
     # Whole PUs per channel (the units are divided among the channels).
     return max(device.channels,

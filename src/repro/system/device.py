@@ -49,6 +49,23 @@ class Device:
             (self.bram36 + self.uram * 4) * self.bram_usable_fraction
         )
 
+    def as_dict(self):
+        """Canonical JSON form — the device component of content-
+        addressed keys (``repro.dse`` evaluation cache)."""
+        return {
+            "name": self.name,
+            "luts": self.luts,
+            "ffs": self.ffs,
+            "bram36": self.bram36,
+            "uram": self.uram,
+            "dsp": self.dsp,
+            "channels": self.channels,
+            "frequency_hz": self.frequency_hz,
+            "usable_fraction": self.usable_fraction,
+            "controller_lut_fraction": self.controller_lut_fraction,
+            "bram_usable_fraction": self.bram_usable_fraction,
+        }
+
     def __repr__(self):
         return f"Device({self.name!r})"
 

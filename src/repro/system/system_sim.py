@@ -17,7 +17,12 @@ Pipeline for one application, mirroring how the paper's numbers arise:
 from ..compiler import compile_unit
 from ..interp import UnitSimulator
 from ..memory import MemoryConfig, RatePu, simulate_channels
-from .area import estimate_module, fit_processing_units, pu_overhead
+from .area import (
+    estimate_controllers,
+    estimate_module,
+    fit_processing_units,
+    pu_overhead,
+)
 from .device import AMAZON_F1
 from .power import fpga_package_watts, perf_per_watt
 
@@ -91,7 +96,7 @@ class FleetAppResult:
     """Everything Figure 7 reports for the Fleet column."""
 
     def __init__(self, name, pu_count, gbps, theoretical_gbps,
-                 package_watts, profile, area):
+                 package_watts, profile, area, attribution=None):
         self.name = name
         self.pu_count = pu_count
         self.gbps = gbps
@@ -99,6 +104,9 @@ class FleetAppResult:
         self.package_watts = package_watts
         self.profile = profile
         self.area = area
+        #: cycle-attribution dict of the memory-system run (only when
+        #: the evaluation was observed; see :mod:`repro.obs`)
+        self.attribution = attribution
 
     @property
     def perf_per_watt(self):
@@ -119,7 +127,8 @@ def evaluate_fleet_app(name, unit, sample_streams=None, *, device=AMAZON_F1,
                        config=None, sim_cycles=30_000, pu_count=None,
                        sample_pairs=None, profile_unit_override=None,
                        event_driven=True, profile_cache=None,
-                       profile_cache_key=None, obs=None):
+                       profile_cache_key=None, obs=None, channels=None,
+                       area=None, fit_controllers=False):
     """Estimate a Fleet application's full-system throughput and power.
 
     ``sample_streams`` is a list of token streams; profiles are averaged
@@ -140,12 +149,32 @@ def evaluate_fleet_app(name, unit, sample_streams=None, *, device=AMAZON_F1,
     evaluating the same app repeatedly (the benchmark harness) may pass a
     dict as ``profile_cache`` plus a hashable ``profile_cache_key``
     identifying (app, workload parameters, seed) to reuse profiles.
+
+    ``channels`` overrides how many of the device's memory channels the
+    design spreads its PUs over (default: all of them — the paper's
+    layout); ``area`` supplies a precomputed unit
+    :class:`~repro.system.area.AreaEstimate`, skipping the per-call
+    compile (the DSE search evaluates one unit at many design points);
+    ``fit_controllers`` budgets the *configuration's* controller area
+    when fitting the PU count (:func:`estimate_controllers`) instead of
+    the device's fixed default fraction — pass it whenever ``config``
+    departs from the paper's, so deep-burst layouts pay for their
+    register storage. This is the single evaluation path the Figure-7
+    harness and :mod:`repro.dse` share.
     """
     config = config or MemoryConfig(frequency_hz=device.frequency_hz)
-    module = compile_unit(unit)
-    area = estimate_module(module)
+    if channels is None:
+        channels = device.channels
+    if area is None:
+        module = compile_unit(unit)
+        area = estimate_module(module)
     if pu_count is None:
-        pu_count = fit_processing_units(area, device, config)
+        controller_area = (
+            estimate_controllers(config) if fit_controllers else None
+        )
+        pu_count = fit_processing_units(
+            area, device, config, controller_area=controller_area
+        )
 
     profiled = profile_unit_override or unit
     profiles = None
@@ -167,7 +196,7 @@ def evaluate_fleet_app(name, unit, sample_streams=None, *, device=AMAZON_F1,
     out_ratio = sum(p.output_ratio for p in profiles) / len(profiles)
 
     token_bytes = max(1, unit.input_width // 8)
-    per_channel = max(1, pu_count // device.channels)
+    per_channel = max(1, pu_count // channels)
 
     def make_pus(_channel):
         return [
@@ -184,7 +213,7 @@ def evaluate_fleet_app(name, unit, sample_streams=None, *, device=AMAZON_F1,
         config, make_pus, channels=1, fixed_cycles=sim_cycles,
         event_driven=event_driven, obs=obs,
     )
-    gbps = device.channels * stats.input_gbps
+    gbps = channels * stats.input_gbps
     theoretical = (
         pu_count * token_bytes / vcpt * device.frequency_hz / 1e9
         if vcpt else 0.0
@@ -200,4 +229,5 @@ def evaluate_fleet_app(name, unit, sample_streams=None, *, device=AMAZON_F1,
     return FleetAppResult(
         name, pu_count, gbps, theoretical, package,
         profiles[0], area,
+        attribution=stats.attribution,
     )

@@ -27,11 +27,10 @@ Enable with ``FLEET_METRICS=1`` in the environment or
 """
 
 import bisect
-import os
 import threading
 import time
 
-from ..envcfg import env_flag
+from ..envcfg import env_flag, env_raw
 
 #: Shared histogram bucket upper bounds: 0, powers of two from 2^-20
 #: (sub-microsecond timings) to 2^30 (gigacycle latencies), then +Inf.
@@ -63,7 +62,7 @@ def enabled():
     """Whether telemetry recording is on (see :class:`_State`)."""
     if _STATE.forced is not None:
         return _STATE.forced
-    raw = os.environ.get("FLEET_METRICS")
+    raw = env_raw("FLEET_METRICS")
     if raw != _STATE.env_raw:
         _STATE.env_raw = raw
         _STATE.env_val = env_flag("FLEET_METRICS")

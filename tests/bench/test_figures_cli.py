@@ -25,6 +25,29 @@ def test_figure7_single_app(capsys):
     assert "704" in out
 
 
+def test_figure7_explicit_design_override(capsys):
+    assert main([
+        "figure7", "--apps", "bloom_filter", "--fast",
+        "--burst-registers", "8", "--layout-beats", "4",
+        "--pu-count", "64",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Bloom Filter" in out
+    assert "64" in out  # overridden PU count shows in the table
+
+
+def test_figure7_tuned_designs(capsys):
+    assert main(["figure7", "--apps", "bloom_filter", "--fast",
+                 "--tuned"]) == 0
+    out = capsys.readouterr().out
+    assert "Bloom Filter" in out
+
+
+def test_figure9_layout_override(capsys):
+    assert main(["figure9", "--fast", "--layout-beats", "4"]) == 0
+    assert "Burst Regs" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["figure42"])

@@ -1,0 +1,68 @@
+"""Content-addressed evaluation cache: key semantics and both tiers."""
+
+from repro.dse import DesignPoint, EvalCache, cache_key
+from repro.system import AMAZON_F1, Device
+
+
+def _key(point=None, **overrides):
+    fields = dict(
+        app_fingerprint="f" * 64,
+        device=AMAZON_F1,
+        point=point or DesignPoint(),
+        sim_cycles=4_000,
+        seed=0,
+        latency_streams=128,
+    )
+    fields.update(overrides)
+    return cache_key(
+        fields["app_fingerprint"], fields["device"], fields["point"],
+        sim_cycles=fields["sim_cycles"], seed=fields["seed"],
+        latency_streams=fields["latency_streams"],
+    )
+
+
+def test_key_is_stable():
+    assert _key() == _key()
+
+
+def test_key_sensitive_to_every_component():
+    base = _key()
+    assert _key(app_fingerprint="0" * 64) != base
+    assert _key(point=DesignPoint(burst_registers=8)) != base
+    assert _key(sim_cycles=8_000) != base
+    assert _key(seed=1) != base
+    assert _key(latency_streams=64) != base
+    other_device = Device(
+        "other", luts=1, ffs=1, bram36=1, uram=0, dsp=0, channels=1,
+        frequency_hz=1_000,
+    )
+    assert _key(device=other_device) != base
+
+
+def test_memory_tier_round_trips():
+    cache = EvalCache()
+    key = _key()
+    assert cache.get(key) is None
+    cache.put(key, {"gbps": 1.5})
+    assert cache.get(key) == {"gbps": 1.5}
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_disk_tier_survives_process_boundary(tmp_path):
+    directory = str(tmp_path / "dse-cache")
+    key = _key()
+    writer = EvalCache(directory)
+    writer.put(key, {"gbps": 2.5, "attribution": {"idle": 3}})
+    # A fresh cache instance (fresh process, conceptually) sees it.
+    reader = EvalCache(directory)
+    assert reader.get(key) == {"gbps": 2.5, "attribution": {"idle": 3}}
+    assert reader.hits == 1
+
+
+def test_corrupt_disk_entry_counts_as_miss(tmp_path):
+    directory = str(tmp_path / "dse-cache")
+    cache = EvalCache(directory)
+    key = _key()
+    (tmp_path / "dse-cache" / (key + ".json")).write_text("{not json")
+    assert cache.get(key) is None
+    assert cache.misses == 1

@@ -1,0 +1,96 @@
+"""AppModel + evaluate_point: the DSE's bridge into the system models."""
+
+import pytest
+
+from repro.bench.catalog import catalog
+from repro.dse import AppModel, DesignPoint, evaluate_point
+from repro.dse.evaluate import design_area, resolve_pu_count
+from repro.system import AMAZON_F1
+from repro.system.area import area_fraction
+
+
+@pytest.fixture(scope="module")
+def bloom():
+    return AppModel.from_spec(catalog()["bloom_filter"])
+
+
+def test_fingerprint_stable_and_content_sensitive(bloom):
+    assert bloom.fingerprint() == bloom.fingerprint()
+    other = AppModel.from_spec(catalog()["regex"])
+    assert other.fingerprint() != bloom.fingerprint()
+
+
+def test_profiles_are_amortized_marginals(bloom):
+    # The scaled-down bloom profile emits 1 output byte per 8 input.
+    assert bloom.output_ratio == pytest.approx(0.125, rel=0.2)
+    assert bloom.vcpt > 0
+
+
+def test_resolve_rounds_to_whole_pus_per_channel(bloom):
+    point = DesignPoint(pu_count=101, channels=4)
+    count, max_fit = resolve_pu_count(bloom, point, AMAZON_F1)
+    assert count == 100
+    assert max_fit % AMAZON_F1.channels == 0
+
+
+def test_deeper_registers_fit_fewer_pus(bloom):
+    _, fit_shallow = resolve_pu_count(
+        bloom, DesignPoint(burst_registers=4), AMAZON_F1
+    )
+    _, fit_deep = resolve_pu_count(
+        bloom, DesignPoint(burst_registers=32), AMAZON_F1
+    )
+    assert fit_deep <= fit_shallow
+
+
+def test_design_area_grows_with_register_depth(bloom):
+    shallow = design_area(
+        bloom, DesignPoint(burst_registers=4), 100, AMAZON_F1
+    )
+    deep = design_area(
+        bloom, DesignPoint(burst_registers=32), 100, AMAZON_F1
+    )
+    assert deep.luts > shallow.luts
+
+
+def test_evaluate_point_is_deterministic(bloom):
+    point = DesignPoint(layout_beats=4)
+    first = evaluate_point(
+        bloom, point, device=AMAZON_F1, sim_cycles=1_500
+    )
+    second = evaluate_point(
+        bloom, point, device=AMAZON_F1, sim_cycles=1_500
+    )
+    assert first.as_dict() == second.as_dict()
+
+
+def test_evaluate_point_carries_attribution(bloom):
+    ev = evaluate_point(
+        bloom, DesignPoint(), device=AMAZON_F1, sim_cycles=1_500
+    )
+    assert ev.attribution
+    assert sum(ev.attribution.values()) > 0
+    assert ev.gbps <= ev.theoretical_gbps + 1e-9
+    assert 0 < ev.area_frac
+    assert ev.p99_ms > 0
+
+
+def test_overcommitted_point_is_infeasible(bloom):
+    ev = evaluate_point(
+        bloom, DesignPoint(pu_count=100_000), device=AMAZON_F1,
+        sim_cycles=1_500,
+    )
+    assert not ev.feasible
+    assert area_fraction(
+        design_area(bloom, ev.point, ev.pu_count, AMAZON_F1), AMAZON_F1
+    ) > 1.0
+
+
+def test_point_eval_round_trips_through_cache_form(bloom):
+    ev = evaluate_point(
+        bloom, DesignPoint(), device=AMAZON_F1, sim_cycles=1_500
+    )
+    from repro.dse import PointEval
+
+    again = PointEval.from_dict(ev.point, ev.as_dict())
+    assert again.as_dict() == ev.as_dict()

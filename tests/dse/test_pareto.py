@@ -1,0 +1,80 @@
+"""Pareto-frontier properties over synthetic evaluations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import DesignPoint, dominates, pareto_frontier
+
+
+class _Eval:
+    """The three objectives plus an identity — all the frontier reads."""
+
+    def __init__(self, gbps, area_frac, p99_ms, point=None):
+        self.gbps = gbps
+        self.area_frac = area_frac
+        self.p99_ms = p99_ms
+        self.point = point or DesignPoint(
+            pu_count=int(gbps * 100) + 4,
+            burst_registers=max(1, int(area_frac * 32) + 1),
+        )
+
+
+def test_dominates_requires_strict_improvement():
+    a = _Eval(10.0, 0.5, 1.0)
+    twin = _Eval(10.0, 0.5, 1.0)
+    assert not dominates(a, twin)
+    assert dominates(_Eval(11.0, 0.5, 1.0), a)
+    assert dominates(_Eval(10.0, 0.4, 1.0), a)
+    assert dominates(_Eval(10.0, 0.5, 0.9), a)
+    assert not dominates(_Eval(11.0, 0.6, 1.0), a)  # trades area away
+
+
+def test_frontier_drops_dominated_points():
+    best = _Eval(20.0, 0.3, 0.5, DesignPoint(pu_count=8))
+    dominated = _Eval(10.0, 0.6, 1.0, DesignPoint(pu_count=12))
+    incomparable = _Eval(25.0, 0.9, 2.0, DesignPoint(pu_count=16))
+    front = pareto_frontier([dominated, best, incomparable])
+    assert best in front and incomparable in front
+    assert dominated not in front
+
+
+def test_frontier_collapses_duplicate_points():
+    point = DesignPoint(pu_count=8)
+    a = _Eval(10.0, 0.5, 1.0, point)
+    b = _Eval(10.0, 0.5, 1.0, point)
+    assert len(pareto_frontier([a, b])) == 1
+
+
+def test_frontier_sorted_by_throughput_desc():
+    evals = [
+        _Eval(g, 1.0 - g / 100.0, g / 10.0, DesignPoint(pu_count=4 + i))
+        for i, g in enumerate((5.0, 25.0, 15.0))
+    ]
+    front = pareto_frontier(evals)
+    assert [e.gbps for e in front] == sorted(
+        (e.gbps for e in front), reverse=True
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.floats(0.1, 50.0), st.floats(0.01, 1.0), st.floats(0.01, 9.0)
+    ),
+    min_size=1, max_size=24,
+))
+def test_frontier_is_internally_non_dominated(objectives):
+    evals = [
+        _Eval(g, a, p, DesignPoint(pu_count=4 + i))
+        for i, (g, a, p) in enumerate(objectives)
+    ]
+    front = pareto_frontier(evals)
+    assert front
+    for kept in front:
+        assert not any(
+            dominates(other, kept) for other in evals
+        )
+    for a in front:
+        for b in front:
+            if a is not b:
+                assert not dominates(a, b)

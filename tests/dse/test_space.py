@@ -1,0 +1,66 @@
+"""DesignPoint semantics: validation, mapping onto MemoryConfig,
+canonical forms."""
+
+import pytest
+
+from repro.dse import DesignPoint
+from repro.system import AMAZON_F1
+
+
+def test_defaults_are_the_paper_configuration():
+    point = DesignPoint.baseline(AMAZON_F1)
+    assert point.pu_count is None
+    assert point.burst_registers == 16
+    assert point.layout_beats == 2
+    assert point.channels == AMAZON_F1.channels
+    config = point.memory_config(AMAZON_F1)
+    assert config.burst_registers == 16
+    assert config.beats_per_burst == 2
+    assert config.frequency_hz == AMAZON_F1.frequency_hz
+
+
+def test_memory_config_rescales_outstanding_window():
+    point = DesignPoint(burst_registers=4)
+    config = point.memory_config(AMAZON_F1)
+    assert config.burst_registers == 4
+    # MemoryConfig.replace re-derives the address-ahead window from r.
+    assert config.max_outstanding == 8
+
+
+def test_layout_beats_set_burst_size():
+    config = DesignPoint(layout_beats=16).memory_config(AMAZON_F1)
+    assert config.beats_per_burst == 16
+    assert config.burst_bytes == 16 * config.bus_bytes
+
+
+@pytest.mark.parametrize("field", [
+    "burst_registers", "layout_beats", "channels", "serve_slots",
+])
+def test_rejects_non_positive(field):
+    with pytest.raises(ValueError):
+        DesignPoint(**{field: 0})
+
+
+def test_as_dict_round_trips():
+    point = DesignPoint(pu_count=128, burst_registers=8, layout_beats=4,
+                        channels=2, serve_slots=16)
+    assert DesignPoint(**point.as_dict()) == point
+
+
+def test_replace_overrides_one_field():
+    point = DesignPoint()
+    other = point.replace(serve_slots=64)
+    assert other.serve_slots == 64
+    assert other.replace(serve_slots=32) == point
+    assert point.serve_slots == 32  # original untouched
+
+
+def test_key_orders_deterministically():
+    points = [
+        DesignPoint(layout_beats=b, burst_registers=r)
+        for b in (4, 2) for r in (32, 8)
+    ]
+    ordered = sorted(points, key=lambda p: p.key())
+    assert [(p.layout_beats, p.burst_registers) for p in ordered] == [
+        (2, 8), (2, 32), (4, 8), (4, 32),
+    ]

@@ -1,0 +1,67 @@
+"""Parametric controller cost model and binding-resource fractions."""
+
+import pytest
+
+from repro.memory import MemoryConfig
+from repro.system import AMAZON_F1, area_fraction, estimate_controllers
+from repro.system.area import (
+    CONTROLLER_BASE_LUTS,
+    CONTROLLER_REGISTER_LUTS,
+    AreaEstimate,
+    fit_processing_units,
+)
+
+
+def test_default_config_matches_paper_tenth():
+    """At r=16, 1024-bit bursts, the four channel pairs take ~10% of the
+    F1's LUTs — the paper's measured controller share."""
+    pair = estimate_controllers(MemoryConfig())
+    total = pair.luts * AMAZON_F1.channels
+    assert total / AMAZON_F1.luts == pytest.approx(0.10, rel=0.01)
+
+
+def test_luts_grow_linearly_with_registers():
+    shallow = estimate_controllers(MemoryConfig().replace(burst_registers=4))
+    deep = estimate_controllers(MemoryConfig().replace(burst_registers=32))
+    # Pair = 2x per-controller, so slope is 2 * REGISTER_LUTS per r.
+    assert deep.luts - shallow.luts == 2 * CONTROLLER_REGISTER_LUTS * 28
+    assert shallow.luts == 2 * (
+        CONTROLLER_BASE_LUTS + 4 * CONTROLLER_REGISTER_LUTS
+    )
+
+
+def test_store_moves_to_bram_for_deep_bursts():
+    small = estimate_controllers(MemoryConfig())  # 16 Kb: stays in FFs
+    assert small.bram36 == 0
+    assert small.ffs > 2 * 16 * 1024  # control FFs + burst store
+    big = estimate_controllers(
+        MemoryConfig().replace(beats_per_burst=16)
+    )  # 16 regs x 8 KiB bursts = 1 Mb per controller
+    assert big.bram36 > 0
+    assert big.ffs < small.ffs  # storage left the flip-flops
+
+
+def test_fit_shrinks_when_controllers_budgeted():
+    unit = AreaEstimate(luts=1_000, ffs=800, bram36=1)
+    config = MemoryConfig().replace(burst_registers=32)
+    default_fit = fit_processing_units(unit, AMAZON_F1, config)
+    budgeted_fit = fit_processing_units(
+        unit, AMAZON_F1, config,
+        controller_area=estimate_controllers(config),
+    )
+    # r=32 controllers cost more than the fixed 10% assumption covers.
+    assert budgeted_fit < default_fit
+    assert budgeted_fit % AMAZON_F1.channels == 0
+
+
+def test_area_fraction_takes_binding_resource():
+    lut_bound = AreaEstimate(luts=500_000, ffs=0, bram36=0)
+    bram_bound = AreaEstimate(luts=0, ffs=0, bram36=2_000)
+    assert area_fraction(lut_bound, AMAZON_F1) == pytest.approx(
+        500_000 / (AMAZON_F1.luts * AMAZON_F1.usable_fraction)
+    )
+    brams = (AMAZON_F1.bram36 + AMAZON_F1.uram * 4) * \
+        AMAZON_F1.bram_usable_fraction
+    assert area_fraction(bram_bound, AMAZON_F1) == pytest.approx(
+        2_000 / brams
+    )
