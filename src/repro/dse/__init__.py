@@ -25,7 +25,11 @@ See ``docs/dse.md``.
 
 from .cache import MODEL_VERSION, EvalCache, cache_key
 from .evaluate import AppModel, PointEval, evaluate_point
-from .latency import latency_samples_ms, p99_latency_ms
+from .latency import (
+    certified_p99_latency_ms,
+    latency_samples_ms,
+    p99_latency_ms,
+)
 from .pareto import dominates, pareto_frontier
 from .report import format_dse_report, render_dse_json
 from .search import DseResult, search
@@ -65,6 +69,7 @@ __all__ = [
     "dominates",
     "evaluate_point",
     "format_dse_report",
+    "certified_p99_latency_ms",
     "latency_samples_ms",
     "p99_latency_ms",
     "pareto_frontier",

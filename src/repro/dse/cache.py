@@ -19,7 +19,8 @@ import os
 
 #: Bump when the evaluation semantics change (cost model, latency
 #: model, area accounting) — old cache entries stop matching.
-MODEL_VERSION = 1
+#: v2: certified worst-case analytic p99 joined the evaluation.
+MODEL_VERSION = 2
 
 
 def cache_key(app_fingerprint, device, point, *, sim_cycles, seed,

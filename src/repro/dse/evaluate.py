@@ -29,7 +29,11 @@ from ..system import (
 )
 from ..system.area import AreaEstimate, area_fraction
 from ..system.system_sim import profile_unit_marginal
-from .latency import p99_latency_ms
+from .latency import certified_p99_latency_ms, p99_latency_ms
+
+#: Sentinel for the lazily-computed certified bounds (None is a valid
+#: computed value: "no finite bound").
+_MISSING = object()
 
 
 class AppModel:
@@ -47,6 +51,28 @@ class AppModel:
         self.output_ratio = (
             sum(p.output_ratio for p in profiles) / len(profiles)
         )
+        self._certified_bounds = _MISSING
+
+    def certified_bounds(self):
+        """``(token_hi, cleanup_hi)`` — the static cost analysis's
+        certified per-token/cleanup vcycle upper bounds for the
+        production unit — or ``None`` when no finite bound exists
+        (decision_tree's unbounded BRAM walk). Lazy: the lint pipeline
+        runs once per model, only when a certified latency is asked
+        for."""
+        if self._certified_bounds is _MISSING:
+            from ..lint.certificate import certificate_for
+
+            cost = certificate_for(self.unit).cost
+            if (cost is not None
+                    and cost.token.vcycles[1] is not None
+                    and cost.cleanup.vcycles[1] is not None):
+                self._certified_bounds = (
+                    cost.token.vcycles[1], cost.cleanup.vcycles[1]
+                )
+            else:
+                self._certified_bounds = None
+        return self._certified_bounds
 
     @classmethod
     def from_spec(cls, spec, *, small=None, large=None):
@@ -82,6 +108,12 @@ class AppModel:
                 [p.vcycles_per_token, p.output_ratio]
                 for p in self.profiles
             ],
+            # Certified bounds feed the analytic worst-case latency,
+            # so they are part of the evaluation identity too.
+            "certified_bounds": (
+                None if self.certified_bounds() is None
+                else list(self.certified_bounds())
+            ),
         }
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
@@ -91,10 +123,12 @@ class PointEval:
     """One evaluated design point."""
 
     __slots__ = ("point", "pu_count", "max_pu_count", "feasible", "gbps",
-                 "theoretical_gbps", "area_frac", "p99_ms", "attribution")
+                 "theoretical_gbps", "area_frac", "p99_ms",
+                 "p99_certified_ms", "attribution")
 
     def __init__(self, point, *, pu_count, max_pu_count, feasible, gbps,
-                 theoretical_gbps, area_frac, p99_ms, attribution):
+                 theoretical_gbps, area_frac, p99_ms, attribution,
+                 p99_certified_ms=None):
         self.point = point
         self.pu_count = pu_count
         self.max_pu_count = max_pu_count
@@ -103,6 +137,9 @@ class PointEval:
         self.theoretical_gbps = theoretical_gbps
         self.area_frac = area_frac
         self.p99_ms = p99_ms
+        # Certified worst-case analytic p99 (None when the app has no
+        # finite certified cost bound).
+        self.p99_certified_ms = p99_certified_ms
         self.attribution = attribution
 
     def as_dict(self):
@@ -115,6 +152,7 @@ class PointEval:
             "theoretical_gbps": self.theoretical_gbps,
             "area_frac": self.area_frac,
             "p99_ms": self.p99_ms,
+            "p99_certified_ms": self.p99_certified_ms,
             "attribution": self.attribution,
         }
 
@@ -129,6 +167,8 @@ class PointEval:
             theoretical_gbps=data["theoretical_gbps"],
             area_frac=data["area_frac"],
             p99_ms=data["p99_ms"],
+            # Absent in pre-certified-bound payloads.
+            p99_certified_ms=data.get("p99_certified_ms"),
             attribution=data["attribution"],
         )
 
@@ -200,6 +240,9 @@ def evaluate_point(model, point, *, device, sim_cycles=4_000, seed=0,
     p99 = p99_latency_ms(
         model, point, device=device, seed=seed, n_streams=latency_streams
     )
+    p99_certified = certified_p99_latency_ms(
+        model, point, device=device, seed=seed, n_streams=latency_streams
+    )
     return PointEval(
         point,
         pu_count=pu_count,
@@ -209,5 +252,6 @@ def evaluate_point(model, point, *, device, sim_cycles=4_000, seed=0,
         theoretical_gbps=result.theoretical_gbps,
         area_frac=frac,
         p99_ms=p99,
+        p99_certified_ms=p99_certified,
         attribution=result.attribution,
     )

@@ -42,9 +42,35 @@ def stream_cost_vcycles(model, point, device, length_bytes):
     return model.vcpt * tokens + fill
 
 
-def latency_samples_ms(model, point, *, device, seed=0, n_streams=128):
+def certified_stream_cost_vcycles(model, point, device, length_bytes):
+    """Certified worst-case virtual cycles for one stream, or ``None``
+    when the app has no finite certified bound.
+
+    Uses the static cost analysis's sealed per-token vcycle upper bound
+    (:mod:`repro.lint.cost`) instead of the profiled mean rate —
+    ``token_hi * tokens + cleanup_hi`` plus the same memory-system fill
+    cost — so the analytic tail is a *guarantee*, not an estimate.
+    """
+    bounds = model.certified_bounds()
+    if bounds is None:
+        return None
+    token_hi, cleanup_hi = bounds
+    config = point.memory_config(device)
+    tokens = max(1, length_bytes // model.token_bytes)
+    fill = config.dram_latency + config.drain_cycles
+    return token_hi * tokens + cleanup_hi + fill
+
+
+def latency_samples_ms(model, point, *, device, seed=0, n_streams=128,
+                       bound="profiled"):
     """Per-stream latencies (ms) of the modeled serve run, in arrival
-    order. Deterministic in (model, point, device, seed, n_streams)."""
+    order. Deterministic in (model, point, device, seed, n_streams).
+
+    ``bound="certified"`` prices every stream at its certified
+    worst-case cost (raising :class:`ValueError` when the app has no
+    finite bound) — the p99 of those samples upper-bounds the profiled
+    model's tail at the same design point.
+    """
     import random
 
     from ..serve.workload import zipf_lengths
@@ -53,10 +79,20 @@ def latency_samples_ms(model, point, *, device, seed=0, n_streams=128):
     lengths = zipf_lengths(
         rnd, n_streams, alpha=ALPHA, lo=LEN_LO, hi=LEN_HI
     )
-    costs = [
-        stream_cost_vcycles(model, point, device, length)
-        for length in lengths
-    ]
+    if bound == "certified":
+        costs = [
+            certified_stream_cost_vcycles(model, point, device, length)
+            for length in lengths
+        ]
+        if any(cost is None for cost in costs):
+            raise ValueError(
+                f"{model.name}: no finite certified cost bound"
+            )
+    else:
+        costs = [
+            stream_cost_vcycles(model, point, device, length)
+            for length in lengths
+        ]
     mean_cost = sum(costs) / len(costs)
 
     # Streams arrive one per spacing; a full batch of ``serve_slots``
@@ -83,13 +119,27 @@ def latency_samples_ms(model, point, *, device, seed=0, n_streams=128):
     return [latency * to_ms for latency in latencies]
 
 
-def p99_latency_ms(model, point, *, device, seed=0, n_streams=128):
+def p99_latency_ms(model, point, *, device, seed=0, n_streams=128,
+                   bound="profiled"):
     """Nearest-rank 99th-percentile latency of the modeled run."""
     from ..serve.report import percentile
 
     return percentile(
         latency_samples_ms(
-            model, point, device=device, seed=seed, n_streams=n_streams
+            model, point, device=device, seed=seed,
+            n_streams=n_streams, bound=bound,
         ),
         99,
+    )
+
+
+def certified_p99_latency_ms(model, point, *, device, seed=0,
+                             n_streams=128):
+    """Certified worst-case analytic p99 (ms), or ``None`` when the
+    app carries no finite certified cost bound (decision_tree)."""
+    if model.certified_bounds() is None:
+        return None
+    return p99_latency_ms(
+        model, point, device=device, seed=seed, n_streams=n_streams,
+        bound="certified",
     )

@@ -58,6 +58,12 @@ def format_dse_report(result):
         f"tuned     {best.gbps:8.2f} GB/s  area {best.area_frac:6.3f}  "
         f"p99 {best.p99_ms:8.3f} ms  [{_point_cell(best)}]"
     )
+    if best.p99_certified_ms is not None:
+        lines.append(
+            f"certified worst-case p99 {best.p99_certified_ms:8.3f} ms "
+            f"(static cost bounds; baseline "
+            f"{base.p99_certified_ms:8.3f} ms)"
+        )
     lines.append(f"speedup   {result.speedup:8.3f}x at equal-or-lower area")
     lines.append("")
     lines.append("Pareto frontier (throughput desc):")

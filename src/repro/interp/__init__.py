@@ -3,6 +3,7 @@
 from .batch import (
     BatchResult,
     BatchStats,
+    PredictedBatchStats,
     BatchStreamSimulator,
     BatchUnit,
     batch_backend_env,
@@ -11,6 +12,7 @@ from .batch import (
     cc_available,
     compile_batch,
     numpy_available,
+    predict_batch_stats,
     run_batch_streams,
     try_compile_batch,
 )
@@ -45,6 +47,8 @@ from .trace import StreamTrace
 __all__ = [
     "BatchResult",
     "BatchStats",
+    "PredictedBatchStats",
+    "predict_batch_stats",
     "BatchStreamSimulator",
     "BatchUnit",
     "CcSimulator",

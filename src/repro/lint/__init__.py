@@ -26,6 +26,7 @@ from .certificate import (
     fingerprint_for,
     program_fingerprint,
 )
+from .cost import CostFacts, LoopBound, PhaseCost, build_cost
 from .domain import Interval
 from .engine import Analysis
 from .facts import (
@@ -42,6 +43,7 @@ from .findings import (
     DeadAssignmentFinding,
     DependentReadFinding,
     LintFinding,
+    NonterminationRiskFinding,
     OutOfBoundsAddressFinding,
     RestrictionConflictFinding,
     UninitializedReadFinding,
@@ -63,13 +65,17 @@ __all__ = [
     "APP_UNIT_BUILDERS",
     "Analysis",
     "ConstantConditionFinding",
+    "CostFacts",
     "DeadAssignmentFinding",
     "DependentReadFinding",
     "FINDING_CLASSES",
     "Interval",
     "LintFinding",
     "LintReport",
+    "LoopBound",
+    "NonterminationRiskFinding",
     "OutOfBoundsAddressFinding",
+    "PhaseCost",
     "ROLE_ADDR",
     "ROLE_VALUE",
     "RestrictionCertificate",
@@ -81,6 +87,7 @@ __all__ = [
     "UninitializedReadFinding",
     "UnreachableArmFinding",
     "build_app_unit",
+    "build_cost",
     "build_facts",
     "certificate_for",
     "certify_program",

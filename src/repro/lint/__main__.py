@@ -63,6 +63,18 @@ def main(argv=None):
                              "accepted)")
     parser.add_argument("--severity", choices=SEVERITIES, default="info",
                         help="minimum severity to display (default: info)")
+    parser.add_argument("--cost", action="store_true",
+                        help="show certified cost bounds (per-token "
+                             "vcycle/emit intervals, per-loop trip "
+                             "bounds, termination verdict)")
+    parser.add_argument("--fail-on-nontermination", action="store_true",
+                        help="exit 1 when any linted program has a "
+                             "while with no provable trip bound")
+    parser.add_argument("--allow-unbounded", action="append", default=[],
+                        metavar="NAME",
+                        help="program name whose nontermination risk is "
+                             "reviewed and accepted (repeatable; used "
+                             "with --fail-on-nontermination)")
     parser.add_argument("--json", metavar="PATH", dest="json_path",
                         help="write per-program reports as JSON "
                              "('-' for stdout)")
@@ -110,7 +122,19 @@ def main(argv=None):
         reports.append((report, certificate))
         print(report.render(args.severity))
         print("  " + certificate.render())
+        if args.cost and report.cost is not None:
+            # The certificate line above already carries the summary;
+            # --cost adds the per-loop trip-bound detail.
+            for line in report.cost.render().splitlines()[1:]:
+                print("  " + line)
         if report.errors:
+            exit_status = 1
+        if (args.fail_on_nontermination
+                and report.cost is not None
+                and report.cost.unbounded_loops
+                and program.name not in args.allow_unbounded):
+            print(f"  FAIL: {program.name} has unbounded loop(s) and is "
+                  "not on the --allow-unbounded list")
             exit_status = 1
 
     if args.json_path and reports:

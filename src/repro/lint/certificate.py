@@ -60,10 +60,12 @@ class RestrictionCertificate:
     """
 
     __slots__ = ("program_name", "fingerprint", "ok", "reasons",
-                 "finding_counts", "proof_ok", "vreg_exclusive", "facts")
+                 "finding_counts", "proof_ok", "vreg_exclusive", "facts",
+                 "cost")
 
     def __init__(self, program_name, fingerprint, ok, reasons,
-                 finding_counts, proof_ok, vreg_exclusive, facts=None):
+                 finding_counts, proof_ok, vreg_exclusive, facts=None,
+                 cost=None):
         self.program_name = program_name
         self.fingerprint = fingerprint
         self.ok = ok
@@ -72,6 +74,10 @@ class RestrictionCertificate:
         self.proof_ok = proof_ok
         self.vreg_exclusive = vreg_exclusive
         self.facts = facts if ok else None
+        # Cost bounds are sound regardless of the restriction verdict
+        # (unproven conflicts don't change vcycle counting), so unlike
+        # ``facts`` they survive on rejected certificates too.
+        self.cost = cost
 
     def covers(self, program):
         """Whether this certificate was issued for exactly ``program``
@@ -95,17 +101,21 @@ class RestrictionCertificate:
             "finding_counts": self.finding_counts,
             "reasons": list(self.reasons),
             "facts": None if self.facts is None else self.facts.to_json(),
+            "cost": None if self.cost is None else self.cost.to_json(),
         }
 
     def render(self):
         if self.ok:
-            return (f"certificate {self.program_name}: OK "
-                    f"(fingerprint {self.fingerprint[:12]}…) — dynamic "
-                    "restriction checks may be disabled")
-        lines = [f"certificate {self.program_name}: NOT certified — "
-                 "dynamic restriction checks stay on"]
-        for reason in self.reasons:
-            lines.append(f"  - {reason}")
+            lines = [f"certificate {self.program_name}: OK "
+                     f"(fingerprint {self.fingerprint[:12]}…) — dynamic "
+                     "restriction checks may be disabled"]
+        else:
+            lines = [f"certificate {self.program_name}: NOT certified — "
+                     "dynamic restriction checks stay on"]
+            for reason in self.reasons:
+                lines.append(f"  - {reason}")
+        if self.cost is not None:
+            lines.append("  " + self.cost.render().splitlines()[0])
         return "\n".join(lines)
 
     def __repr__(self):
@@ -245,6 +255,7 @@ def certify_program(program, report=None):
         proof_ok=report.proof.ok,
         vreg_exclusive=not report.vreg_conflicts,
         facts=facts,
+        cost=report.cost,
     )
 
 

@@ -132,6 +132,18 @@ class DependentReadFinding(LintFinding):
     __slots__ = ()
 
 
+class NonterminationRiskFinding(LintFinding):
+    """A ``while`` loop with no provable trip bound: the cost analysis
+    found no ranking function that strictly decreases on every active
+    cycle (or the state graph has a real cycle). The loop may only
+    terminate via the engine's ``max_vcycles_per_token`` limit on
+    adversarial input; per-token cost has no certified upper bound."""
+
+    rule = "lint/nontermination-risk"
+    default_severity = "warning"
+    __slots__ = ()
+
+
 class RestrictionConflictFinding(LintFinding):
     """A potentially conflicting access pair the restriction prover
     could not prove mutually exclusive; the dynamic checks must stay on
@@ -153,6 +165,7 @@ FINDING_CLASSES = {
         ConstantConditionFinding,
         UnreachableArmFinding,
         DependentReadFinding,
+        NonterminationRiskFinding,
         RestrictionConflictFinding,
     )
 }

@@ -30,11 +30,13 @@ from ..lang.collect_guards import Guard, GuardInfo
 from ..lang.prover import _exclusive, guard_facts, prove_program
 from ..lang.pretty import pretty_expr, pretty_guard
 from . import domain
+from .cost import build_cost
 from .engine import ADDRESSED_KINDS, Analysis
 from .findings import (
     ConstantConditionFinding,
     DeadAssignmentFinding,
     DependentReadFinding,
+    NonterminationRiskFinding,
     OutOfBoundsAddressFinding,
     RestrictionConflictFinding,
     UninitializedReadFinding,
@@ -48,12 +50,13 @@ class LintReport:
     needs (the proof report and unproven vector-register pairs)."""
 
     def __init__(self, program, findings, proof, vreg_conflicts,
-                 analysis):
+                 analysis, cost=None):
         self.program = program
         self.findings = findings
         self.proof = proof
         self.vreg_conflicts = vreg_conflicts
         self.analysis = analysis
+        self.cost = cost
 
     @property
     def errors(self):
@@ -101,6 +104,7 @@ class LintReport:
             "vreg_exclusive": not self.vreg_conflicts,
             "counts": self.counts(),
             "findings": [f.to_json() for f in self.findings],
+            "cost": None if self.cost is None else self.cost.to_json(),
         }
 
     def __repr__(self):
@@ -122,11 +126,14 @@ def lint_program(program):
     findings.extend(_condition_pass(analysis))
     findings.extend(_dependent_read_pass(program))
     findings.extend(_conflict_pass(proof, vreg_conflicts))
+    cost = build_cost(analysis)
+    findings.extend(_cost_pass(cost))
     findings.sort(
         key=lambda f: (-severity_rank(f.severity), f.rule,
                        f.location or "", f.message)
     )
-    return LintReport(program, findings, proof, vreg_conflicts, analysis)
+    return LintReport(program, findings, proof, vreg_conflicts, analysis,
+                      cost)
 
 
 def severity_rank(severity):
@@ -243,6 +250,20 @@ def _condition_pass(analysis):
             resource=None, location=site.location,
         ))
     return findings
+
+
+def _cost_pass(cost):
+    """One :class:`NonterminationRiskFinding` per ``while`` with no
+    provable trip bound (in either phase)."""
+    return [
+        NonterminationRiskFinding(
+            f"while ({loop.cond}) has no provable trip bound: "
+            f"{loop.reason} — per-token cost is uncertified and the "
+            "loop may only stop at the engine vcycle limit",
+            resource=None, location=loop.location,
+        )
+        for loop in cost.unbounded_loops
+    ]
 
 
 def _dependent_read_pass(program):

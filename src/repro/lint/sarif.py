@@ -1,22 +1,46 @@
 """SARIF 2.1.0 export for lint reports.
 
-Emits the minimal valid subset of the Static Analysis Results
-Interchange Format: one ``run`` with a ``tool.driver`` describing every
-rule in :data:`repro.lint.findings.FINDING_CLASSES`, and one ``result``
-per finding. Fleet units are built programmatically (there is no source
-file), so each result's location is a *logical* location: the statement
-path (``body[2].arm[0].body[1]``) inside the named unit.
+Emits a valid subset of the Static Analysis Results Interchange Format:
+one ``run`` with a ``tool.driver`` describing every rule in
+:data:`repro.lint.findings.FINDING_CLASSES` (id, name, short and full
+descriptions, help URI, default level), and one ``result`` per finding.
 
-The exact schema subset is documented in ``docs/linting.md``; the CLI
-test validates structural conformance.
+Fleet units are built programmatically — there is no source file — so
+each result carries two locations:
+
+* a *logical* location: the statement path
+  (``body[2].arm[0].body[1]``) inside the named unit; and
+* a *physical* location against the synthetic ``fleet-unit:///<name>``
+  artifact, one top-level body statement per line, whose region spans
+  the statement path text (``startColumn``/``endColumn`` inclusive/
+  exclusive, per the SARIF text-region rules) with the path itself as
+  the region snippet.
+
+The exact schema subset is documented in ``docs/linting.md``; the
+schema test (``tests/lint/test_sarif.py``) validates every emitted log
+against the SARIF 2.1.0 property subset.
 """
+
+import re
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
 
+#: Base URI for per-rule help anchors (the repo's lint documentation).
+HELP_URI_BASE = "https://example.invalid/repro/docs/linting.md"
+
 #: SARIF result level per lint severity.
 _LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+_TOP_INDEX = re.compile(r"^body\[(\d+)\]")
+
+
+def _rule_help_uri(rule_id):
+    """Anchor into docs/linting.md: ``lint/dead-assignment`` ->
+    ``#lintdead-assignment`` (GitHub-style slug)."""
+    slug = rule_id.replace("/", "").replace(" ", "-").lower()
+    return f"{HELP_URI_BASE}#{slug}"
 
 
 def _rules():
@@ -25,12 +49,13 @@ def _rules():
     rules = []
     for rule_id in sorted(FINDING_CLASSES):
         cls = FINDING_CLASSES[rule_id]
+        doc = (cls.__doc__ or rule_id).strip()
         rules.append({
             "id": rule_id,
             "name": cls.__name__,
-            "shortDescription": {
-                "text": (cls.__doc__ or rule_id).strip().split("\n")[0]
-            },
+            "shortDescription": {"text": doc.split("\n")[0]},
+            "fullDescription": {"text": " ".join(doc.split())},
+            "helpUri": _rule_help_uri(rule_id),
             "defaultConfiguration": {
                 "level": _LEVELS[cls.default_severity]
             },
@@ -38,19 +63,38 @@ def _rules():
     return rules
 
 
+def _region(location):
+    """The statement path's region in the synthetic unit artifact: one
+    top-level body statement per line, columns spanning the path text
+    (endColumn is exclusive, per SARIF section 3.30.6)."""
+    match = _TOP_INDEX.match(location)
+    line = 1 + int(match.group(1)) if match else 1
+    return {
+        "startLine": line,
+        "startColumn": 1,
+        "endLine": line,
+        "endColumn": 1 + len(location),
+        "snippet": {"text": location},
+    }
+
+
 def _result(program_name, finding):
+    location_text = finding.location or "<program>"
     result = {
         "ruleId": finding.rule,
         "level": _LEVELS[finding.severity],
         "message": {"text": finding.message},
     }
     location = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": f"fleet-unit:///{program_name}"},
+            "region": _region(location_text),
+        },
         "logicalLocations": [{
-            "name": finding.location or "<program>",
-            "fullyQualifiedName":
-                f"{program_name}::{finding.location or '<program>'}",
+            "name": location_text,
+            "fullyQualifiedName": f"{program_name}::{location_text}",
             "kind": "member",
-        }]
+        }],
     }
     result["locations"] = [location]
     if finding.resource:
@@ -72,8 +116,7 @@ def reports_to_sarif(reports):
             "tool": {
                 "driver": {
                     "name": "repro.lint",
-                    "informationUri":
-                        "https://example.invalid/repro/docs/linting.md",
+                    "informationUri": HELP_URI_BASE,
                     "rules": _rules(),
                 }
             },

@@ -18,7 +18,7 @@ synthesizable Verilog.
 """
 
 from ..lang.errors import FleetSyntaxError, FleetWidthError
-from ..lang.types import check_width, fits, mask
+from ..lang.types import check_width, fits
 from ..ops import binop_width, unop_width
 
 

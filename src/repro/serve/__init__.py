@@ -28,7 +28,7 @@ determinism contract. See ``docs/serving.md``.
 
 from .apps import catalog_apps
 from .cache import CompiledAppCache, ServedApp
-from .cost import CostModel
+from .cost import CertifiedCostModel, CostModel
 from .errors import (
     JobCancelled,
     ServeError,
@@ -53,6 +53,7 @@ from .server import FleetServer, ServeConfig, default_apps
 
 __all__ = [
     "CompiledAppCache",
+    "CertifiedCostModel",
     "CostModel",
     "FifoPacker",
     "FleetServer",

@@ -36,7 +36,7 @@ from ..telemetry.metrics import gauge as _tm_gauge
 from ..telemetry.metrics import histogram as _tm_histogram
 from ..telemetry.slo import SLO
 from .cache import CompiledAppCache, ServedApp
-from .cost import CostModel
+from .cost import CertifiedCostModel, CostModel
 from .errors import ServeError, ServerClosed, ServerOverloaded, UnknownApp
 from .device import DeviceWorker
 from .job import DONE, Job, JobResult
@@ -93,7 +93,8 @@ class ServeConfig:
                  window_streams=64, max_pending_streams=4096,
                  tenant_weights=None, default_weight=1.0,
                  arrival_spacing=0.0, memory_sim=False, slot_cap=64,
-                 batch_engine=True, slos=(), app_slots=None):
+                 batch_engine=True, slos=(), app_slots=None,
+                 cost_model="calibrated", max_pending_vcycles=None):
         #: number of independent device shards
         self.devices = devices
         #: PU slots per device; ``None`` sizes each app's batches from
@@ -131,6 +132,21 @@ class ServeConfig:
         #: hook :meth:`from_dse` fills with the committed search output
         #: so each app batches at its tuned size
         self.app_slots = dict(app_slots or {})
+        #: ``"calibrated"`` (measured linear fit, the default) or
+        #: ``"certified"`` — the lint cost pass's sound worst-case
+        #: bounds as the primary packing/admission signal, calibrated
+        #: predictions demoted to an LPT tie-breaker (see
+        #: :class:`repro.serve.cost.CertifiedCostModel`)
+        if cost_model not in ("calibrated", "certified"):
+            raise ValueError(
+                f"unknown cost_model {cost_model!r}; choose "
+                "'calibrated' or 'certified'"
+            )
+        self.cost_model = cost_model
+        #: admission-control bound on *predicted* pending virtual
+        #: cycles (``None`` = streams-only admission); under the
+        #: certified model this is a sound worst-case occupancy bound
+        self.max_pending_vcycles = max_pending_vcycles
 
     @classmethod
     def from_dse(cls, apps=None, **overrides):
@@ -175,6 +191,12 @@ class ServeConfig:
         # Same contract for per-app tuned slots.
         if self.app_slots:
             out["app_slots"] = dict(sorted(self.app_slots.items()))
+        # And for the cost-model knobs: reports from default-config
+        # runs stay byte-identical to pre-certified-model reports.
+        if self.cost_model != "calibrated":
+            out["cost_model"] = self.cost_model
+        if self.max_pending_vcycles is not None:
+            out["max_pending_vcycles"] = self.max_pending_vcycles
         return out
 
 
@@ -184,7 +206,11 @@ class FleetServer:
     def __init__(self, apps=None, config=None):
         self.config = config or ServeConfig()
         self.cache = CompiledAppCache(apps or default_apps())
-        self.cost_model = CostModel(self.cache)
+        self.cost_model = (
+            CertifiedCostModel(self.cache)
+            if self.config.cost_model == "certified"
+            else CostModel(self.cache)
+        )
         self.packer = make_packer(self.config.packer)
         self.wfq = WeightedFairQueue(
             self.config.tenant_weights, self.config.default_weight
@@ -197,6 +223,8 @@ class FleetServer:
         self._jobs = []  # every admitted job, submission order
         self._window = []  # jobs awaiting scheduling
         self._pending_streams = 0
+        self._pending_vcycles = 0.0  # predicted, unscheduled work
+        self._pending_job_vcycles = {}  # job_id -> predicted total
         self._batches = []  # every batch, scheduling order
         self._dispatched = 0
         self._completed = 0
@@ -264,6 +292,23 @@ class FleetServer:
                     self._pending_streams,
                     self.config.max_pending_streams, len(streams),
                 )
+            job_vcycles = 0.0
+            if self.config.max_pending_vcycles is not None and streams:
+                # Predicted-occupancy admission: under the certified
+                # cost model the prediction is a sound upper bound, so
+                # admitted work provably fits the vcycle budget.
+                job_vcycles = sum(
+                    self.cost_model.predict(app, stream)
+                    for stream in streams
+                )
+                if (self._pending_vcycles + job_vcycles
+                        > self.config.max_pending_vcycles):
+                    _JOBS_REJECTED.inc(reason="overloaded_vcycles")
+                    raise ServerOverloaded(
+                        self._pending_vcycles,
+                        self.config.max_pending_vcycles, job_vcycles,
+                        unit="predicted vcycles",
+                    )
             job = Job(
                 job_id, app, tenant, streams,
                 arrival_vtime=job_id * self.config.arrival_spacing,
@@ -282,6 +327,9 @@ class FleetServer:
                 return job.future
             self._window.append(job)
             self._pending_streams += len(streams)
+            if job_vcycles:
+                self._pending_vcycles += job_vcycles
+                self._pending_job_vcycles[job_id] = job_vcycles
             _QUEUE_DEPTH.set(self._pending_streams)
             if self._pending_streams >= self.config.window_streams:
                 self._schedule_window_locked()
@@ -323,6 +371,11 @@ class FleetServer:
         _WINDOWS_SCHEDULED.inc()
         live = []
         for job in window:
+            # Whether scheduled or cancelled, the job leaves the
+            # pending pool the vcycle admission bound watches.
+            self._pending_vcycles -= self._pending_job_vcycles.pop(
+                job.job_id, 0.0
+            )
             if job.cancelled:
                 self._pending_streams -= len(job.streams)
                 job.finish_cancelled()
@@ -346,7 +399,8 @@ class FleetServer:
             entries = by_app.setdefault(job.app, [])
             for index, stream in enumerate(job.streams):
                 entries.append(BatchEntry(
-                    job, index, stream, costs[job.job_id][index]
+                    job, index, stream, costs[job.job_id][index],
+                    tiebreak=self.cost_model.tiebreak(job.app, stream),
                 ))
         device_loads = [d.scheduled_load for d in self.devices]
         for app_name, entries in by_app.items():

@@ -81,7 +81,7 @@ def run_interp(program, stream):
                         max_vcycles_per_token=MAX_VCYCLES)
     outputs = list(sim.run(stream))
     state = {r.name: sim.peek_reg(r.name) for r in program.regs}
-    return outputs, state
+    return outputs, state, sim.trace
 
 
 def run_compiled(program, stream, unit):
@@ -89,7 +89,41 @@ def run_compiled(program, stream, unit):
                             max_vcycles_per_token=MAX_VCYCLES)
     outputs = list(sim.run(stream))
     state = {r.name: sim.peek_reg(r.name) for r in program.regs}
-    return outputs, state
+    return outputs, state, sim.trace
+
+
+def check_cost_soundness(program, stage, trace, index):
+    """Cost-soundness axis: every measured ``(vcycles, emits)`` record
+    of ``trace`` must land inside the program's certified per-token cost
+    interval (:class:`~repro.lint.cost.CostFacts`). A violation is a
+    miscompile or an analysis-soundness bug — either way a
+    :class:`Mismatch`. No-op when the program has no cost facts (lint
+    itself rejected it). Unbounded phases skip their upper check inside
+    ``check_token``, so `NonterminationRisk` programs still validate
+    their lower bounds.
+
+    The batch / certified / cc stages assert their traces equal the
+    compiled engine's record-for-record, so checking the interpreter and
+    compiled traces here transitively covers every engine that ran.
+    """
+    from ..lint.certificate import certificate_for
+
+    cost = certificate_for(program).cost
+    if cost is None:
+        return
+    n = len(trace.vcycles_per_token)
+    for i in range(n):
+        cleanup = trace._cleanup_recorded and i == n - 1
+        violations = cost.check_token(
+            trace.vcycles_per_token[i], trace.emits_per_token[i],
+            cleanup=cleanup,
+        )
+        if violations:
+            raise Mismatch(
+                "cost",
+                f"stream {index}: {stage} run escapes the certified "
+                "cost interval: " + "; ".join(violations),
+            )
 
 
 #: Default engine axis: the oracle plus the fast engine. Add ``"batch"``
@@ -149,11 +183,14 @@ def check_program(spec, streams, *, rtl=True, verilog=True,
 
     expected = []
     for index, stream in enumerate(streams):
-        want, want_state = run_interp(program, stream)
+        want, want_state, want_trace = run_interp(program, stream)
         expected.append(want)
+        check_cost_soundness(program, "interp", want_trace, index)
 
         try:
-            got, got_state = run_compiled(program, stream, compiled)
+            got, got_state, got_trace = run_compiled(
+                program, stream, compiled
+            )
         except FleetError as exc:
             raise Mismatch(
                 "compiled",
@@ -172,6 +209,7 @@ def check_program(spec, streams, *, rtl=True, verilog=True,
                 f"stream {index}: final register state differs: "
                 f"interp={want_state} compiled={got_state}",
             )
+        check_cost_soundness(program, "compiled", got_trace, index)
 
         if testbench is not None:
             stalls = STALL_PATTERNS[index % len(STALL_PATTERNS)]

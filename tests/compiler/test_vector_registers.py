@@ -3,8 +3,6 @@ metaprogrammed scalar registers and BRAMs, so this path needs its own
 coverage): random access reads/writes must match the interpreter in RTL,
 including under stalls."""
 
-import random
-
 from repro.compiler import UnitTestbench
 from repro.interp import UnitSimulator
 from repro.lang import UnitBuilder

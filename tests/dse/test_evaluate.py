@@ -94,3 +94,56 @@ def test_point_eval_round_trips_through_cache_form(bloom):
 
     again = PointEval.from_dict(ev.point, ev.as_dict())
     assert again.as_dict() == ev.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Certified worst-case latency (static cost bounds)
+# ---------------------------------------------------------------------------
+
+
+def test_certified_bounds_memoized_and_finite(bloom):
+    bounds = bloom.certified_bounds()
+    assert bounds is not None
+    token_hi, cleanup_hi = bounds
+    assert token_hi >= 1 and cleanup_hi >= 1
+    assert bloom.certified_bounds() is bounds  # lint ran once
+
+
+def test_certified_p99_upper_bounds_profiled(bloom):
+    ev = evaluate_point(
+        bloom, DesignPoint(), device=AMAZON_F1, sim_cycles=1_500
+    )
+    assert ev.p99_certified_ms is not None
+    # The certified per-token bound dominates the profiled mean rate,
+    # so the worst-case analytic tail dominates the estimate.
+    assert ev.p99_certified_ms >= ev.p99_ms
+    assert ev.as_dict()["p99_certified_ms"] == ev.p99_certified_ms
+
+
+def test_unbounded_app_has_no_certified_p99():
+    from repro.dse.latency import latency_samples_ms
+
+    model = AppModel.from_spec(catalog()["decision_tree"])
+    assert model.certified_bounds() is None
+    ev = evaluate_point(
+        model, DesignPoint(), device=AMAZON_F1, sim_cycles=1_500
+    )
+    assert ev.p99_certified_ms is None
+    with pytest.raises(ValueError):
+        latency_samples_ms(
+            model, DesignPoint(), device=AMAZON_F1, bound="certified"
+        )
+
+
+def test_point_eval_round_trip_without_certified_field(bloom):
+    # Payloads written before the certified field existed still load.
+    from repro.dse import PointEval
+
+    ev = evaluate_point(
+        bloom, DesignPoint(), device=AMAZON_F1, sim_cycles=1_500
+    )
+    data = ev.as_dict()
+    del data["p99_certified_ms"]
+    clone = PointEval.from_dict(ev.point, data)
+    assert clone.p99_certified_ms is None
+    assert clone.p99_ms == ev.p99_ms

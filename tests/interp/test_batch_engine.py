@@ -197,3 +197,67 @@ def test_loop_limit_message_matches_compiled():
     with pytest.raises(Exception) as compiled_err:
         CompiledSimulator(program, max_vcycles_per_token=50).run([1])
     assert str(batch_err.value) == str(compiled_err.value)
+
+
+@requires_numpy
+def test_predicted_occupancy_identity_is_exact():
+    # identity certifies exactly 1 vcycle/token + 1 cleanup cycle, so
+    # the static prediction pins every lane's total exactly.
+    program = identity_unit()
+    result = run_batch_streams(program, [[1, 2, 3], [7], []])
+    predicted = result.predicted_stats
+    assert predicted is not None
+    assert predicted.lane_bounds == [(4, 4), (2, 2), (1, 1)]
+    assert (predicted.cycles_lo, predicted.cycles_hi) == (4, 4)
+    assert predicted.check(result.stats) == []
+    report = result.occupancy_report()
+    assert report["sound"] is True
+    assert report["actual_cycles"] == 4
+    assert report["predicted_cycles"] == [4, 4]
+    # Worst-case waste bound dominates the measured waste.
+    assert result.stats.waste_fraction <= report["predicted_waste_bound"]
+
+
+@requires_numpy
+def test_predicted_occupancy_bounds_data_dependent_app():
+    # block_frequencies' flush loop makes per-token cost data-dependent:
+    # the prediction is an interval, and the measured run lands in it.
+    make, sample = APPS["block_frequencies"]
+    program = make()
+    result = run_batch_streams(
+        program, _ragged_streams(sample, lanes=5, seed=11)
+    )
+    predicted = result.predicted_stats
+    assert predicted is not None
+    assert predicted.check(result.stats) == []
+    assert result.occupancy_report()["sound"] is True
+    for (lo, hi), measured in zip(
+            predicted.lane_bounds, result.stats.lane_vcycles):
+        assert lo <= measured <= hi
+
+
+@requires_numpy
+def test_predicted_occupancy_check_flags_violations():
+    from repro.interp import BatchStats, predict_batch_stats
+
+    program = identity_unit()
+    predicted = predict_batch_stats(program, [3, 1, 0])
+    # A fabricated measurement outside the certified interval trips it.
+    violations = predicted.check(BatchStats([9, 2, 1]))
+    assert violations and "lane 0" in violations[0]
+
+
+@requires_numpy
+def test_predicted_waste_bound_unbounded_app_is_none():
+    from repro.apps import decision_tree_unit
+    from repro.interp import predict_batch_stats
+
+    predicted = predict_batch_stats(
+        decision_tree_unit(max_features=8, max_trees=4, max_nodes=64),
+        [4, 2],
+    )
+    assert predicted is not None
+    assert predicted.cycles_hi is None
+    assert predicted.waste_bound is None
+    # Lower bounds survive; no finite upper to violate.
+    assert predicted.lane_bounds[0][0] >= 1

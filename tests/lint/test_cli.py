@@ -51,6 +51,27 @@ def test_app_lint_writes_json_and_sarif(tmp_path, capsys):
     assert location["fullyQualifiedName"].startswith("regex_match::")
 
 
+def test_cost_flag_prints_loop_bounds(capsys):
+    status = main(["--cost", "--app", "bloom_filter"])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "vcycles/token [1, 513]" in out
+    assert "<= 512 trips/token" in out
+    assert "ring emit_idx mod 2^9" in out
+
+
+def test_nontermination_gate(capsys):
+    # decision_tree's unbounded BRAM walk fails the gate unless its
+    # reviewed verdict is on the allowlist.
+    assert main(["--cost", "--app", "decision_tree",
+                 "--fail-on-nontermination"]) == 1
+    out = capsys.readouterr().out
+    assert "not on the --allow-unbounded list" in out
+    assert main(["--cost", "--app", "decision_tree",
+                 "--fail-on-nontermination",
+                 "--allow-unbounded", "decision_tree"]) == 0
+
+
 def test_error_findings_set_exit_status(tmp_path, capsys):
     # A spec whose address provably overflows a non-power-of-two BRAM.
     spec = {

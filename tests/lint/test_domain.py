@@ -9,8 +9,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import ops
+from repro.interp import make_simulator
+from repro.lang import types
 from repro.lang.types import mask
-from repro.lint import domain
+from repro.lint import build_cost, domain
+from repro.lint.engine import Analysis
+from repro.testing import spec as spec_mod
 
 BINOPS = sorted(ops.BINOPS)
 UNOPS = sorted(ops.UNOPS)
@@ -130,3 +134,146 @@ def test_interval_basics():
     assert domain.const(5).is_const
     assert repr(domain.const(5)) == "[5]"
     assert repr(domain.Interval(1, 2)) == "[1, 2]"
+
+
+# ---------------------------------------------------------------------------
+# Widening edge cases: one-point intervals at the maximum width, and the
+# wrap boundary just below 2^w where truncation must widen to top.
+
+
+def test_one_point_interval_at_max_width():
+    """A constant interval at MAX_WIDTH stays exact through every
+    transfer function that claims exactness — no overflow, no silent
+    widening."""
+    w = types.MAX_WIDTH
+    full = mask(w)
+    point = domain.const(full)
+    assert point.is_const and point.contains(full)
+    # add is exact in w+1 bits: [2^w - 1] + [2^w - 1] = [2^(w+1) - 2].
+    summed = domain.binop_interval("add", point, point, w, w)
+    assert summed == domain.const(2 * full)
+    # Truncating the one-point interval back to w bits cannot keep it
+    # (2^(w+1) - 2 > mask(w)), so it must widen to the full range —
+    # never to a wrapped point.
+    assert domain.truncate_interval(summed, w) == domain.top(w)
+    # A one-point interval that already fits survives truncation.
+    assert domain.truncate_interval(point, w) is point
+    # not is exact and anti-monotone even at the extreme point.
+    assert domain.unop_interval("not", point, w) == domain.const(0)
+    # Comparisons against top decide only where they must.
+    assert domain.decide_cmp("le", point, domain.top(w)) is None
+    assert domain.decide_cmp("ge", point, domain.top(w)) == 1
+
+
+@quick
+@given(st.integers(1, 16))
+def test_truncate_wraps_to_top_never_to_wrapped_interval(w):
+    """Intervals straddling 2^w widen to the *full* range on
+    truncation: a wrapped interval like [0, 0] u [2^w - 1] is not
+    expressible, and returning either half would be unsound."""
+    boundary = domain.Interval(mask(w), mask(w) + 1)
+    truncated = domain.truncate_interval(boundary, w)
+    assert truncated == domain.top(w)
+    # Both concrete residues of the straddling interval are covered.
+    assert truncated.contains(mask(w))          # 2^w - 1 & mask
+    assert truncated.contains(0)                # 2^w & mask
+
+
+@quick
+@given(st.integers(1, 12).flatmap(
+    lambda w: st.tuples(st.just(w), widened_value(w), widened_value(w))))
+def test_sub_tops_exactly_when_borrow_possible(case):
+    """Subtraction wraps modulo the result width; the abstract domain
+    must stay exact when no borrow is possible and go to top (of the
+    *result* width, w+1) the moment one is."""
+    w, (a, ia), (b, ib) = case
+    result = domain.binop_interval("sub", ia, ib, w, w)
+    if ia.lo >= ib.hi:
+        assert result == domain.Interval(ia.lo - ib.hi, ia.hi - ib.lo)
+        assert result.contains(a - b)
+    else:
+        assert result == domain.top(w + 1)
+        # The wrapped concrete result still lands inside.
+        assert result.contains((a - b) & mask(w + 1))
+
+
+# ---------------------------------------------------------------------------
+# Ranking monotonicity: the cost analysis's ranking-function trip bound
+# is a true upper bound on the scalar interpreter's observed per-token
+# cost, for a hypothesis-drawn family of data-dependent counter loops —
+# and widening the counter enlarges the bound monotonically.
+
+
+def _counter_loop_spec(width, emit_in_loop):
+    """``while lc < input: lc += 1 [; emit lc]`` then reset — the
+    canonical data-dependent trip count (up to mask(width) trips)."""
+    body = [["set", "lc",
+             ["bin", "add", ["reg", "lc"], ["const", 1, 1]]]]
+    if emit_in_loop:
+        body.append(["emit", ["reg", "lc"]])
+    return {
+        "name": f"rank_w{width}",
+        "input_width": width,
+        "output_width": width + 1,
+        "regs": [["lc", width, 0]],
+        "vregs": [],
+        "brams": [],
+        "body": [
+            ["while",
+             ["bin", "lt", ["reg", "lc"], ["input"]],
+             body],
+            ["set", "lc", ["const", 0, 1]],
+        ],
+    }
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(2, 6),
+    st.booleans(),
+    st.lists(st.integers(0, 63), min_size=1, max_size=8),
+)
+def test_ranking_bound_upper_bounds_scalar_interpreter(
+        width, emit_in_loop, raw_tokens):
+    spec = _counter_loop_spec(width, emit_in_loop)
+    program = spec_mod.build_unit(spec)
+    cost = build_cost(Analysis(program))
+    # The ranking function (lc strictly increases toward input) must be
+    # found: the loop has a certified trip bound of at most mask(width).
+    assert cost.terminates, cost.render()
+    assert cost.token.vcycles[1] == mask(width) + 1
+
+    sim = make_simulator(program, engine="interp")
+    tokens = [t & mask(width) for t in raw_tokens]
+    sim.run(tokens)
+    trace = sim.trace
+    n = len(trace.vcycles_per_token)
+    for i in range(n):
+        cleanup = trace._cleanup_recorded and i == n - 1
+        assert cost.check_token(
+            trace.vcycles_per_token[i], trace.emits_per_token[i],
+            cleanup=cleanup,
+        ) == [], (
+            f"token {i} of {tokens}: observed "
+            f"({trace.vcycles_per_token[i]}, {trace.emits_per_token[i]}) "
+            f"outside {cost.render()}"
+        )
+        # The exact trip count is input + 1 vcycles (the final test of
+        # the exhausted condition shares the last body cycle's slot), so
+        # the certified hi is tight at the max token.
+        if not cleanup:
+            assert trace.vcycles_per_token[i] <= mask(width) + 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 5), st.booleans())
+def test_ranking_bound_monotone_in_counter_width(width, emit_in_loop):
+    """Widening the counter register enlarges the ranking range, so the
+    certified trip bound must grow monotonically — never collapse."""
+    narrow = build_cost(Analysis(spec_mod.build_unit(
+        _counter_loop_spec(width, emit_in_loop))))
+    wide = build_cost(Analysis(spec_mod.build_unit(
+        _counter_loop_spec(width + 1, emit_in_loop))))
+    assert narrow.terminates and wide.terminates
+    assert wide.token.vcycles[1] > narrow.token.vcycles[1]
+    assert wide.token.vcycles[0] >= narrow.token.vcycles[0]

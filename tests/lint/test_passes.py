@@ -18,11 +18,14 @@ from repro.testing import spec as spec_mod
 #: golden-test parameters. All units are clean (no errors, certified);
 #: regex_match carries exactly one genuine warning — the accepting NFA
 #: position's state register is written but never read (`hit` uses the
-#: next-state wires instead).
+#: next-state wires instead) — and decision_tree one genuine
+#: nontermination risk: its BRAM-pointer walk has no depth counter, so
+#: an adversarial (cyclic) tree image loops until the vcycle limit.
 EXPECTED_FINDINGS = {
     name: {} for name in APP_UNIT_BUILDERS
 }
 EXPECTED_FINDINGS["regex_match"] = {"lint/dead-assignment": 1}
+EXPECTED_FINDINGS["decision_tree"] = {"lint/nontermination-risk": 1}
 
 
 @pytest.mark.parametrize("name", sorted(APP_UNIT_BUILDERS))

@@ -1,0 +1,251 @@
+"""SARIF 2.1.0 export: schema validation and region/metadata contracts.
+
+The official schema is at :data:`repro.lint.sarif.SARIF_SCHEMA`; CI has
+no network, so :data:`SARIF_SUBSET_SCHEMA` embeds the subset of its
+constraints that covers every property we emit — required fields,
+``version`` const, level enums, and the integer floors the spec puts on
+text regions (SARIF 2.1.0 sections 3.13, 3.19, 3.27, 3.30, 3.49).
+Anything the subset cannot express is asserted directly.
+"""
+
+import jsonschema
+import pytest
+
+from repro.lint import lint_program, reports_to_sarif
+from repro.lint.findings import FINDING_CLASSES, LintFinding
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION
+from repro.lint.selftest import CASES
+from repro.lint.units import APP_UNIT_BUILDERS, build_app_unit
+
+_LEVEL_ENUM = ["none", "note", "warning", "error"]
+
+_MESSAGE = {
+    "type": "object",
+    "required": ["text"],
+    "properties": {"text": {"type": "string", "minLength": 1}},
+}
+
+_REGION = {
+    "type": "object",
+    "properties": {
+        "startLine": {"type": "integer", "minimum": 1},
+        "startColumn": {"type": "integer", "minimum": 1},
+        "endLine": {"type": "integer", "minimum": 1},
+        "endColumn": {"type": "integer", "minimum": 1},
+        "snippet": {
+            "type": "object",
+            "properties": {"text": {"type": "string"}},
+        },
+    },
+}
+
+_RULE = {
+    "type": "object",
+    "required": ["id"],
+    "properties": {
+        "id": {"type": "string", "minLength": 1},
+        "name": {"type": "string", "pattern": r"^[A-Za-z0-9]+$"},
+        "shortDescription": _MESSAGE,
+        "fullDescription": _MESSAGE,
+        "helpUri": {"type": "string", "format": "uri"},
+        "defaultConfiguration": {
+            "type": "object",
+            "properties": {"level": {"enum": _LEVEL_ENUM}},
+        },
+    },
+}
+
+_LOCATION = {
+    "type": "object",
+    "properties": {
+        "physicalLocation": {
+            "type": "object",
+            "properties": {
+                "artifactLocation": {
+                    "type": "object",
+                    "properties": {
+                        "uri": {"type": "string", "minLength": 1},
+                    },
+                },
+                "region": _REGION,
+            },
+        },
+        "logicalLocations": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "properties": {
+                    "name": {"type": "string"},
+                    "fullyQualifiedName": {"type": "string"},
+                    "kind": {"type": "string"},
+                },
+            },
+        },
+    },
+}
+
+_RESULT = {
+    "type": "object",
+    "required": ["message"],
+    "properties": {
+        "ruleId": {"type": "string", "minLength": 1},
+        "level": {"enum": _LEVEL_ENUM},
+        "message": _MESSAGE,
+        "locations": {"type": "array", "items": _LOCATION},
+        "properties": {"type": "object"},
+    },
+}
+
+SARIF_SUBSET_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string",
+                                        "format": "uri",
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": _RULE,
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {"type": "array", "items": _RESULT},
+                },
+            },
+        },
+    },
+}
+
+
+def _all_reports():
+    """Lint reports for every app unit plus every selftest negative
+    program — together these fire most rules, including regions deep in
+    nested statements."""
+    reports = [
+        lint_program(build_app_unit(name))
+        for name in sorted(APP_UNIT_BUILDERS)
+    ]
+    reports.extend(lint_program(build()) for _, build, _, _ in CASES)
+    return reports
+
+
+@pytest.fixture(scope="module")
+def sarif():
+    return reports_to_sarif(_all_reports())
+
+
+def test_sarif_validates_against_schema_subset(sarif):
+    jsonschema.validate(
+        sarif, SARIF_SUBSET_SCHEMA,
+        format_checker=jsonschema.FormatChecker(),
+    )
+
+
+def test_rule_metadata_is_complete(sarif):
+    (run,) = sarif["runs"]
+    rules = run["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == sorted(FINDING_CLASSES)
+    for rule in rules:
+        cls = FINDING_CLASSES[rule["id"]]
+        assert rule["name"] == cls.__name__
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+        assert rule["helpUri"].startswith("https://")
+        assert "#" in rule["helpUri"]
+        assert rule["defaultConfiguration"]["level"] in _LEVEL_ENUM
+    assert len({r["helpUri"] for r in rules}) == len(rules)
+
+
+def test_results_reference_declared_rules_only(sarif):
+    (run,) = sarif["runs"]
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    seen = {result["ruleId"] for result in run["results"]}
+    assert run["results"], "expected findings from app units and CASES"
+    assert seen <= declared
+    # The export exercises both severities' level mapping.
+    assert {"lint/dead-assignment", "lint/nontermination-risk"} <= seen
+
+
+def test_every_result_has_physical_region_with_end_column(sarif):
+    (run,) = sarif["runs"]
+    for result in run["results"]:
+        (location,) = result["locations"]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"].startswith(
+            "fleet-unit:///"
+        )
+        region = physical["region"]
+        assert region["startLine"] >= 1
+        assert region["endLine"] == region["startLine"]
+        assert region["startColumn"] == 1
+        assert region["endColumn"] > region["startColumn"]
+        (logical,) = location["logicalLocations"]
+        assert region["snippet"]["text"] == logical["name"]
+        assert region["endColumn"] == 1 + len(logical["name"])
+        assert logical["fullyQualifiedName"].endswith(
+            "::" + logical["name"]
+        )
+
+
+def test_region_line_tracks_top_level_statement_index():
+    from repro.lint.sarif import _region
+
+    assert _region("body[0]")["startLine"] == 1
+    assert _region("body[7].arm[1].body[2]")["startLine"] == 8
+    assert _region("body[12].body[0]")["endColumn"] == 1 + len(
+        "body[12].body[0]"
+    )
+    assert _region("<program>")["startLine"] == 1
+
+
+def test_schema_subset_rejects_malformed_logs(sarif):
+    import copy
+
+    bad_version = copy.deepcopy(sarif)
+    bad_version["version"] = "2.0.0"
+    with pytest.raises(jsonschema.ValidationError):
+        jsonschema.validate(bad_version, SARIF_SUBSET_SCHEMA)
+
+    bad_region = copy.deepcopy(sarif)
+    result = bad_region["runs"][0]["results"][0]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    region["startColumn"] = 0
+    with pytest.raises(jsonschema.ValidationError):
+        jsonschema.validate(bad_region, SARIF_SUBSET_SCHEMA)
+
+
+def test_schema_url_pins_sarif_2_1_0():
+    assert SARIF_VERSION == "2.1.0"
+    assert "sarif-schema-2.1.0.json" in SARIF_SCHEMA
+
+
+def test_finding_without_location_gets_program_region():
+    finding = LintFinding("synthetic", resource=None, location=None)
+    from repro.lint.sarif import _result
+
+    result = _result("unit_x", finding)
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 1
+    assert region["snippet"]["text"] == "<program>"

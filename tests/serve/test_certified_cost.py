@@ -1,0 +1,149 @@
+"""The certified cost model (`ServeConfig(cost_model="certified")`):
+sound worst-case predictions, calibrated tie-breaking, vcycle-budget
+admission, and the byte-identical-when-off report contract."""
+
+import json
+import random
+
+import pytest
+
+from repro.apps.json_parser import encode_field_table
+from repro.lint.units import APP_UNIT_BUILDERS
+from repro.serve import (
+    CertifiedCostModel,
+    CompiledAppCache,
+    CostModel,
+    FleetServer,
+    ServeConfig,
+    ServedApp,
+    ServerOverloaded,
+)
+
+#: Certified-bound apps used below (finite bounds; json_field has a
+#: header, so header-token cost must be covered too).
+CERTIFIED_APPS = ("identity", "bloom_filter", "json_field")
+
+
+def _cache():
+    headers = {"json_field": encode_field_table(("id",), max_states=8)}
+    return CompiledAppCache({
+        name: ServedApp(
+            name, APP_UNIT_BUILDERS[name],
+            header=headers.get(name, b""),
+        )
+        for name in CERTIFIED_APPS + ("decision_tree",)
+    })
+
+
+def test_certified_prediction_upper_bounds_measured_vcycles():
+    cache = _cache()
+    model = CertifiedCostModel(cache)
+    rng = random.Random(99)
+    for name in CERTIFIED_APPS:
+        header = list(cache.entry(name).app.header)
+        for _ in range(5):
+            stream = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(0, 64))
+            )
+            sim = cache.simulator(name)
+            sim.run(header + list(stream))
+            measured = sim.trace.total_vcycles
+            assert measured <= model.predict(name, stream), (
+                name, stream
+            )
+
+
+def test_certified_is_at_least_as_pessimistic_as_calibrated():
+    cache = _cache()
+    certified = CertifiedCostModel(cache)
+    for name in CERTIFIED_APPS:
+        stream = bytes(32)
+        assert certified.predict(name, stream) >= 1.0
+        # The tie-breaker is exactly the calibrated prediction.
+        assert certified.tiebreak(name, stream) == \
+            CostModel(cache).predict(name, stream)
+
+
+def test_unbounded_unit_falls_back_to_calibrated():
+    cache = _cache()
+    certified = CertifiedCostModel(cache)
+    # decision_tree's BRAM walk has no certified upper bound.
+    assert certified.certified_bounds("decision_tree") is None
+    stream = bytes(range(16))
+    assert certified.predict("decision_tree", stream) == \
+        CostModel(cache).predict("decision_tree", stream)
+
+
+def test_calibrated_tiebreak_is_zero():
+    model = CostModel(_cache())
+    assert model.tiebreak("identity", bytes(8)) == 0.0
+
+
+def test_config_validates_cost_model():
+    assert ServeConfig().cost_model == "calibrated"
+    assert ServeConfig(cost_model="certified").cost_model == "certified"
+    with pytest.raises(ValueError):
+        ServeConfig(cost_model="psychic")
+
+
+def test_config_dict_omits_cost_model_knobs_when_default():
+    base = ServeConfig().as_dict()
+    assert "cost_model" not in base
+    assert "max_pending_vcycles" not in base
+    on = ServeConfig(
+        cost_model="certified", max_pending_vcycles=10_000
+    ).as_dict()
+    assert on["cost_model"] == "certified"
+    assert on["max_pending_vcycles"] == 10_000
+    # Everything else is untouched.
+    assert {k: v for k, v in on.items()
+            if k not in ("cost_model", "max_pending_vcycles")} == base
+
+
+def _run_report(config):
+    streams = [bytes([0x41]) * n for n in (64, 8, 200, 16, 3, 120)]
+    with FleetServer(config=config) as server:
+        for stream in streams:
+            server.submit("identity", [stream])
+        server.drain()
+        return server.report()
+
+
+def test_reports_byte_identical_with_cost_model_off():
+    default = _run_report(ServeConfig(devices=1, pu_slots=4))
+    explicit = _run_report(
+        ServeConfig(devices=1, pu_slots=4, cost_model="calibrated")
+    )
+    assert json.dumps(default, sort_keys=True) == \
+        json.dumps(explicit, sort_keys=True)
+
+
+def test_certified_server_serves_and_reports():
+    report = _run_report(
+        ServeConfig(devices=1, pu_slots=4, cost_model="certified")
+    )
+    assert report["config"]["cost_model"] == "certified"
+    # identity's certified bound (1 vcycle/token + 1 cleanup) equals
+    # the measured cost, so the makespan matches the calibrated run's.
+    calibrated = _run_report(ServeConfig(devices=1, pu_slots=4))
+    assert report["totals"]["makespan"] == \
+        calibrated["totals"]["makespan"]
+
+
+def test_vcycle_budget_admission_control():
+    config = ServeConfig(
+        devices=1, pu_slots=4, window_streams=1_000_000,
+        cost_model="certified", max_pending_vcycles=100.0,
+    )
+    with FleetServer(config=config) as server:
+        # identity: certified cost of a 63-byte stream is 64 vcycles.
+        server.submit("identity", [bytes(63)])
+        with pytest.raises(ServerOverloaded) as exc:
+            server.submit("identity", [bytes(63)])
+        assert exc.value.unit == "predicted vcycles"
+        assert "vcycle budget" in str(exc.value)
+        # Scheduling the window frees the budget.
+        server.flush()
+        server.drain()
+        server.submit("identity", [bytes(63)])
+        server.drain()

@@ -73,7 +73,9 @@ def test_skew_packer_ties_break_by_submission_order():
     entries = _entries([7] * 6)
     fifo = FifoPacker().pack(list(entries), slots=2)
     skew = SkewAwarePacker().pack(list(entries), slots=2)
-    key = lambda b: [(e.job.job_id, e.stream_index) for e in b]
+    def key(b):
+        return [(e.job.job_id, e.stream_index) for e in b]
+
     assert [key(b) for b in fifo] == [key(b) for b in skew]
 
 
